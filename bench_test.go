@@ -1,0 +1,354 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation at a reduced (quick) scale suitable for `go test
+// -bench=.`, plus ablation benches for the design choices DESIGN.md calls
+// out. The paper-scale regeneration lives in cmd/d4pbench; these benches
+// exist so `go test -bench=. -benchmem ./...` exercises the complete
+// experiment matrix end to end and reports the headline metrics.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	_ "repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/miniredis"
+	_ "repro/internal/mpi"
+	_ "repro/internal/multiproc"
+	"repro/internal/platform"
+	_ "repro/internal/redismap"
+	"repro/internal/statics"
+	"repro/internal/workflows/galaxy"
+	"repro/internal/workflows/sentiment"
+)
+
+// benchScale shrinks further than QuickScale for per-iteration cost.
+func benchScale() harness.Scale {
+	s := harness.QuickScale()
+	return s
+}
+
+// runPanels executes experiments and reports the pooled ratio table when a
+// pair is given.
+func runPanels(b *testing.B, exps []harness.Experiment, pair *harness.TablePair) {
+	b.Helper()
+	r := &harness.Runner{}
+	defer r.Close()
+	for i := 0; i < b.N; i++ {
+		var panels [][]metrics.Series
+		for _, e := range exps {
+			series, err := r.RunExperiment(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			panels = append(panels, series)
+		}
+		if pair != nil {
+			tables := harness.BuildTables(exps[0].Platform.Name, []harness.TablePair{*pair}, panels)
+			if len(tables) == 1 {
+				b.ReportMetric(tables[0].RuntimeMean, "rt-ratio-mean")
+				b.ReportMetric(tables[0].ProcessTimeMean, "pt-ratio-mean")
+			}
+		}
+	}
+}
+
+// BenchmarkFig08GalaxyServer regenerates Figure 8 (galaxy on the 16-core
+// server, all six techniques).
+func BenchmarkFig08GalaxyServer(b *testing.B) {
+	runPanels(b, harness.Fig8(benchScale())[:1], nil)
+}
+
+// BenchmarkFig09GalaxyCloud regenerates Figure 9 (galaxy on the 8-core
+// cloud).
+func BenchmarkFig09GalaxyCloud(b *testing.B) {
+	runPanels(b, harness.Fig9(benchScale())[:1], nil)
+}
+
+// BenchmarkFig10GalaxyHPC regenerates Figure 10 (galaxy on the 64-core HPC,
+// multi family only).
+func BenchmarkFig10GalaxyHPC(b *testing.B) {
+	runPanels(b, harness.Fig10(benchScale())[:1], nil)
+}
+
+// BenchmarkFig11SeismicServer regenerates Figure 11a (seismic on server).
+func BenchmarkFig11SeismicServer(b *testing.B) {
+	runPanels(b, harness.Fig11(benchScale())[:1], nil)
+}
+
+// BenchmarkFig11SeismicCloud regenerates Figure 11b (seismic on cloud).
+func BenchmarkFig11SeismicCloud(b *testing.B) {
+	runPanels(b, harness.Fig11(benchScale())[1:2], nil)
+}
+
+// BenchmarkFig11SeismicHPC regenerates Figure 11c (seismic on HPC).
+func BenchmarkFig11SeismicHPC(b *testing.B) {
+	runPanels(b, harness.Fig11(benchScale())[2:], nil)
+}
+
+// BenchmarkFig12SentimentServer regenerates Figure 12a (stateful sentiment,
+// multi vs hybrid_redis on server) and reports the hybrid/multi ratios
+// (Table 3's content).
+func BenchmarkFig12SentimentServer(b *testing.B) {
+	pair := harness.Table3Pairs[0]
+	runPanels(b, harness.Fig12(benchScale())[:1], &pair)
+}
+
+// BenchmarkFig12SentimentCloud regenerates Figure 12b (cloud).
+func BenchmarkFig12SentimentCloud(b *testing.B) {
+	pair := harness.Table3Pairs[0]
+	runPanels(b, harness.Fig12(benchScale())[1:], &pair)
+}
+
+// BenchmarkFig13Traces regenerates the Figure 13 auto-scaler traces.
+func BenchmarkFig13Traces(b *testing.B) {
+	r := &harness.Runner{}
+	defer r.Close()
+	exps := harness.Fig13(benchScale())
+	for i := 0; i < b.N; i++ {
+		var points int
+		for _, e := range exps {
+			trace, _, err := r.RunTrace(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			points += len(trace.Points())
+		}
+		b.ReportMetric(float64(points), "trace-points")
+	}
+}
+
+// BenchmarkTable1GalaxyRatios computes Table 1 (auto-scaling vs dynamic
+// scheduling on the galaxy workflow, server platform).
+func BenchmarkTable1GalaxyRatios(b *testing.B) {
+	pair := harness.Table1Pairs[0]
+	runPanels(b, harness.Fig8(benchScale())[:1], &pair)
+}
+
+// BenchmarkTable2SeismicRatios computes Table 2 (the same comparisons on
+// the seismic workflow).
+func BenchmarkTable2SeismicRatios(b *testing.B) {
+	pair := harness.Table1Pairs[0]
+	runPanels(b, harness.Fig11(benchScale())[:1], &pair)
+}
+
+// BenchmarkTable3SentimentRatios computes Table 3 (hybrid_redis vs multi on
+// the sentiment workflow).
+func BenchmarkTable3SentimentRatios(b *testing.B) {
+	pair := harness.Table3Pairs[0]
+	runPanels(b, harness.Fig12(benchScale())[:1], &pair)
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationTermination sweeps the retry budget of the dynamic
+// termination protocol: too small risks premature exits (caught by output
+// checks), larger budgets pay tail latency.
+func BenchmarkAblationTermination(b *testing.B) {
+	for _, retries := range []int{1, 5, 20} {
+		b.Run(fmt.Sprintf("retries=%d", retries), func(b *testing.B) {
+			m, err := mapping.Get("dyn_multi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := galaxy.New(galaxy.Config{Galaxies: 20})
+				rep, err := m.Execute(g, mapping.Options{
+					Processes: 8, Platform: platform.Server, Seed: 1, Retries: retries,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Outputs != 20 {
+					b.Fatalf("premature termination: %d outputs", rep.Outputs)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the auto-scaler's initial active size
+// (Algorithm 1's active_size default of max/2 vs extremes).
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, initial := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("initial=%d", initial), func(b *testing.B) {
+			m, err := mapping.Get("dyn_auto_multi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := galaxy.New(galaxy.Config{Galaxies: 40})
+				rep, err := m.Execute(g, mapping.Options{
+					Processes: 16, Platform: platform.Server, Seed: 1,
+					AutoScale: &autoscale.Config{MaxPoolSize: 16, InitialActive: initial},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+				b.ReportMetric(rep.ProcessTime.Seconds(), "proctime-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybridVsMulti contrasts the two stateful-capable
+// mappings head to head at the paper's shared sweep point.
+func BenchmarkAblationHybridVsMulti(b *testing.B) {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tech := range []string{"multi", "hybrid_redis"} {
+		b.Run(tech, func(b *testing.B) {
+			m, err := mapping.Get(tech)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := sentiment.New(sentiment.Config{Articles: 40})
+				rep, err := m.Execute(g, mapping.Options{
+					Processes: sentiment.MinMultiProcesses, Platform: platform.Server,
+					Seed: 1, RedisAddr: srv.Addr(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaging measures the static staging fusion on the
+// seismic chain: fusing the linear transform stages removes seven queue
+// hops per data unit under dynamic scheduling.
+func BenchmarkAblationStaging(b *testing.B) {
+	s := benchScale()
+	for _, fused := range []bool{false, true} {
+		name := "unfused"
+		if fused {
+			name = "staged"
+		}
+		b.Run(name, func(b *testing.B) {
+			m, err := mapping.Get("dyn_multi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := harnessSeismic(s)
+				if fused {
+					g, err = statics.Staging(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				rep, err := m.Execute(g, mapping.Options{Processes: 8, Platform: platform.Server, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+				b.ReportMetric(float64(rep.Tasks), "tasks")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStrategy contrasts the paper's naive ±1 queue-size
+// strategy with the refined proportional strategy (the future-work item),
+// on a bursty workload where ±1 inertia costs runtime.
+func BenchmarkAblationStrategy(b *testing.B) {
+	strategies := map[string]autoscale.Strategy{
+		"naive":        nil, // mapping default: ±1 queue-size
+		"proportional": &autoscale.ProportionalQueueStrategy{TargetPerWorker: 2},
+	}
+	for name, strategy := range strategies {
+		b.Run(name, func(b *testing.B) {
+			m, err := mapping.Get("dyn_auto_multi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := galaxy.New(galaxy.Config{Galaxies: 60})
+				rep, err := m.Execute(g, mapping.Options{
+					Processes: 16, Platform: platform.Server, Seed: 1, Strategy: strategy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+				b.ReportMetric(rep.ProcessTime.Seconds(), "proctime-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybridAutoScaling measures the future-work extension:
+// hybrid_redis with and without auto-scaling of its stateless pool.
+func BenchmarkAblationHybridAutoScaling(b *testing.B) {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, tech := range []string{"hybrid_redis", "hybrid_auto_redis"} {
+		b.Run(tech, func(b *testing.B) {
+			m, err := mapping.Get(tech)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := sentiment.New(sentiment.Config{Articles: 40})
+				rep, err := m.Execute(g, mapping.Options{
+					Processes: 14, Platform: platform.Server, Seed: 1, RedisAddr: srv.Addr(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+				b.ReportMetric(rep.ProcessTime.Seconds(), "proctime-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRedisCost sweeps the embedded server's per-command
+// service delay, quantifying how Redis weight drives the multi/Redis gap
+// the paper attributes to Redis being "more resource-intensive".
+func BenchmarkAblationRedisCost(b *testing.B) {
+	for _, delay := range []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond} {
+		b.Run(fmt.Sprintf("opdelay=%s", delay), func(b *testing.B) {
+			srv := miniredis.NewServer(miniredis.Options{OpDelay: delay})
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			m, err := mapping.Get("dyn_redis")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g := galaxy.New(galaxy.Config{Galaxies: 20})
+				rep, err := m.Execute(g, mapping.Options{
+					Processes: 8, Platform: platform.Server, Seed: 1, RedisAddr: srv.Addr(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+			}
+		})
+	}
+}
+
+// harnessSeismic builds the quick-scale seismic graph via the catalog.
+func harnessSeismic(s harness.Scale) *graph.Graph {
+	return harness.Fig11(s)[0].MakeGraph()
+}

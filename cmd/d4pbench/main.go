@@ -1,0 +1,200 @@
+// Command d4pbench regenerates the paper's evaluation: every figure and
+// table of Section 5, written as aligned text and CSV under -out.
+//
+// Usage:
+//
+//	d4pbench                  # full suite (paper-scale sweeps, ~minutes)
+//	d4pbench -quick           # seconds-scale smoke run
+//	d4pbench -fig 8           # only Figure 8
+//	d4pbench -table 1         # only Table 1 (runs the figures it needs)
+//	d4pbench -out results     # output directory (default "results")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	_ "repro/internal/dynamic"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	_ "repro/internal/mpi"
+	_ "repro/internal/multiproc"
+	_ "repro/internal/redismap"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "run the seconds-scale smoke configuration")
+		fig     = flag.Int("fig", 0, "run only this figure (8-13); 0 means all")
+		table   = flag.Int("table", 0, "run only this table (1-3); 0 means all")
+		outDir  = flag.String("out", "results", "output directory")
+		reps    = flag.Int("reps", 1, "repetitions per point (averaged)")
+		opDelay = flag.Duration("redis-op-delay", 0, "extra per-command service delay in the embedded Redis")
+	)
+	flag.Parse()
+
+	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay); err != nil {
+		fmt.Fprintln(os.Stderr, "d4pbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration) error {
+	scale := harness.FullScale()
+	if quick {
+		scale = harness.QuickScale()
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay}
+	defer runner.Close()
+
+	wantFig := func(n int) bool {
+		if table != 0 {
+			// Tables pull in their figures.
+			switch table {
+			case 1:
+				return n >= 8 && n <= 10
+			case 2:
+				return n == 11
+			case 3:
+				return n == 12
+			}
+		}
+		return fig == 0 && table == 0 || fig == n
+	}
+
+	// figure panels by figure number, kept for table construction.
+	panels := map[int][][]metrics.Series{}
+	runFigure := func(n int, exps []harness.Experiment) error {
+		if !wantFig(n) {
+			return nil
+		}
+		var rendered []string
+		var allSeries []metrics.Series
+		for _, e := range exps {
+			fmt.Printf("== %s: %s\n", e.ID, e.Title)
+			series, err := runner.RunExperiment(e)
+			if err != nil {
+				return err
+			}
+			panels[n] = append(panels[n], series)
+			rendered = append(rendered, metrics.RenderSeries(e.Title, series))
+			allSeries = append(allSeries, series...)
+		}
+		name := fmt.Sprintf("fig%02d", n)
+		if err := writeFile(outDir, name+".txt", strings.Join(rendered, "\n")); err != nil {
+			return err
+		}
+		return writeFile(outDir, name+".csv", metrics.CSV(allSeries))
+	}
+
+	if err := runFigure(8, harness.Fig8(scale)); err != nil {
+		return err
+	}
+	if err := runFigure(9, harness.Fig9(scale)); err != nil {
+		return err
+	}
+	if err := runFigure(10, harness.Fig10(scale)); err != nil {
+		return err
+	}
+	if err := runFigure(11, harness.Fig11(scale)); err != nil {
+		return err
+	}
+	if err := runFigure(12, harness.Fig12(scale)); err != nil {
+		return err
+	}
+
+	if wantFig(13) && table == 0 {
+		var rendered []string
+		for _, e := range harness.Fig13(scale) {
+			fmt.Printf("== %s: %s\n", e.ID, e.Title)
+			trace, rep, err := runner.RunTrace(e)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %s\n", rep)
+			rendered = append(rendered, harness.RenderTrace(e.Title, trace))
+			if err := writeFile(outDir, e.ID+".csv", harness.TraceCSV(trace)); err != nil {
+				return err
+			}
+		}
+		if err := writeFile(outDir, "fig13.txt", strings.Join(rendered, "\n")); err != nil {
+			return err
+		}
+	}
+
+	// Tables from the collected figure panels.
+	writeTables := func(n int, platformPanels map[string][]int, pairs []harness.TablePair) error {
+		if table != 0 && table != n {
+			return nil
+		}
+		if table == 0 && fig != 0 {
+			return nil
+		}
+		var rendered []string
+		for _, plat := range []string{"server", "cloud", "hpc"} {
+			figNums, ok := platformPanels[plat]
+			if !ok {
+				continue
+			}
+			var pool [][]metrics.Series
+			for _, fn := range figNums {
+				pool = append(pool, panels[fn]...)
+			}
+			for _, tb := range harness.BuildTables(plat, pairs, pool) {
+				rendered = append(rendered, tb.Render())
+			}
+		}
+		body := strings.Join(rendered, "\n")
+		fmt.Printf("== Table %d\n%s\n", n, body)
+		return writeFile(outDir, fmt.Sprintf("table%d.txt", n), body)
+	}
+
+	if err := writeTables(1, map[string][]int{"server": {8}, "cloud": {9}, "hpc": {10}}, harness.Table1Pairs); err != nil {
+		return err
+	}
+	// Table 2 uses the same pairs as Table 1, over the seismic panels. The
+	// fig11 slice holds server, cloud, hpc panels in order.
+	if wantFig(11) && (table == 0 || table == 2) && len(panels[11]) == 3 {
+		var rendered []string
+		for i, plat := range []string{"server", "cloud", "hpc"} {
+			for _, tb := range harness.BuildTables(plat, harness.Table1Pairs, [][]metrics.Series{panels[11][i]}) {
+				rendered = append(rendered, tb.Render())
+			}
+		}
+		body := strings.Join(rendered, "\n")
+		fmt.Printf("== Table 2\n%s\n", body)
+		if err := writeFile(outDir, "table2.txt", body); err != nil {
+			return err
+		}
+	}
+	if wantFig(12) && (table == 0 || table == 3) && len(panels[12]) == 2 {
+		var rendered []string
+		for i, plat := range []string{"server", "cloud"} {
+			for _, tb := range harness.BuildTables(plat, harness.Table3Pairs, [][]metrics.Series{panels[12][i]}) {
+				rendered = append(rendered, tb.Render())
+			}
+		}
+		body := strings.Join(rendered, "\n")
+		fmt.Printf("== Table 3\n%s\n", body)
+		if err := writeFile(outDir, "table3.txt", body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(dir, name, body string) error {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

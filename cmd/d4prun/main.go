@@ -1,0 +1,129 @@
+// Command d4prun executes one of the paper's workflows under a chosen
+// mapping, printing the run report — the workflow-developer's entry point.
+//
+// Usage:
+//
+//	d4prun -workflow galaxy -mapping dyn_auto_multi -processes 12
+//	d4prun -workflow sentiment -mapping hybrid_redis -processes 10
+//	d4prun -workflow seismic -mapping multi -processes 12 -platform cloud
+//	d4prun -list
+//
+// Redis-backed mappings start an embedded mini-Redis automatically unless
+// -redis addr points at an external server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	_ "repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/miniredis"
+	_ "repro/internal/mpi"
+	_ "repro/internal/multiproc"
+	"repro/internal/platform"
+	_ "repro/internal/redismap"
+	"repro/internal/statics"
+	"repro/internal/workflows/galaxy"
+	"repro/internal/workflows/seismic"
+	"repro/internal/workflows/sentiment"
+)
+
+func main() {
+	var (
+		workflowName = flag.String("workflow", "galaxy", "workflow: galaxy, seismic, sentiment")
+		mappingName  = flag.String("mapping", "dyn_multi", "mapping name (see -list)")
+		processes    = flag.Int("processes", 8, "worker process budget")
+		platformName = flag.String("platform", "server", "platform: server, cloud, hpc")
+		seed         = flag.Int64("seed", 1, "run seed")
+		scaleX       = flag.Int("x", 1, "galaxy workload multiplier (1X = 100 galaxies)")
+		heavy        = flag.Bool("heavy", false, "galaxy heavy workload (beta(2,5) delays)")
+		stations     = flag.Int("stations", 50, "seismic station count")
+		articles     = flag.Int("articles", 120, "sentiment article count")
+		redisAddr    = flag.String("redis", "", "external Redis address (empty = embedded mini-Redis)")
+		staging      = flag.Bool("staging", false, "apply the static staging optimization before mapping")
+		dot          = flag.Bool("dot", false, "print the abstract workflow in Graphviz dot format and exit")
+		list         = flag.Bool("list", false, "list available mappings and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("mappings:", strings.Join(mapping.Names(), ", "))
+		fmt.Println("workflows: galaxy, seismic, sentiment")
+		return
+	}
+	if err := run(*workflowName, *mappingName, *processes, *platformName, *seed,
+		*scaleX, *heavy, *stations, *articles, *redisAddr, *staging, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "d4prun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workflowName, mappingName string, processes int, platformName string, seed int64,
+	scaleX int, heavy bool, stations, articles int, redisAddr string, staging, dot bool) error {
+
+	plat, err := platform.ByName(platformName)
+	if err != nil {
+		return err
+	}
+	m, err := mapping.Get(mappingName)
+	if err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	switch workflowName {
+	case "galaxy":
+		g = galaxy.New(galaxy.Config{Galaxies: galaxy.BaseGalaxies * scaleX, Heavy: heavy})
+	case "seismic":
+		g = seismic.New(seismic.Config{Stations: stations})
+	case "sentiment":
+		var shown bool
+		g = sentiment.New(sentiment.Config{Articles: articles, OnTop3: func(top []sentiment.StateScore) {
+			if shown {
+				return
+			}
+			shown = true
+			fmt.Println("top 3 happiest states:")
+			for i, s := range top {
+				fmt.Printf("  %d. %-15s %.2f\n", i+1, s.State, s.Score)
+			}
+		}})
+	default:
+		return fmt.Errorf("unknown workflow %q (want galaxy, seismic or sentiment)", workflowName)
+	}
+
+	if staging {
+		fused, err := statics.Staging(g)
+		if err != nil {
+			return fmt.Errorf("staging: %w", err)
+		}
+		fmt.Printf("staging: %d PEs fused into %d\n", len(g.Nodes()), len(fused.Nodes()))
+		g = fused
+	}
+	if dot {
+		fmt.Print(g.DOT())
+		return nil
+	}
+
+	opts := mapping.Options{Processes: processes, Platform: plat, Seed: seed, RedisAddr: redisAddr}
+	if strings.Contains(mappingName, "redis") && redisAddr == "" {
+		srv, err := miniredis.StartTestServer()
+		if err != nil {
+			return fmt.Errorf("start embedded redis: %w", err)
+		}
+		defer srv.Close()
+		opts.RedisAddr = srv.Addr()
+		fmt.Printf("embedded mini-redis at %s\n", srv.Addr())
+	}
+
+	rep, err := m.Execute(g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
+}

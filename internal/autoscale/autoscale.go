@@ -1,0 +1,284 @@
+// Package autoscale implements the paper's Algorithm 1: the auto-scaler that
+// gives dynamic scheduling its active/idle process states. A Controller owns
+// the active_size; worker processes gate on it (workers whose index is at or
+// beyond active_size park in an idle, non-accounted state); a monitoring
+// loop samples a workload metric and applies a Strategy to grow or shrink
+// the active size by one, as in the paper's "simple incremental approach".
+//
+// Two strategies mirror Section 3.2.2:
+//
+//   - QueueSizeStrategy (dyn_auto_multi): grow when the queue size increased
+//     compared to the previous observation and sits above a floor threshold,
+//     shrink otherwise.
+//   - IdleTimeStrategy (dyn_auto_redis): shrink when the consumer group's
+//     average idle time exceeds the configured reactivation threshold, grow
+//     when consumers are busy.
+package autoscale
+
+import (
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Controller (Algorithm 1's constructor parameters).
+type Config struct {
+	// MaxPoolSize is the total number of worker processes.
+	MaxPoolSize int
+	// InitialActive is the starting active size; 0 means MaxPoolSize/2 (the
+	// paper's default).
+	InitialActive int
+	// MinActive floors shrinking; 0 means 1.
+	MinActive int
+	// Interval is the monitor sampling period; 0 means 2ms (scaled-down
+	// counterpart of the paper's monitoring cadence).
+	Interval time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxPoolSize < 1 {
+		c.MaxPoolSize = 1
+	}
+	if c.InitialActive <= 0 {
+		c.InitialActive = c.MaxPoolSize / 2
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	if c.InitialActive < c.MinActive {
+		c.InitialActive = c.MinActive
+	}
+	if c.InitialActive > c.MaxPoolSize {
+		c.InitialActive = c.MaxPoolSize
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Strategy decides the scaling delta from a metric sample ("when to scale"
+// and "how to scale"; this work always answers the latter with ±1).
+type Strategy interface {
+	// Name identifies the strategy in traces.
+	Name() string
+	// Decide maps the latest metric sample to a size delta (-1, 0 or +1).
+	Decide(sample float64) int
+}
+
+// QueueSizeStrategy is the dyn_auto_multi policy: scale up while the queue
+// is growing and above Floor, scale down while it is shrinking or small.
+type QueueSizeStrategy struct {
+	// Floor is the "minimum threshold [that] prevents unnecessary scaling
+	// during low demand".
+	Floor float64
+
+	prev    float64
+	started bool
+}
+
+// Name implements Strategy.
+func (s *QueueSizeStrategy) Name() string { return "queue-size" }
+
+// Decide implements Strategy.
+func (s *QueueSizeStrategy) Decide(queueSize float64) int {
+	defer func() { s.prev = queueSize; s.started = true }()
+	if !s.started {
+		return 0
+	}
+	switch {
+	case queueSize > s.prev && queueSize >= s.Floor:
+		return +1
+	case queueSize < s.prev || queueSize < s.Floor:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// IdleTimeStrategy is the dyn_auto_redis policy: when the average idle time
+// of active consumers exceeds Threshold (the time worth a reactivation and
+// redeployment), deactivate a process; otherwise activate one.
+type IdleTimeStrategy struct {
+	// Threshold is the average idle duration above which a process is
+	// logically deactivated.
+	Threshold time.Duration
+}
+
+// Name implements Strategy.
+func (s *IdleTimeStrategy) Name() string { return "idle-time" }
+
+// Decide implements Strategy; the sample is the average idle time in
+// milliseconds.
+func (s *IdleTimeStrategy) Decide(avgIdleMs float64) int {
+	if time.Duration(avgIdleMs*float64(time.Millisecond)) > s.Threshold {
+		return -1
+	}
+	return +1
+}
+
+// TracePoint is one record of the auto-scaler's behaviour, the raw data of
+// the paper's Figure 13.
+type TracePoint struct {
+	// Iteration counts monitor evaluations with changed metrics.
+	Iteration int
+	// Active is the active size after the decision.
+	Active int
+	// Metric is the sampled monitor value (queue size or avg idle ms).
+	Metric float64
+}
+
+// Trace collects TracePoints; safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	points []TracePoint
+}
+
+// Record appends a point.
+func (t *Trace) Record(p TracePoint) {
+	t.mu.Lock()
+	t.points = append(t.points, p)
+	t.mu.Unlock()
+}
+
+// Points returns a snapshot of the recorded points.
+func (t *Trace) Points() []TracePoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TracePoint(nil), t.points...)
+}
+
+// Controller is Algorithm 1's Auto_scaler: it owns active_size and lets
+// worker goroutines park while their index is beyond it.
+type Controller struct {
+	cfg      Config
+	strategy Strategy
+	trace    *Trace
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	active     int
+	terminated bool
+	iter       int
+	lastMetric float64
+	hasMetric  bool
+}
+
+// NewController builds a controller. trace may be nil.
+func NewController(cfg Config, strategy Strategy, trace *Trace) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, strategy: strategy, trace: trace, active: cfg.InitialActive}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// ActiveSize returns the current active size.
+func (c *Controller) ActiveSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// Grow increases active_size by n, capped at MaxPoolSize (Algorithm 1's
+// grow procedure), waking parked workers.
+func (c *Controller) Grow(n int) {
+	c.mu.Lock()
+	c.active += n
+	if c.active > c.cfg.MaxPoolSize {
+		c.active = c.cfg.MaxPoolSize
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Shrink decreases active_size by n with the configured minimum (Algorithm
+// 1's shrink procedure).
+func (c *Controller) Shrink(n int) {
+	c.mu.Lock()
+	c.active -= n
+	if c.active < c.cfg.MinActive {
+		c.active = c.cfg.MinActive
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Step feeds one monitor sample through the strategy (Algorithm 1's
+// auto_scale procedure) and records a trace point when the metric changed.
+// Strategies implementing StepStrategy may request multi-step adjustments.
+func (c *Controller) Step(sample float64) {
+	var delta int
+	if ss, ok := c.strategy.(StepStrategy); ok {
+		delta = ss.DecideN(sample, c.ActiveSize())
+	} else {
+		delta = c.strategy.Decide(sample)
+	}
+	switch {
+	case delta > 0:
+		c.Grow(delta)
+	case delta < 0:
+		c.Shrink(-delta)
+	}
+	c.mu.Lock()
+	changed := !c.hasMetric || sample != c.lastMetric
+	c.lastMetric = sample
+	c.hasMetric = true
+	if changed {
+		c.iter++
+		if c.trace != nil {
+			c.trace.Record(TracePoint{Iteration: c.iter, Active: c.active, Metric: sample})
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Admit blocks while worker index is beyond the active size (the idle /
+// low-energy standby state). It returns false when the controller has been
+// terminated, true when the worker is (again) active. The caller is
+// responsible for process-time accounting around the call.
+func (c *Controller) Admit(worker int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for worker >= c.active && !c.terminated {
+		c.cond.Wait()
+	}
+	return !c.terminated
+}
+
+// Idle reports whether the worker would currently have to park.
+func (c *Controller) Idle(worker int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return worker >= c.active
+}
+
+// Terminate releases all parked workers and stops the monitor loop.
+func (c *Controller) Terminate() {
+	c.mu.Lock()
+	c.terminated = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Terminated reports whether Terminate was called.
+func (c *Controller) Terminated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.terminated
+}
+
+// RunMonitor samples monitor every Interval and feeds the controller until
+// Terminate is called. Call it in its own goroutine.
+func (c *Controller) RunMonitor(monitor func() float64) {
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		if c.Terminated() {
+			return
+		}
+		c.Step(monitor())
+	}
+}

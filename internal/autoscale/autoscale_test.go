@@ -1,0 +1,164 @@
+package autoscale
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := NewController(Config{MaxPoolSize: 16}, &QueueSizeStrategy{}, nil)
+	cfg := c.Config()
+	if cfg.InitialActive != 8 {
+		t.Errorf("default initial active %d, want max/2=8", cfg.InitialActive)
+	}
+	if cfg.MinActive != 1 || cfg.Interval <= 0 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if c.ActiveSize() != 8 {
+		t.Errorf("active=%d", c.ActiveSize())
+	}
+}
+
+func TestGrowShrinkBounds(t *testing.T) {
+	c := NewController(Config{MaxPoolSize: 4, InitialActive: 2}, &QueueSizeStrategy{}, nil)
+	c.Grow(10)
+	if c.ActiveSize() != 4 {
+		t.Errorf("grow capped at max: %d", c.ActiveSize())
+	}
+	c.Shrink(10)
+	if c.ActiveSize() != 1 {
+		t.Errorf("shrink floored at min: %d", c.ActiveSize())
+	}
+}
+
+func TestQueueSizeStrategy(t *testing.T) {
+	s := &QueueSizeStrategy{Floor: 2}
+	if d := s.Decide(5); d != 0 {
+		t.Errorf("first sample should be neutral, got %d", d)
+	}
+	if d := s.Decide(8); d != 1 {
+		t.Errorf("growing queue above floor should grow, got %d", d)
+	}
+	if d := s.Decide(3); d != -1 {
+		t.Errorf("shrinking queue should shrink, got %d", d)
+	}
+	if d := s.Decide(3); d != 0 {
+		t.Errorf("flat queue above floor should hold, got %d", d)
+	}
+	// Flat and above floor: hold.
+	s2 := &QueueSizeStrategy{Floor: 2}
+	s2.Decide(5)
+	s2.Decide(6)
+	if d := s2.Decide(6); d != 0 {
+		t.Errorf("flat queue above floor should hold, got %d", d)
+	}
+	// Growing but under the floor: shrink (low-demand guard).
+	s3 := &QueueSizeStrategy{Floor: 10}
+	s3.Decide(1)
+	if d := s3.Decide(2); d != -1 {
+		t.Errorf("growth under floor should still shrink, got %d", d)
+	}
+}
+
+func TestIdleTimeStrategy(t *testing.T) {
+	s := &IdleTimeStrategy{Threshold: 50 * time.Millisecond}
+	if d := s.Decide(80); d != -1 {
+		t.Errorf("idle above threshold should shrink, got %d", d)
+	}
+	if d := s.Decide(10); d != 1 {
+		t.Errorf("busy consumers should grow, got %d", d)
+	}
+}
+
+func TestStepAppliesStrategyAndTraces(t *testing.T) {
+	trace := &Trace{}
+	c := NewController(Config{MaxPoolSize: 8, InitialActive: 4}, &QueueSizeStrategy{Floor: 1}, trace)
+	c.Step(5) // first sample: neutral, records iteration 1
+	c.Step(9) // grew → +1
+	c.Step(9) // flat → hold, metric unchanged → no new trace point
+	c.Step(2) // shrank → -1
+	if got := c.ActiveSize(); got != 4 {
+		t.Errorf("active=%d want 4 (4+1-1)", got)
+	}
+	pts := trace.Points()
+	if len(pts) != 3 {
+		t.Fatalf("trace points: %+v", pts)
+	}
+	if pts[1].Active != 5 || pts[1].Metric != 9 {
+		t.Errorf("trace[1]: %+v", pts[1])
+	}
+	if pts[0].Iteration != 1 || pts[2].Iteration != 3 {
+		t.Errorf("iterations: %+v", pts)
+	}
+}
+
+func TestAdmitBlocksIdleWorkers(t *testing.T) {
+	c := NewController(Config{MaxPoolSize: 4, InitialActive: 1}, &QueueSizeStrategy{}, nil)
+	if !c.Admit(0) {
+		t.Fatal("worker 0 must be admitted")
+	}
+	if !c.Idle(2) {
+		t.Fatal("worker 2 should be idle at active=1")
+	}
+	admitted := make(chan bool, 1)
+	go func() { admitted <- c.Admit(2) }()
+	select {
+	case <-admitted:
+		t.Fatal("worker 2 admitted while idle")
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Grow(2) // active=3 admits worker 2
+	select {
+	case ok := <-admitted:
+		if !ok {
+			t.Fatal("admission after grow should be true")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("worker 2 never admitted after grow")
+	}
+}
+
+func TestTerminateReleasesWorkers(t *testing.T) {
+	c := NewController(Config{MaxPoolSize: 4, InitialActive: 1}, &QueueSizeStrategy{}, nil)
+	var wg sync.WaitGroup
+	results := make(chan bool, 3)
+	for w := 1; w <= 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results <- c.Admit(w)
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.Terminate()
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if ok {
+			t.Error("Admit should return false after Terminate")
+		}
+	}
+	if !c.Terminated() {
+		t.Error("Terminated flag")
+	}
+}
+
+func TestRunMonitorLoop(t *testing.T) {
+	trace := &Trace{}
+	c := NewController(
+		Config{MaxPoolSize: 8, InitialActive: 4, Interval: time.Millisecond},
+		&IdleTimeStrategy{Threshold: 10 * time.Millisecond}, trace)
+	go c.RunMonitor(func() float64 {
+		return 2 // always below the 10ms threshold → keep growing
+	})
+	time.Sleep(40 * time.Millisecond)
+	c.Terminate()
+	time.Sleep(5 * time.Millisecond)
+	if c.ActiveSize() != 8 {
+		t.Errorf("monitor should have grown to max, active=%d", c.ActiveSize())
+	}
+	if len(trace.Points()) == 0 {
+		t.Error("monitor produced no trace points")
+	}
+}

@@ -1,0 +1,72 @@
+package autoscale
+
+import "math"
+
+// StepStrategy is the refined strategy interface the paper's future-work
+// section asks for: unlike Strategy's fixed ±1 answer to "how to scale",
+// a StepStrategy sees the current active size and may request multi-step
+// adjustments. Controllers detect it with a type assertion, so existing
+// Strategy implementations keep working unchanged.
+type StepStrategy interface {
+	Strategy
+	// DecideN maps a metric sample and the current active size to a signed
+	// size delta (possibly larger than 1 in magnitude).
+	DecideN(sample float64, active int) int
+}
+
+// ProportionalQueueStrategy is a refined dyn_auto_multi policy: it targets a
+// fixed backlog per active worker and scales by the (clamped) proportional
+// error in one step instead of creeping ±1 — addressing the inertia the
+// paper observes in Figure 13 ("active process numbers lag behind metric
+// changes due to inertia in the naive auto-scaling strategy").
+type ProportionalQueueStrategy struct {
+	// TargetPerWorker is the desired queue length per active process;
+	// 0 means 2.
+	TargetPerWorker float64
+	// MaxStep caps a single adjustment; 0 means 4.
+	MaxStep int
+}
+
+// Name implements Strategy.
+func (s *ProportionalQueueStrategy) Name() string { return "proportional-queue" }
+
+// Decide implements Strategy for controllers that ignore StepStrategy: the
+// proportional decision collapsed to its sign.
+func (s *ProportionalQueueStrategy) Decide(queueSize float64) int {
+	d := s.DecideN(queueSize, 1)
+	switch {
+	case d > 0:
+		return 1
+	case d < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// DecideN implements StepStrategy.
+func (s *ProportionalQueueStrategy) DecideN(queueSize float64, active int) int {
+	target := s.TargetPerWorker
+	if target <= 0 {
+		target = 2
+	}
+	maxStep := s.MaxStep
+	if maxStep <= 0 {
+		maxStep = 4
+	}
+	if active < 1 {
+		active = 1
+	}
+	// Error in units of workers: how many workers the backlog wants.
+	wanted := queueSize / target
+	delta := int(math.Round(wanted - float64(active)))
+	if delta > maxStep {
+		delta = maxStep
+	}
+	if delta < -maxStep {
+		delta = -maxStep
+	}
+	return delta
+}
+
+var _ StepStrategy = (*ProportionalQueueStrategy)(nil)

@@ -1,0 +1,66 @@
+package autoscale
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionalDecideN(t *testing.T) {
+	s := &ProportionalQueueStrategy{TargetPerWorker: 2, MaxStep: 4}
+	// Backlog 20 at target 2 wants 10 workers; at 4 active that's +6,
+	// clamped to +4.
+	if d := s.DecideN(20, 4); d != 4 {
+		t.Errorf("burst: %d want 4", d)
+	}
+	// Backlog 2 wants 1 worker; at 8 active that's -7, clamped to -4.
+	if d := s.DecideN(2, 8); d != -4 {
+		t.Errorf("drain: %d want -4", d)
+	}
+	// At equilibrium (queue ≈ active × target), hold.
+	if d := s.DecideN(8, 4); d != 0 {
+		t.Errorf("equilibrium: %d want 0", d)
+	}
+}
+
+func TestProportionalDefaults(t *testing.T) {
+	s := &ProportionalQueueStrategy{}
+	if s.Name() != "proportional-queue" {
+		t.Error("name")
+	}
+	// Defaults: target 2, max step 4. Zero active is treated as 1.
+	if d := s.DecideN(100, 0); d != 4 {
+		t.Errorf("default clamp: %d", d)
+	}
+	// Decide collapses to sign.
+	if s.Decide(100) != 1 || s.Decide(0) <= -5 {
+		t.Error("Decide sign collapse")
+	}
+}
+
+func TestControllerUsesStepStrategy(t *testing.T) {
+	c := NewController(Config{MaxPoolSize: 16, InitialActive: 4},
+		&ProportionalQueueStrategy{TargetPerWorker: 1, MaxStep: 8}, nil)
+	// Queue of 12 at target 1 wants 12 workers → +8 step from 4, capped by
+	// max pool anyway.
+	c.Step(12)
+	if got := c.ActiveSize(); got != 12 {
+		t.Errorf("active=%d want 12 (multi-step growth)", got)
+	}
+	// Empty queue wants 1 worker → big shrink, floored at MinActive.
+	c.Step(0)
+	c.Step(0)
+	if got := c.ActiveSize(); got != 1 {
+		t.Errorf("active=%d want 1 after drain", got)
+	}
+}
+
+func TestQuickProportionalBounds(t *testing.T) {
+	f := func(q uint16, active uint8) bool {
+		s := &ProportionalQueueStrategy{TargetPerWorker: 2, MaxStep: 4}
+		d := s.DecideN(float64(q%1000), int(active%64))
+		return d >= -4 && d <= 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

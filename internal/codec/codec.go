@@ -1,0 +1,72 @@
+// Package codec serializes workflow task payloads for transport through
+// Redis. It wraps encoding/gob: workflows register their concrete payload
+// types once (in init functions or before running), after which arbitrary
+// task values round-trip as binary-safe strings. This plays the role pickle
+// plays for dispel4py's Redis mapping.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Register makes a concrete payload type encodable inside interface values.
+// It is safe to register the same type multiple times from different
+// workflows only if the registrations agree; duplicate identical
+// registrations panic in gob, so Register swallows that one specific case.
+func Register(value any) {
+	defer func() {
+		if r := recover(); r != nil {
+			// gob panics on duplicate registration of the same type; that is
+			// harmless for our use (idempotent workflow init).
+			if s, ok := r.(string); ok && len(s) >= 3 {
+				return
+			}
+			panic(r)
+		}
+	}()
+	gob.Register(value)
+}
+
+// Task is the unit shipped through the Redis global queue: which PE to run,
+// which input port the value arrives on, and the value itself. Generate
+// tasks (for source PEs) carry an empty port and nil value.
+type Task struct {
+	// PE is the destination node name.
+	PE string
+	// Port is the destination input port; empty for source-generate tasks.
+	Port string
+	// Value is the payload.
+	Value any
+	// Instance is the destination instance for grouped (stateful) routing;
+	// -1 means "any instance" (the dynamic pool).
+	Instance int
+	// Poison marks a termination pill.
+	Poison bool
+	// Finalize asks a stateful instance to run its Final hook (hybrid
+	// mapping's coordinated flush phase).
+	Finalize bool
+}
+
+func init() {
+	gob.Register(Task{})
+}
+
+// Encode serializes a task to a binary-safe string.
+func Encode(t Task) (string, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&t); err != nil {
+		return "", fmt.Errorf("codec: encode task for PE %q: %w", t.PE, err)
+	}
+	return buf.String(), nil
+}
+
+// Decode deserializes a task produced by Encode.
+func Decode(s string) (Task, error) {
+	var t Task
+	if err := gob.NewDecoder(bytes.NewReader([]byte(s))).Decode(&t); err != nil {
+		return Task{}, fmt.Errorf("codec: decode task: %w", err)
+	}
+	return t, nil
+}

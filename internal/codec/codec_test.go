@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type samplePayload struct {
+	Name   string
+	Values []float64
+	Nested map[string]int
+}
+
+func init() {
+	Register(samplePayload{})
+}
+
+func TestTaskRoundTrip(t *testing.T) {
+	in := Task{
+		PE:       "getVOTable",
+		Port:     "in",
+		Value:    samplePayload{Name: "g1", Values: []float64{1.5, -2.25}, Nested: map[string]int{"a": 1}},
+		Instance: 3,
+	}
+	s, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PE != in.PE || out.Port != in.Port || out.Instance != 3 || out.Poison || out.Finalize {
+		t.Errorf("header: %+v", out)
+	}
+	p, ok := out.Value.(samplePayload)
+	if !ok {
+		t.Fatalf("payload type %T", out.Value)
+	}
+	if p.Name != "g1" || len(p.Values) != 2 || p.Values[1] != -2.25 || p.Nested["a"] != 1 {
+		t.Errorf("payload: %+v", p)
+	}
+}
+
+func TestControlTasks(t *testing.T) {
+	for _, in := range []Task{{Poison: true}, {PE: "agg", Instance: 1, Finalize: true}} {
+		s, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Poison != in.Poison || out.Finalize != in.Finalize {
+			t.Errorf("control flags lost: %+v vs %+v", out, in)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode("not gob data"); err == nil {
+		t.Error("garbage must not decode")
+	}
+	if _, err := Decode(""); err == nil {
+		t.Error("empty string must not decode")
+	}
+}
+
+func TestEncodeUnregisteredType(t *testing.T) {
+	type private struct{ X int }
+	_, err := Encode(Task{PE: "x", Value: private{X: 1}})
+	if err == nil || !strings.Contains(err.Error(), "encode") {
+		t.Errorf("unregistered type should fail encode, got %v", err)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	// Re-registering the same type must not panic.
+	Register(samplePayload{})
+	Register(samplePayload{})
+}
+
+func TestQuickRoundTripStrings(t *testing.T) {
+	f := func(pe, port string, inst int) bool {
+		in := Task{PE: pe, Port: port, Value: pe + port, Instance: inst}
+		s, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(s)
+		if err != nil {
+			return false
+		}
+		return out.PE == pe && out.Port == port && out.Instance == inst && out.Value == pe+port
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/synth"
+)
+
+// Dyn is the dyn_multi mapping: dynamic scheduling over the in-process
+// global queue, without auto-scaling.
+type Dyn struct{}
+
+// DynAuto is the dyn_auto_multi mapping: Dyn plus the Algorithm 1
+// auto-scaler driven by the queue-size strategy.
+type DynAuto struct{}
+
+func init() {
+	mapping.Register(Dyn{})
+	mapping.Register(DynAuto{})
+}
+
+// Name implements mapping.Mapping.
+func (Dyn) Name() string { return "dyn_multi" }
+
+// Name implements mapping.Mapping.
+func (DynAuto) Name() string { return "dyn_auto_multi" }
+
+// Execute implements mapping.Mapping.
+func (Dyn) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
+	return execute(g, opts, "dyn_multi", false)
+}
+
+// Execute implements mapping.Mapping.
+func (DynAuto) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
+	return execute(g, opts, "dyn_auto_multi", true)
+}
+
+// ValidateDynamic rejects workflow features plain dynamic scheduling cannot
+// honor, mirroring the paper's limitation statement ("dynamic scheduling
+// exclusively manages stateless PEs and lacks support for grouping").
+func ValidateDynamic(g *graph.Graph, technique string) error {
+	if g.HasStateful() {
+		return fmt.Errorf("%s: workflow %s has stateful PEs; dynamic scheduling supports only stateless PEs (use hybrid_redis or multi)", technique, g.Name)
+	}
+	if g.HasNonShuffleGrouping() {
+		return fmt.Errorf("%s: workflow %s uses groupings; dynamic scheduling supports only the default shuffle grouping (use hybrid_redis or multi)", technique, g.Name)
+	}
+	for _, n := range g.Nodes() {
+		if _, ok := n.Prototype.(core.Finalizer); ok {
+			return fmt.Errorf("%s: PE %s implements Final; per-instance finalization requires a stateful mapping (hybrid_redis or multi)", technique, n.Name)
+		}
+	}
+	return nil
+}
+
+func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metrics.Report, error) {
+	opts = opts.WithDefaults()
+	if err := g.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	if err := ValidateDynamic(g, name); err != nil {
+		return metrics.Report{}, err
+	}
+
+	host := platform.NewHost(opts.Platform)
+	q := NewQueue(host.SyncCost())
+	var pending atomic.Int64 // queued + in-flight real tasks
+	var tasks, outputs atomic.Int64
+
+	// Seed one generate task per source.
+	for _, src := range g.Sources() {
+		pending.Add(1)
+		q.Push(Task{PE: src.Name})
+	}
+
+	var ctrl *autoscale.Controller
+	if auto {
+		cfg := autoscale.Config{MaxPoolSize: opts.Processes}
+		if opts.AutoScale != nil {
+			cfg = *opts.AutoScale
+			cfg.MaxPoolSize = opts.Processes
+		}
+		strategy := opts.Strategy
+		if strategy == nil {
+			strategy = &autoscale.QueueSizeStrategy{Floor: 2}
+		}
+		ctrl = autoscale.NewController(cfg, strategy, opts.Trace)
+		go ctrl.RunMonitor(func() float64 { return float64(q.Len()) })
+		defer ctrl.Terminate()
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		// Poison everyone so the run unwinds promptly.
+		for i := 0; i < opts.Processes; i++ {
+			q.Push(Task{Poison: true})
+		}
+		if ctrl != nil {
+			ctrl.Terminate()
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Processes; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(g, host, opts, name, w, q, ctrl, &pending, &tasks, &outputs, fail)
+		}(w)
+	}
+	wg.Wait()
+	runtime := time.Since(start)
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return metrics.Report{
+		Workflow:    g.Name,
+		Mapping:     name,
+		Platform:    opts.Platform.Name,
+		Processes:   opts.Processes,
+		Runtime:     runtime,
+		ProcessTime: host.TotalProcessTime(),
+		Tasks:       tasks.Load(),
+		Outputs:     outputs.Load(),
+	}, nil
+}
+
+// runWorker is one dynamic process: it owns a private copy of every PE and
+// loops on the global queue until poisoned or terminated.
+func runWorker(
+	g *graph.Graph,
+	host *platform.Host,
+	opts mapping.Options,
+	technique string,
+	w int,
+	q *Queue,
+	ctrl *autoscale.Controller,
+	pending, tasks, outputs *atomic.Int64,
+	fail func(error),
+) {
+	proc := host.NewProcess(fmt.Sprintf("%s:w%d", technique, w))
+	proc.Activate()
+	defer proc.Deactivate()
+
+	// Private workflow copy (the paper's cp_graph ← DeepCopy(graph)).
+	pes := make(map[string]core.PE, len(g.Nodes()))
+	ctxs := make(map[string]*core.Context, len(g.Nodes()))
+	for _, n := range g.Nodes() {
+		n := n
+		pes[n.Name] = n.Factory()
+		emit := func(port string, value any) error {
+			for _, e := range g.OutEdges(n.Name) {
+				if e.FromPort != port {
+					continue
+				}
+				if len(g.OutEdges(e.To)) == 0 {
+					outputs.Add(1)
+				}
+				pending.Add(1)
+				q.Push(Task{PE: e.To, Port: e.ToPort, Value: value})
+			}
+			return nil
+		}
+		ctxs[n.Name] = core.NewContext(n.Name, w, host,
+			synth.NewRand(opts.Seed^int64(w*7919)^int64(nodeHash(n.Name))), emit)
+	}
+	for name, pe := range pes {
+		if ini, ok := pe.(core.Initializer); ok {
+			if err := ini.Init(ctxs[name]); err != nil {
+				fail(fmt.Errorf("worker %d: init %s: %w", w, name, err))
+				return
+			}
+		}
+	}
+
+	retries := 0
+	for {
+		if ctrl != nil && ctrl.Idle(w) {
+			// Idle state: stop accruing process time until readmitted.
+			proc.Deactivate()
+			if !ctrl.Admit(w) {
+				return
+			}
+			proc.Activate()
+		}
+		t, ok := q.Pop(opts.PollTimeout)
+		if !ok {
+			retries++
+			if retries > opts.Retries && pending.Load() == 0 {
+				// Termination: broadcast poison pills to wake the others,
+				// then exit (Section 3.2.3's retry + poison pill protocol).
+				for i := 0; i < host.ProcessCount(); i++ {
+					q.Push(Task{Poison: true})
+				}
+				if ctrl != nil {
+					ctrl.Terminate()
+				}
+				return
+			}
+			continue
+		}
+		retries = 0
+		if t.Poison {
+			return
+		}
+		tasks.Add(1)
+		if err := runTask(g, pes, ctxs, t); err != nil {
+			pending.Add(-1)
+			fail(fmt.Errorf("worker %d: %w", w, err))
+			return
+		}
+		pending.Add(-1)
+	}
+}
+
+// runTask executes one task against the worker's private PE copies.
+func runTask(g *graph.Graph, pes map[string]core.PE, ctxs map[string]*core.Context, t Task) error {
+	pe, ok := pes[t.PE]
+	if !ok {
+		return fmt.Errorf("task for unknown PE %q", t.PE)
+	}
+	if t.Port == "" {
+		src, ok := pe.(core.Source)
+		if !ok {
+			return fmt.Errorf("generate task for non-source PE %q", t.PE)
+		}
+		if err := src.Generate(ctxs[t.PE]); err != nil {
+			return fmt.Errorf("source %s: %w", t.PE, err)
+		}
+		return nil
+	}
+	if err := pe.Process(ctxs[t.PE], t.Port, t.Value); err != nil {
+		return fmt.Errorf("PE %s: %w", t.PE, err)
+	}
+	return nil
+}
+
+// nodeHash gives a stable per-node seed component.
+func nodeHash(name string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h
+}

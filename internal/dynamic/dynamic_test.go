@@ -1,0 +1,159 @@
+package dynamic
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(0)
+	for i := 0; i < 100; i++ {
+		q.Push(Task{PE: "pe", Value: i})
+	}
+	for i := 0; i < 100; i++ {
+		task, ok := q.Pop(time.Millisecond)
+		if !ok || task.Value.(int) != i {
+			t.Fatalf("pop %d: %+v %v", i, task, ok)
+		}
+	}
+}
+
+func TestQueuePopTimeoutBounds(t *testing.T) {
+	q := NewQueue(0)
+	start := time.Now()
+	_, ok := q.Pop(30 * time.Millisecond)
+	elapsed := time.Since(start)
+	if ok {
+		t.Fatal("empty queue returned a task")
+	}
+	if elapsed < 25*time.Millisecond || elapsed > 500*time.Millisecond {
+		t.Errorf("timeout elapsed %v", elapsed)
+	}
+}
+
+func TestQueuePopWakesOnPush(t *testing.T) {
+	q := NewQueue(0)
+	got := make(chan Task, 1)
+	go func() {
+		task, ok := q.Pop(5 * time.Second)
+		if ok {
+			got <- task
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(Task{PE: "late"})
+	select {
+	case task := <-got:
+		if task.PE != "late" {
+			t.Errorf("task: %+v", task)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake on Push")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue(0)
+	const producers, perProducer, consumers = 4, 50, 3
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(Task{PE: "pe", Value: p*perProducer + i})
+			}
+		}(p)
+	}
+	seen := make(chan int, producers*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				task, ok := q.Pop(50 * time.Millisecond)
+				if !ok {
+					return
+				}
+				seen <- task.Value.(int)
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	close(seen)
+	got := map[int]bool{}
+	for v := range seen {
+		if got[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		got[v] = true
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("delivered %d of %d tasks", len(got), producers*perProducer)
+	}
+}
+
+func TestQueueSyncCostSerializes(t *testing.T) {
+	const cost = 500 * time.Microsecond
+	q := NewQueue(cost)
+	const n = 40
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/4; j++ {
+				q.Push(Task{PE: "pe"})
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 40 pushes × 0.5ms serialized under one lock ≥ ~20ms regardless of the
+	// number of pushers.
+	if elapsed < time.Duration(n)*cost-5*time.Millisecond {
+		t.Errorf("pushes finished in %v, want ≥ %v", elapsed, time.Duration(n)*cost)
+	}
+}
+
+// Property: any interleaving of pushes preserves multiset of payloads.
+func TestQuickQueueNoLoss(t *testing.T) {
+	f := func(values []int16) bool {
+		q := NewQueue(0)
+		for _, v := range values {
+			q.Push(Task{Value: int(v)})
+		}
+		counts := map[int]int{}
+		for range values {
+			task, ok := q.Pop(time.Millisecond)
+			if !ok {
+				return false
+			}
+			counts[task.Value.(int)]++
+		}
+		if _, ok := q.Pop(time.Millisecond); ok {
+			return false // extra task appeared
+		}
+		want := map[int]int{}
+		for _, v := range values {
+			want[int(v)]++
+		}
+		if len(counts) != len(want) {
+			return false
+		}
+		for k, n := range want {
+			if counts[k] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package dynamic implements the paper's dynamic scheduling optimization
+// over an in-process global queue (the dyn_multi mapping) and its
+// auto-scaling extension (dyn_auto_multi). Workers hold a private copy of
+// the whole workflow, fetch (PE, data) tasks from the shared queue, execute
+// them, and push the results back — the "dynamic PE-Process mode" of the
+// paper's Figure 2.
+//
+// Termination follows Section 3.2.3: a worker that finds the queue empty
+// waits a configurable poll timeout and retries a bounded number of times;
+// once the retry budget is exhausted *and* no task is still in flight, it
+// broadcasts poison pills so the remaining workers exit without waiting out
+// their own retry budgets.
+package dynamic
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// Task is one schedulable unit: run PE's Process with value on port, or run
+// the PE's Generate when Port is empty (a source task), or terminate the
+// receiving worker when Poison is set.
+type Task struct {
+	PE     string
+	Port   string
+	Value  any
+	Poison bool
+}
+
+// Queue is the dynamic global queue. Every operation holds the queue lock
+// for the platform's synchronization cost, so contending workers serialize
+// exactly as processes serialize on a multiprocessing.Queue — the overhead
+// that makes total process time creep upward with larger active pools.
+type Queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []Task
+	syncCost time.Duration
+	pushes   int64
+	pops     int64
+}
+
+// NewQueue creates a queue with the given per-op synchronization cost.
+func NewQueue(syncCost time.Duration) *Queue {
+	q := &Queue{syncCost: syncCost}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a task.
+func (q *Queue) Push(t Task) {
+	q.mu.Lock()
+	platform.SpinWait(q.syncCost)
+	q.items = append(q.items, t)
+	q.pushes++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop removes the head task, blocking up to timeout when the queue is
+// empty. ok is false on timeout.
+func (q *Queue) Pop(timeout time.Duration) (t Task, ok bool) {
+	deadline := time.Now().Add(timeout)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Task{}, false
+		}
+		// sync.Cond has no timed wait; poll in small slices so empty-queue
+		// workers wake up to run the retry/termination protocol. The slice
+		// is a fraction of the poll timeout to keep wake-up latency low
+		// without busy-spinning.
+		q.mu.Unlock()
+		slice := remaining
+		if slice > time.Millisecond {
+			slice = time.Millisecond
+		}
+		time.Sleep(slice)
+		q.mu.Lock()
+	}
+	platform.SpinWait(q.syncCost)
+	t = q.items[0]
+	q.items = q.items[1:]
+	q.pops++
+	return t, true
+}
+
+// Len returns the current queue length (the dyn_auto_multi monitor metric).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Ops reports total pushes and pops, for tests and diagnostics.
+func (q *Queue) Ops() (pushes, pops int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushes, q.pops
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the abstract workflow in Graphviz dot format: PEs as boxes
+// (stateful ones shaded, sources and sinks shaped), edges labeled with
+// their ports when non-default and with their grouping when non-shuffle.
+// Pipe the output through `dot -Tsvg` to get the paper-style workflow
+// diagrams (Figures 5–7).
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		attrs := []string{fmt.Sprintf("label=%q", nodeLabel(n))}
+		switch {
+		case n.IsSource():
+			attrs = append(attrs, "shape=cds")
+		case len(g.OutEdges(n.Name)) == 0:
+			attrs = append(attrs, "shape=note")
+		}
+		if n.Stateful {
+			attrs = append(attrs, "style=filled", "fillcolor=lightgrey")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name, strings.Join(attrs, ", "))
+	}
+	for _, e := range g.Edges() {
+		var labels []string
+		if e.FromPort != "out" || e.ToPort != "in" {
+			labels = append(labels, e.FromPort+"→"+e.ToPort)
+		}
+		if e.Grouping.Kind != Shuffle {
+			labels = append(labels, e.Grouping.Kind.String())
+		}
+		if len(labels) > 0 {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, strings.Join(labels, "\\n"))
+		} else {
+			fmt.Fprintf(&b, "  %q -> %q;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// nodeLabel renders a node name with its instance count when pinned.
+func nodeLabel(n *Node) string {
+	if n.Instances > 1 {
+		return fmt.Sprintf("%s ×%d", n.Name, n.Instances)
+	}
+	return n.Name
+}

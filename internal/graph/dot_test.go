@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDOTRendersStructure(t *testing.T) {
+	g := New("demo")
+	g.Add(func() core.PE {
+		return core.NewSource("src", func(ctx *core.Context) error { return nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("work", func(ctx *core.Context, v any) (any, error) { return v, nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("agg", func(ctx *core.Context, v any) error { return nil })
+	}).SetInstances(4).SetStateful(true)
+	g.Pipe("src", "work")
+	g.Pipe("work", "agg").SetGrouping(GroupByKey(func(v any) string { return "k" }))
+
+	dot := g.DOT()
+	for _, want := range []string{
+		`digraph "demo"`,
+		`"src" [label="src", shape=cds]`,
+		`"agg" [label="agg ×4", shape=note, style=filled, fillcolor=lightgrey]`,
+		`"src" -> "work";`,
+		`"work" -> "agg" [label="group-by"];`,
+		"rankdir=LR",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTLabelsNonDefaultPorts(t *testing.T) {
+	g := New("ports")
+	g.Add(func() core.PE {
+		return &multiOutPE{Base: core.NewBase("src2", nil, []string{"a", "b"})}
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("s1", func(ctx *core.Context, v any) error { return nil })
+	})
+	g.Connect("src2", "a", "s1", core.PortIn)
+	dot := g.DOT()
+	if !strings.Contains(dot, `label="a→in"`) {
+		t.Errorf("port label missing:\n%s", dot)
+	}
+}
+
+// multiOutPE is a source with two output ports for the port-label test.
+type multiOutPE struct {
+	core.Base
+}
+
+func (p *multiOutPE) Process(ctx *core.Context, port string, v any) error { return nil }
+func (p *multiOutPE) Generate(ctx *core.Context) error                    { return nil }

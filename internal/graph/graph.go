@@ -1,0 +1,444 @@
+// Package graph models dispel4py abstract workflows: directed acyclic graphs
+// whose nodes are processing elements (PEs) and whose edges carry streaming
+// data between PE ports under a grouping discipline.
+//
+// A node holds a PE *factory* rather than a PE value: every mapping creates
+// fresh PE copies per instance (and, for dynamic mappings, per worker
+// process), mirroring how dispel4py ships a copy of the workflow to each
+// process. The prototype PE produced at Add time is used only for port
+// introspection and validation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// GroupingKind enumerates the paper's connection grouping disciplines.
+type GroupingKind int
+
+const (
+	// Shuffle distributes values round-robin across destination instances
+	// (dispel4py's default when no grouping is declared).
+	Shuffle GroupingKind = iota
+	// GroupBy routes values with equal keys to the same destination instance
+	// ("operates akin to MapReduce").
+	GroupBy
+	// Global routes every value to a single destination instance (the
+	// paper's "global grouping" used by the top-3-happiest PE).
+	Global
+	// OneToAll broadcasts every value to all destination instances.
+	OneToAll
+)
+
+// String names the grouping kind.
+func (k GroupingKind) String() string {
+	switch k {
+	case Shuffle:
+		return "shuffle"
+	case GroupBy:
+		return "group-by"
+	case Global:
+		return "global"
+	case OneToAll:
+		return "one-to-all"
+	default:
+		return fmt.Sprintf("grouping(%d)", int(k))
+	}
+}
+
+// KeyFunc extracts the grouping key from a value for GroupBy edges.
+type KeyFunc func(value any) string
+
+// Grouping is a routing discipline attached to an edge.
+type Grouping struct {
+	Kind GroupingKind
+	Key  KeyFunc // required for GroupBy
+}
+
+// ShuffleGrouping returns the default grouping.
+func ShuffleGrouping() Grouping { return Grouping{Kind: Shuffle} }
+
+// GroupByKey returns a group-by grouping with the given key extractor.
+func GroupByKey(key KeyFunc) Grouping { return Grouping{Kind: GroupBy, Key: key} }
+
+// GlobalGrouping routes everything to one instance.
+func GlobalGrouping() Grouping { return Grouping{Kind: Global} }
+
+// OneToAllGrouping broadcasts to every instance.
+func OneToAllGrouping() Grouping { return Grouping{Kind: OneToAll} }
+
+// RouteInstance picks the destination instance(s) for a value among n
+// instances. seq is the sender's per-edge emission counter (for round-robin).
+// For OneToAll the caller must broadcast to all instances; RouteInstance
+// returns -1 to signal that.
+func (g Grouping) RouteInstance(value any, seq uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	switch g.Kind {
+	case GroupBy:
+		if g.Key == nil {
+			return int(seq % uint64(n))
+		}
+		return int(fnv32(g.Key(value)) % uint32(n))
+	case Global:
+		return 0
+	case OneToAll:
+		return -1
+	default:
+		return int(seq % uint64(n))
+	}
+}
+
+// fnv32 hashes a string with FNV-1a.
+func fnv32(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Node is one PE in the abstract workflow.
+type Node struct {
+	// Name is the unique node name (defaults to the prototype PE's name).
+	Name string
+	// Factory creates a fresh PE copy for one instance.
+	Factory func() core.PE
+	// Prototype is one PE created at Add time, used for port introspection.
+	Prototype core.PE
+	// Instances is the requested instance count; 0 means "let the mapping
+	// decide" (the static allocation formula).
+	Instances int
+	// Stateful marks PEs whose cross-call state must be preserved per
+	// instance. Dynamic (non-hybrid) mappings reject stateful nodes.
+	Stateful bool
+}
+
+// SetInstances fixes the node's instance count and returns the node for
+// chaining.
+func (n *Node) SetInstances(count int) *Node {
+	n.Instances = count
+	return n
+}
+
+// SetStateful marks the node stateful and returns it for chaining.
+func (n *Node) SetStateful(stateful bool) *Node {
+	n.Stateful = stateful
+	return n
+}
+
+// IsSource reports whether the node's PE generates the input stream.
+func (n *Node) IsSource() bool {
+	_, ok := n.Prototype.(core.Source)
+	return ok
+}
+
+// Edge is one connection between PE ports.
+type Edge struct {
+	From     string
+	FromPort string
+	To       string
+	ToPort   string
+	Grouping Grouping
+}
+
+// SetGrouping attaches a grouping discipline and returns the edge.
+func (e *Edge) SetGrouping(g Grouping) *Edge {
+	e.Grouping = g
+	return e
+}
+
+// Graph is an abstract workflow.
+type Graph struct {
+	// Name labels the workflow in reports.
+	Name string
+
+	nodes map[string]*Node
+	order []string // insertion order for deterministic iteration
+	edges []*Edge
+}
+
+// New creates an empty workflow graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, nodes: make(map[string]*Node)}
+}
+
+// Add registers a PE factory under the prototype's name and returns the
+// node. It panics on duplicate names (a programming error in workflow
+// construction, caught immediately at composition time).
+func (g *Graph) Add(factory func() core.PE) *Node {
+	proto := factory()
+	name := proto.Name()
+	if _, dup := g.nodes[name]; dup {
+		panic(fmt.Sprintf("graph: duplicate PE name %q", name))
+	}
+	n := &Node{Name: name, Factory: factory, Prototype: proto}
+	g.nodes[name] = n
+	g.order = append(g.order, name)
+	return n
+}
+
+// Connect wires from:fromPort → to:toPort with the default shuffle grouping
+// and returns the edge for grouping customization. It panics on unknown
+// nodes or ports (composition-time programming errors).
+func (g *Graph) Connect(from, fromPort, to, toPort string) *Edge {
+	src, ok := g.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("graph: connect from unknown PE %q", from))
+	}
+	dst, ok := g.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("graph: connect to unknown PE %q", to))
+	}
+	if !contains(src.Prototype.OutPorts(), fromPort) {
+		panic(fmt.Sprintf("graph: PE %q has no output port %q", from, fromPort))
+	}
+	if !contains(dst.Prototype.InPorts(), toPort) {
+		panic(fmt.Sprintf("graph: PE %q has no input port %q", to, toPort))
+	}
+	e := &Edge{From: from, FromPort: fromPort, To: to, ToPort: toPort, Grouping: ShuffleGrouping()}
+	g.edges = append(g.edges, e)
+	return e
+}
+
+// Pipe connects the default output of from to the default input of to.
+func (g *Graph) Pipe(from, to string) *Edge {
+	return g.Connect(from, core.PortOut, to, core.PortIn)
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.nodes[name] }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, g.nodes[name])
+	}
+	return out
+}
+
+// Edges returns all edges in insertion order.
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+// OutEdges returns edges leaving the named node (any port).
+func (g *Graph) OutEdges(name string) []*Edge {
+	var out []*Edge
+	for _, e := range g.edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns edges entering the named node (any port).
+func (g *Graph) InEdges(name string) []*Edge {
+	var out []*Edge
+	for _, e := range g.edges {
+		if e.To == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Sources returns nodes with no incoming edges, in insertion order.
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, name := range g.order {
+		if len(g.InEdges(name)) == 0 {
+			out = append(out, g.nodes[name])
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with no outgoing edges, in insertion order.
+func (g *Graph) Sinks() []*Node {
+	var out []*Node
+	for _, name := range g.order {
+		if len(g.OutEdges(name)) == 0 {
+			out = append(out, g.nodes[name])
+		}
+	}
+	return out
+}
+
+// HasStateful reports whether any node is marked stateful.
+func (g *Graph) HasStateful() bool {
+	for _, n := range g.nodes {
+		if n.Stateful {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNonShuffleGrouping reports whether any edge uses a grouping other than
+// shuffle. Plain dynamic scheduling cannot honor such groupings (the paper's
+// motivation for hybrid_redis).
+func (g *Graph) HasNonShuffleGrouping() bool {
+	for _, e := range g.edges {
+		if e.Grouping.Kind != Shuffle {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants: at least one source, acyclicity,
+// every GroupBy edge has a key function, stateful sanity (group-by edges
+// should target stateful PEs when instances > 1 — warning-level issues
+// return as errors to keep workflows honest).
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("graph %s: empty workflow", g.Name)
+	}
+	if len(g.Sources()) == 0 {
+		return fmt.Errorf("graph %s: no source PE (every workflow needs a generator)", g.Name)
+	}
+	for _, src := range g.Sources() {
+		if !src.IsSource() {
+			return fmt.Errorf("graph %s: PE %q has no inputs but does not implement core.Source", g.Name, src.Name)
+		}
+	}
+	for _, e := range g.edges {
+		if e.Grouping.Kind == GroupBy && e.Grouping.Key == nil {
+			return fmt.Errorf("graph %s: edge %s→%s uses group-by without a key function", g.Name, e.From, e.To)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns node names in topological order, or an error when the
+// graph has a cycle.
+func (g *Graph) TopoSort() ([]string, error) {
+	inDeg := make(map[string]int, len(g.nodes))
+	for name := range g.nodes {
+		inDeg[name] = 0
+	}
+	for _, e := range g.edges {
+		inDeg[e.To]++
+	}
+	// Deterministic: seed the queue in insertion order.
+	var queue []string
+	for _, name := range g.order {
+		if inDeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		out = append(out, name)
+		for _, e := range g.OutEdges(name) {
+			inDeg[e.To]--
+			if inDeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("graph %s: cycle detected (%d of %d nodes sorted)", g.Name, len(out), len(g.nodes))
+	}
+	return out, nil
+}
+
+// AllocateInstances resolves per-node instance counts for a static mapping
+// with the given total process budget, following dispel4py's allocation: a
+// node with an explicit Instances keeps it; sources default to 1 instance;
+// the remaining processes are split evenly among the remaining nodes (at
+// least 1 each). The returned error reports an insufficient budget (the
+// paper: multi "demands a minimum of processes" equal to total instances).
+func (g *Graph) AllocateInstances(processes int) (map[string]int, error) {
+	alloc := make(map[string]int, len(g.nodes))
+	fixed := 0
+	var flexible []string
+	for _, name := range g.order {
+		n := g.nodes[name]
+		switch {
+		case n.Instances > 0:
+			alloc[name] = n.Instances
+			fixed += n.Instances
+		case n.IsSource():
+			alloc[name] = 1
+			fixed++
+		default:
+			flexible = append(flexible, name)
+		}
+	}
+	if len(flexible) > 0 {
+		per := (processes - fixed) / len(flexible)
+		if per < 1 {
+			per = 1
+		}
+		for _, name := range flexible {
+			alloc[name] = per
+			fixed += per
+		}
+	}
+	if fixed > processes {
+		return nil, fmt.Errorf(
+			"graph %s: static mapping needs at least %d processes (one per PE instance), got %d",
+			g.Name, minProcesses(alloc), processes)
+	}
+	return alloc, nil
+}
+
+// minProcesses sums an allocation with every flexible count forced to 1.
+func minProcesses(alloc map[string]int) int {
+	total := 0
+	names := make([]string, 0, len(alloc))
+	for name := range alloc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := alloc[name]
+		if c < 1 {
+			c = 1
+		}
+		total += c
+	}
+	return total
+}
+
+// MinStaticProcesses returns the minimum process budget a static mapping
+// needs for this graph (sum of explicit instance counts, sources at 1,
+// flexible nodes at 1).
+func (g *Graph) MinStaticProcesses() int {
+	total := 0
+	for _, name := range g.order {
+		n := g.nodes[name]
+		switch {
+		case n.Instances > 0:
+			total += n.Instances
+		default:
+			total++
+		}
+	}
+	return total
+}

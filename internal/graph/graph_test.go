@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// linear builds src → a → b → sink.
+func linear(t *testing.T) *Graph {
+	t.Helper()
+	g := New("linear")
+	g.Add(func() core.PE {
+		return core.NewSource("src", func(ctx *core.Context) error { return nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("a", func(ctx *core.Context, v any) (any, error) { return v, nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("b", func(ctx *core.Context, v any) (any, error) { return v, nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("sink", func(ctx *core.Context, v any) error { return nil })
+	})
+	g.Pipe("src", "a")
+	g.Pipe("a", "b")
+	g.Pipe("b", "sink")
+	return g
+}
+
+func TestValidateLinear(t *testing.T) {
+	g := linear(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"src", "a", "b", "sink"}
+	for i, name := range want {
+		if order[i] != name {
+			t.Fatalf("topo order %v", order)
+		}
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	g := linear(t)
+	if s := g.Sources(); len(s) != 1 || s[0].Name != "src" {
+		t.Fatalf("sources: %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0].Name != "sink" {
+		t.Fatalf("sinks: %v", s)
+	}
+	if len(g.OutEdges("a")) != 1 || len(g.InEdges("a")) != 1 {
+		t.Error("edge lookup")
+	}
+	if g.Node("a") == nil || g.Node("zzz") != nil {
+		t.Error("node lookup")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	g := New("dup")
+	add := func() {
+		g.Add(func() core.PE {
+			return core.NewSource("same", func(ctx *core.Context) error { return nil })
+		})
+	}
+	add()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	add()
+}
+
+func TestConnectUnknownPanics(t *testing.T) {
+	g := linear(t)
+	for _, fn := range []func(){
+		func() { g.Pipe("nope", "a") },
+		func() { g.Pipe("a", "nope") },
+		func() { g.Connect("a", "badport", "b", core.PortIn) },
+		func() { g.Connect("a", core.PortOut, "b", "badport") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	g := New("cycle")
+	g.Add(func() core.PE {
+		return core.NewSource("src", func(ctx *core.Context) error { return nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("a", func(ctx *core.Context, v any) (any, error) { return v, nil })
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("b", func(ctx *core.Context, v any) (any, error) { return v, nil })
+	})
+	g.Pipe("src", "a")
+	g.Pipe("a", "b")
+	g.Pipe("b", "a")
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+func TestValidateRejectsEmptyAndSourceless(t *testing.T) {
+	if err := New("empty").Validate(); err == nil {
+		t.Error("empty graph must fail validation")
+	}
+	g := New("nosource")
+	g.Add(func() core.PE {
+		return core.NewMap("only", func(ctx *core.Context, v any) (any, error) { return v, nil })
+	})
+	// "only" has no in-edges but is not a Source implementation.
+	if err := g.Validate(); err == nil {
+		t.Error("map-without-inputs must fail validation")
+	}
+}
+
+func TestValidateRejectsGroupByWithoutKey(t *testing.T) {
+	g := linear(t)
+	g.OutEdges("a")[0].SetGrouping(Grouping{Kind: GroupBy})
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "key") {
+		t.Fatalf("want key error, got %v", err)
+	}
+}
+
+func TestGroupingRouting(t *testing.T) {
+	shuffle := ShuffleGrouping()
+	seen := map[int]bool{}
+	for seq := uint64(0); seq < 8; seq++ {
+		seen[shuffle.RouteInstance(nil, seq, 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("shuffle should cover all instances, got %v", seen)
+	}
+
+	groupBy := GroupByKey(func(v any) string { return v.(string) })
+	a1 := groupBy.RouteInstance("Texas", 0, 4)
+	a2 := groupBy.RouteInstance("Texas", 99, 4)
+	if a1 != a2 {
+		t.Error("group-by must be stable per key")
+	}
+	if a1 < 0 || a1 >= 4 {
+		t.Errorf("instance out of range: %d", a1)
+	}
+
+	global := GlobalGrouping()
+	for seq := uint64(0); seq < 5; seq++ {
+		if global.RouteInstance("x", seq, 4) != 0 {
+			t.Error("global must route to instance 0")
+		}
+	}
+
+	if OneToAllGrouping().RouteInstance("x", 0, 4) != -1 {
+		t.Error("one-to-all must signal broadcast")
+	}
+	// Single instance: everything goes to 0.
+	if groupBy.RouteInstance("x", 0, 1) != 0 {
+		t.Error("n=1 routes to 0")
+	}
+}
+
+func TestGroupByDistributesKeysProperty(t *testing.T) {
+	groupBy := GroupByKey(func(v any) string { return v.(string) })
+	f := func(key string, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		inst := groupBy.RouteInstance(key, 0, n)
+		return inst >= 0 && inst < n &&
+			inst == groupBy.RouteInstance(key, 12345, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupingString(t *testing.T) {
+	names := map[GroupingKind]string{
+		Shuffle: "shuffle", GroupBy: "group-by", Global: "global", OneToAll: "one-to-all",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d → %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestAllocateInstancesEvenSplit(t *testing.T) {
+	g := linear(t)
+	alloc, err := g.AllocateInstances(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src gets 1; a, b, sink split the remaining 9 → 3 each.
+	if alloc["src"] != 1 || alloc["a"] != 3 || alloc["b"] != 3 || alloc["sink"] != 3 {
+		t.Fatalf("alloc: %v", alloc)
+	}
+}
+
+func TestAllocateInstancesRespectsExplicit(t *testing.T) {
+	g := linear(t)
+	g.Node("a").SetInstances(4)
+	alloc, err := g.AllocateInstances(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc["a"] != 4 || alloc["src"] != 1 {
+		t.Fatalf("alloc: %v", alloc)
+	}
+	// b and sink split 12-5=7 → 3 each.
+	if alloc["b"] != 3 || alloc["sink"] != 3 {
+		t.Fatalf("alloc: %v", alloc)
+	}
+}
+
+func TestAllocateInstancesInsufficientBudget(t *testing.T) {
+	g := linear(t)
+	g.Node("a").SetInstances(6)
+	if _, err := g.AllocateInstances(4); err == nil {
+		t.Fatal("expected insufficient-budget error")
+	}
+	if g.MinStaticProcesses() != 1+6+1+1 {
+		t.Errorf("MinStaticProcesses=%d", g.MinStaticProcesses())
+	}
+}
+
+func TestStatefulMarkers(t *testing.T) {
+	g := linear(t)
+	if g.HasStateful() {
+		t.Error("no stateful nodes yet")
+	}
+	g.Node("b").SetStateful(true)
+	if !g.HasStateful() {
+		t.Error("stateful marker lost")
+	}
+	if g.HasNonShuffleGrouping() {
+		t.Error("no grouped edges yet")
+	}
+	g.OutEdges("a")[0].SetGrouping(GlobalGrouping())
+	if !g.HasNonShuffleGrouping() {
+		t.Error("grouping marker lost")
+	}
+}
+
+func TestDiamondTopology(t *testing.T) {
+	g := New("diamond")
+	g.Add(func() core.PE {
+		return core.NewSource("src", func(ctx *core.Context) error { return nil })
+	})
+	for _, name := range []string{"left", "right"} {
+		name := name
+		g.Add(func() core.PE {
+			return core.NewMap(name, func(ctx *core.Context, v any) (any, error) { return v, nil })
+		})
+	}
+	g.Add(func() core.PE {
+		return core.NewSink("join", func(ctx *core.Context, v any) error { return nil })
+	})
+	g.Pipe("src", "left")
+	g.Pipe("src", "right")
+	g.Pipe("left", "join")
+	g.Pipe("right", "join")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.InEdges("join")) != 2 || len(g.OutEdges("src")) != 2 {
+		t.Error("diamond edges")
+	}
+	order, _ := g.TopoSort()
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos["src"] < pos["left"] && pos["left"] < pos["join"] && pos["right"] < pos["join"]) {
+		t.Errorf("order: %v", order)
+	}
+}

@@ -1,0 +1,129 @@
+package mapping_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/miniredis"
+	_ "repro/internal/mpi"      // register mpi
+	_ "repro/internal/redismap" // register redis mappings
+)
+
+// TestQuickAllMappingsAgreeOnRandomPipelines is the engine conformance
+// property: for randomly-shaped stateless linear pipelines (random stage
+// count, random per-stage affine transforms, random stream length), every
+// mapping must deliver exactly the same multiset of values to the sink as
+// the sequential reference.
+func TestQuickAllMappingsAgreeOnRandomPipelines(t *testing.T) {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type shape struct {
+		Stages uint8
+		Items  uint8
+		MulRaw uint8
+		AddRaw int8
+	}
+
+	build := func(s shape, sink func(int)) *graph.Graph {
+		stages := int(s.Stages%4) + 1 // 1..4 transform stages
+		items := int(s.Items%20) + 1  // 1..20 stream items
+		mul := int(s.MulRaw%5) + 1
+		add := int(s.AddRaw)
+		g := graph.New("quickpipe")
+		g.Add(func() core.PE {
+			return core.NewSource("gen", func(ctx *core.Context) error {
+				for i := 0; i < items; i++ {
+					if err := ctx.EmitDefault(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		prev := "gen"
+		for st := 0; st < stages; st++ {
+			name := fmt.Sprintf("stage%d", st)
+			g.Add(func() core.PE {
+				return core.NewMap(name, func(ctx *core.Context, v any) (any, error) {
+					return v.(int)*mul + add, nil
+				})
+			})
+			g.Pipe(prev, name)
+			prev = name
+		}
+		g.Add(func() core.PE {
+			return core.NewSink("sink", func(ctx *core.Context, v any) error {
+				sink(v.(int))
+				return nil
+			})
+		})
+		g.Pipe(prev, "sink")
+		return g
+	}
+
+	runUnder := func(name string, s shape) ([]int, error) {
+		var mu sync.Mutex
+		var got []int
+		g := build(s, func(v int) {
+			mu.Lock()
+			got = append(got, v)
+			mu.Unlock()
+		})
+		m, err := mapping.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		// Up to 6 PEs (gen + 4 stages + sink): static mappings need one
+		// process per instance.
+		opts := testOpts(8)
+		if name == "dyn_redis" || name == "hybrid_redis" {
+			opts.RedisAddr = srv.Addr()
+		}
+		if _, err := m.Execute(g, opts); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		sort.Ints(got)
+		return got, nil
+	}
+
+	f := func(s shape) bool {
+		want, err := runUnder("simple", s)
+		if err != nil {
+			t.Logf("simple: %v", err)
+			return false
+		}
+		for _, name := range []string{"multi", "mpi", "dyn_multi", "dyn_redis", "hybrid_redis"} {
+			got, err := runUnder(name, s)
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			if len(got) != len(want) {
+				t.Logf("%s: %d values want %d (shape %+v)", name, len(got), len(want), s)
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("%s: value %d = %d want %d (shape %+v)", name, i, got[i], want[i], s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

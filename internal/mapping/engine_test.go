@@ -1,0 +1,478 @@
+package mapping_test
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	_ "repro/internal/multiproc" // register multi
+	"repro/internal/platform"
+)
+
+// sumCollector accumulates sink deliveries across instances/workers.
+type sumCollector struct {
+	mu    sync.Mutex
+	sum   int64
+	count int64
+}
+
+func (c *sumCollector) add(v int64) {
+	c.mu.Lock()
+	c.sum += v
+	c.count++
+	c.mu.Unlock()
+}
+
+// pipelineGraph builds gen(1..n) → square → sum with per-item service time.
+func pipelineGraph(n int, work time.Duration, col *sumCollector) *graph.Graph {
+	g := graph.New("pipeline")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 1; i <= n; i++ {
+				if err := ctx.EmitDefault(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("square", func(ctx *core.Context, v any) (any, error) {
+			ctx.Work(work)
+			x := v.(int)
+			return x * x, nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("sum", func(ctx *core.Context, v any) error {
+			col.add(int64(v.(int)))
+			return nil
+		})
+	})
+	g.Pipe("gen", "square")
+	g.Pipe("square", "sum")
+	return g
+}
+
+// wantSquareSum is sum of squares 1..n.
+func wantSquareSum(n int) int64 {
+	var s int64
+	for i := 1; i <= n; i++ {
+		s += int64(i * i)
+	}
+	return s
+}
+
+func testOpts(procs int) mapping.Options {
+	return mapping.Options{
+		Processes: procs,
+		Platform:  platform.Platform{Name: "test", Cores: 4, QueueOpCost: 0},
+		Seed:      42,
+	}
+}
+
+func TestMappingsAgreeOnPipeline(t *testing.T) {
+	const n = 40
+	want := wantSquareSum(n)
+	for _, name := range []string{"simple", "multi", "dyn_multi", "dyn_auto_multi"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := mapping.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := &sumCollector{}
+			g := pipelineGraph(n, 0, col)
+			rep, err := m.Execute(g, testOpts(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if col.sum != want || col.count != n {
+				t.Errorf("sum=%d count=%d want sum=%d count=%d", col.sum, col.count, want, n)
+			}
+			if rep.Tasks == 0 {
+				t.Error("no tasks recorded")
+			}
+			if rep.Outputs != n {
+				t.Errorf("outputs=%d want %d", rep.Outputs, n)
+			}
+			if rep.Runtime <= 0 || rep.ProcessTime <= 0 {
+				t.Errorf("metrics: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, err := mapping.Get("nope"); err == nil {
+		t.Error("unknown mapping should error")
+	}
+	names := mapping.Names()
+	for _, want := range []string{"simple", "multi", "dyn_multi", "dyn_auto_multi"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestMultiRespectsGroupBy(t *testing.T) {
+	// Keyed values must land on a consistent instance: a stateful counter
+	// per instance, grouped by key, must see each key on exactly one
+	// instance.
+	type keyed struct {
+		Key string
+		Val int
+	}
+	var mu sync.Mutex
+	perInstanceKeys := map[int]map[string]bool{}
+
+	g := graph.New("grouped")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			keys := []string{"a", "b", "c", "d", "e"}
+			for i := 0; i < 50; i++ {
+				if err := ctx.EmitDefault(keyed{Key: keys[i%len(keys)], Val: i}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("agg", func(ctx *core.Context, v any) error {
+			mu.Lock()
+			defer mu.Unlock()
+			m, ok := perInstanceKeys[ctx.Instance()]
+			if !ok {
+				m = map[string]bool{}
+				perInstanceKeys[ctx.Instance()] = m
+			}
+			m[v.(keyed).Key] = true
+			return nil
+		})
+	}).SetInstances(3).SetStateful(true)
+	g.Pipe("gen", "agg").SetGrouping(graph.GroupByKey(func(v any) string { return v.(keyed).Key }))
+
+	m, err := mapping.Get("multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(g, testOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, keys := range perInstanceKeys {
+		for k := range keys {
+			seen[k]++
+		}
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %q seen on %d instances, want exactly 1", k, n)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("keys seen: %v", seen)
+	}
+}
+
+func TestMultiGlobalGroupingSingleInstance(t *testing.T) {
+	var instances sync.Map
+	g := graph.New("global")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 0; i < 20; i++ {
+				if err := ctx.EmitDefault(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("one", func(ctx *core.Context, v any) error {
+			instances.Store(ctx.Instance(), true)
+			return nil
+		})
+	}).SetInstances(3).SetStateful(true)
+	g.Pipe("gen", "one").SetGrouping(graph.GlobalGrouping())
+
+	m, _ := mapping.Get("multi")
+	if _, err := m.Execute(g, testOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	instances.Range(func(k, v any) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("global grouping hit %d instances, want 1", count)
+	}
+}
+
+func TestMultiOneToAllBroadcast(t *testing.T) {
+	var got atomic.Int64
+	g := graph.New("broadcast")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 0; i < 10; i++ {
+				if err := ctx.EmitDefault(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("all", func(ctx *core.Context, v any) error {
+			got.Add(1)
+			return nil
+		})
+	}).SetInstances(3).SetStateful(true)
+	g.Pipe("gen", "all").SetGrouping(graph.OneToAllGrouping())
+
+	m, _ := mapping.Get("multi")
+	if _, err := m.Execute(g, testOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 30 {
+		t.Errorf("broadcast deliveries=%d want 30 (10 values × 3 instances)", got.Load())
+	}
+}
+
+func TestMultiFinalizersFlush(t *testing.T) {
+	// A stateful counting PE with Final emitting its count into a sink.
+	var mu sync.Mutex
+	var finals []int
+
+	g := graph.New("finals")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 0; i < 30; i++ {
+				if err := ctx.EmitDefault(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE { return newCountPE() }).SetInstances(2).SetStateful(true)
+	g.Add(func() core.PE {
+		return core.NewSink("collect", func(ctx *core.Context, v any) error {
+			mu.Lock()
+			finals = append(finals, v.(int))
+			mu.Unlock()
+			return nil
+		})
+	})
+	g.Pipe("gen", "count")
+	g.Pipe("count", "collect")
+
+	m, _ := mapping.Get("multi")
+	if _, err := m.Execute(g, testOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(finals) != 2 {
+		t.Fatalf("finals: %v (want one per instance)", finals)
+	}
+	if finals[0]+finals[1] != 30 {
+		t.Errorf("final counts %v should sum to 30", finals)
+	}
+}
+
+// countPE counts inputs and emits the count at Final.
+type countPE struct {
+	core.Base
+	n int
+}
+
+func newCountPE() *countPE {
+	return &countPE{Base: core.NewBase("count", core.In(), core.Out())}
+}
+
+func (p *countPE) Process(ctx *core.Context, port string, v any) error {
+	p.n++
+	return nil
+}
+
+func (p *countPE) Final(ctx *core.Context) error {
+	return ctx.EmitDefault(p.n)
+}
+
+func TestMultiInsufficientProcesses(t *testing.T) {
+	col := &sumCollector{}
+	g := pipelineGraph(5, 0, col)
+	g.Node("square").SetInstances(10)
+	m, _ := mapping.Get("multi")
+	if _, err := m.Execute(g, testOpts(3)); err == nil {
+		t.Fatal("expected insufficient-processes error")
+	}
+}
+
+func TestDynamicRejectsStatefulAndGroupings(t *testing.T) {
+	col := &sumCollector{}
+	for _, name := range []string{"dyn_multi", "dyn_auto_multi"} {
+		m, _ := mapping.Get(name)
+		g := pipelineGraph(5, 0, col)
+		g.Node("square").SetStateful(true)
+		if _, err := m.Execute(g, testOpts(2)); err == nil || !strings.Contains(err.Error(), "stateful") {
+			t.Errorf("%s: want stateful rejection, got %v", name, err)
+		}
+		g2 := pipelineGraph(5, 0, col)
+		g2.OutEdges("gen")[0].SetGrouping(graph.GlobalGrouping())
+		if _, err := m.Execute(g2, testOpts(2)); err == nil || !strings.Contains(err.Error(), "grouping") {
+			t.Errorf("%s: want grouping rejection, got %v", name, err)
+		}
+	}
+}
+
+func TestDynamicErrorPropagates(t *testing.T) {
+	g := graph.New("failing")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 0; i < 10; i++ {
+				if err := ctx.EmitDefault(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("boom", func(ctx *core.Context, v any) error {
+			if v.(int) == 7 {
+				return errBoom
+			}
+			return nil
+		})
+	})
+	g.Pipe("gen", "boom")
+	m, _ := mapping.Get("dyn_multi")
+	_, err := m.Execute(g, testOpts(3))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom at 7" }
+
+func TestMultiErrorPropagates(t *testing.T) {
+	g := graph.New("failing")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			return ctx.EmitDefault(1)
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("boom", func(ctx *core.Context, v any) error { return errBoom })
+	})
+	g.Pipe("gen", "boom")
+	m, _ := mapping.Get("multi")
+	if _, err := m.Execute(g, testOpts(4)); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestDynAutoTraceRecordsActivity(t *testing.T) {
+	col := &sumCollector{}
+	g := pipelineGraph(60, 2*time.Millisecond, col)
+	trace := &autoscale.Trace{}
+	opts := testOpts(6)
+	opts.Trace = trace
+	m, _ := mapping.Get("dyn_auto_multi")
+	if _, err := m.Execute(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	pts := trace.Points()
+	if len(pts) == 0 {
+		t.Fatal("auto-scaler recorded no trace points")
+	}
+	for _, p := range pts {
+		if p.Active < 1 || p.Active > 6 {
+			t.Errorf("active size out of bounds: %+v", p)
+		}
+	}
+}
+
+func TestDynAutoUsesFewerProcessTimeThanDyn(t *testing.T) {
+	// With a tiny trickle of work and many processes, auto-scaling should
+	// accrue less total process time than the full always-active pool.
+	run := func(name string) time.Duration {
+		col := &sumCollector{}
+		g := pipelineGraph(30, 3*time.Millisecond, col)
+		m, err := mapping.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := testOpts(8)
+		opts.Seed = 7
+		rep, err := m.Execute(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ProcessTime
+	}
+	dyn := run("dyn_multi")
+	auto := run("dyn_auto_multi")
+	if auto >= dyn {
+		t.Errorf("dyn_auto_multi process time %v not below dyn_multi %v", auto, dyn)
+	}
+}
+
+func TestQueueOpsAndLen(t *testing.T) {
+	q := dynamic.NewQueue(0)
+	q.Push(dynamic.Task{PE: "a"})
+	q.Push(dynamic.Task{PE: "b"})
+	if q.Len() != 2 {
+		t.Errorf("len=%d", q.Len())
+	}
+	tsk, ok := q.Pop(time.Millisecond)
+	if !ok || tsk.PE != "a" {
+		t.Errorf("pop: %+v %v", tsk, ok)
+	}
+	if _, ok := q.Pop(time.Millisecond); !ok {
+		t.Error("second pop should succeed")
+	}
+	start := time.Now()
+	if _, ok := q.Pop(20 * time.Millisecond); ok {
+		t.Error("empty pop should time out")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("pop returned before timeout")
+	}
+	pushes, pops := q.Ops()
+	if pushes != 2 || pops != 2 {
+		t.Errorf("ops: %d %d", pushes, pops)
+	}
+}
+
+func TestSimpleDeterministicOutputs(t *testing.T) {
+	run := func() int64 {
+		col := &sumCollector{}
+		g := pipelineGraph(25, 0, col)
+		m, _ := mapping.Get("simple")
+		if _, err := m.Execute(g, testOpts(1)); err != nil {
+			t.Fatal(err)
+		}
+		return col.sum
+	}
+	if run() != run() {
+		t.Error("simple mapping not deterministic")
+	}
+}

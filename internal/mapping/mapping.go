@@ -1,0 +1,125 @@
+// Package mapping defines the interface every dispel4py-style enactment
+// engine implements ("mapping is the process of 'translating' workflows onto
+// execution systems"), a registry of the available mappings, and the Simple
+// sequential mapping.
+//
+// The mappings implemented across this repository, matching the paper's
+// evaluation section:
+//
+//	simple          sequential in-process execution (reference semantics)
+//	multi           static Multiprocessing: one process per PE instance
+//	mpi             static message-passing variant over internal/mpi
+//	dyn_multi       dynamic scheduling over an in-process global queue
+//	dyn_auto_multi  dyn_multi + auto-scaler (queue-size strategy)
+//	dyn_redis       dynamic scheduling over a Redis stream consumer group
+//	dyn_auto_redis  dyn_redis + auto-scaler (idle-time strategy)
+//	hybrid_redis    stateful instances on private queues + dynamic stateless pool
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// Options configures one workflow execution.
+type Options struct {
+	// Processes is the worker process budget.
+	Processes int
+	// Platform selects the simulated host; zero value means platform.Server.
+	Platform platform.Platform
+	// Seed drives all deterministic randomness in the run.
+	Seed int64
+	// RedisAddr is the server address for Redis-backed mappings.
+	RedisAddr string
+	// PollTimeout is how long dynamic workers block on an empty queue before
+	// counting a retry. Zero means 2ms.
+	PollTimeout time.Duration
+	// Retries is the retry budget of the termination protocol. Zero means 5.
+	Retries int
+	// AutoScale overrides the auto-scaler configuration of the auto
+	// mappings; nil means defaults (max pool = Processes, initial = half).
+	AutoScale *autoscale.Config
+	// Strategy overrides the auto-scaling strategy; nil means the paper's
+	// default per mapping (queue-size for multiprocessing, idle-time for
+	// Redis). The refined autoscale.ProportionalQueueStrategy is the main
+	// alternative.
+	Strategy autoscale.Strategy
+	// Trace, when non-nil, collects auto-scaler trace points (Figure 13).
+	Trace *autoscale.Trace
+	// RecoverStale enables XAUTOCLAIM-based recovery of pending tasks
+	// whose consumer stopped acknowledging them (Redis mappings only).
+	// Execution becomes at-least-once: a task abandoned mid-flight may be
+	// re-run by another worker.
+	RecoverStale bool
+}
+
+// WithDefaults fills zero-valued fields.
+func (o Options) WithDefaults() Options {
+	if o.Processes <= 0 {
+		o.Processes = 1
+	}
+	if o.Platform.Cores == 0 {
+		o.Platform = platform.Server
+	}
+	if o.PollTimeout <= 0 {
+		o.PollTimeout = 2 * time.Millisecond
+	}
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	return o
+}
+
+// Mapping executes abstract workflows on a concrete engine.
+type Mapping interface {
+	// Name is the technique label used in reports and the registry.
+	Name() string
+	// Execute runs the workflow and reports its metrics.
+	Execute(g *graph.Graph, opts Options) (metrics.Report, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Mapping{}
+)
+
+// Register adds a mapping to the global registry. Mapping packages call it
+// from init; duplicate names panic immediately.
+func Register(m Mapping) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[m.Name()]; dup {
+		panic(fmt.Sprintf("mapping: duplicate registration of %q", m.Name()))
+	}
+	registry[m.Name()] = m
+}
+
+// Get looks up a registered mapping by name.
+func Get(name string) (Mapping, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("mapping: unknown mapping %q (have %v)", name, Names())
+	}
+	return m, nil
+}
+
+// Names returns the registered mapping names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,228 @@
+package miniredis
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/resp"
+)
+
+func init() {
+	register("LPUSH", 2, -1, cmdLPush)
+	register("RPUSH", 2, -1, cmdRPush)
+	register("LPOP", 1, 2, cmdLPop)
+	register("RPOP", 1, 2, cmdRPop)
+	register("LLEN", 1, 1, cmdLLen)
+	register("LRANGE", 3, 3, cmdLRange)
+	register("LINDEX", 2, 2, cmdLIndex)
+	register("LTRIM", 3, 3, cmdLTrim)
+	register("BLPOP", 2, -1, cmdBLPop)
+	register("BRPOP", 2, -1, cmdBRPop)
+}
+
+func (d *db) listFor(key string, now time.Time) (*entry, error) {
+	e, err := d.lookupKind(key, kindList, now)
+	if err != nil || e != nil {
+		return e, err
+	}
+	e = &entry{kind: kindList}
+	d.keys[key] = e
+	return e, nil
+}
+
+func push(s *Server, args []string, left bool) resp.Value {
+	e, err := s.db.listFor(args[0], time.Now())
+	if err != nil {
+		return errValue(err)
+	}
+	for _, v := range args[1:] {
+		if left {
+			e.list = append([]string{v}, e.list...)
+		} else {
+			e.list = append(e.list, v)
+		}
+	}
+	s.notifyKey(args[0])
+	return resp.Int(int64(len(e.list)))
+}
+
+func cmdLPush(s *Server, args []string) resp.Value { return push(s, args, true) }
+func cmdRPush(s *Server, args []string) resp.Value { return push(s, args, false) }
+
+func pop(s *Server, args []string, left bool) resp.Value {
+	e, err := s.db.lookupKind(args[0], kindList, time.Now())
+	if err != nil {
+		return errValue(err)
+	}
+	count := 1
+	withCount := len(args) == 2
+	if withCount {
+		count, err = strconv.Atoi(args[1])
+		if err != nil || count < 0 {
+			return resp.Err("ERR value is out of range, must be positive")
+		}
+	}
+	if e == nil || len(e.list) == 0 {
+		if withCount {
+			return resp.NilArray()
+		}
+		return resp.Nil
+	}
+	if count > len(e.list) {
+		count = len(e.list)
+	}
+	popped := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		if left {
+			popped = append(popped, e.list[0])
+			e.list = e.list[1:]
+		} else {
+			popped = append(popped, e.list[len(e.list)-1])
+			e.list = e.list[:len(e.list)-1]
+		}
+	}
+	if len(e.list) == 0 {
+		delete(s.db.keys, args[0])
+	}
+	if withCount {
+		return resp.StrArray(popped...)
+	}
+	return resp.Str(popped[0])
+}
+
+func cmdLPop(s *Server, args []string) resp.Value { return pop(s, args, true) }
+func cmdRPop(s *Server, args []string) resp.Value { return pop(s, args, false) }
+
+func cmdLLen(s *Server, args []string) resp.Value {
+	e, err := s.db.lookupKind(args[0], kindList, time.Now())
+	if err != nil {
+		return errValue(err)
+	}
+	if e == nil {
+		return resp.Int(0)
+	}
+	return resp.Int(int64(len(e.list)))
+}
+
+// clampRange resolves Redis start/stop (possibly negative) indices against a
+// list of length n, returning an empty=false range [i, j] inclusive.
+func clampRange(start, stop, n int) (int, int, bool) {
+	if start < 0 {
+		start += n
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start > stop || start >= n {
+		return 0, 0, false
+	}
+	return start, stop, true
+}
+
+func cmdLRange(s *Server, args []string) resp.Value {
+	e, err := s.db.lookupKind(args[0], kindList, time.Now())
+	if err != nil {
+		return errValue(err)
+	}
+	start, err1 := strconv.Atoi(args[1])
+	stop, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		return resp.Err("ERR value is not an integer or out of range")
+	}
+	if e == nil {
+		return resp.Arr()
+	}
+	i, j, ok := clampRange(start, stop, len(e.list))
+	if !ok {
+		return resp.Arr()
+	}
+	return resp.StrArray(e.list[i : j+1]...)
+}
+
+func cmdLIndex(s *Server, args []string) resp.Value {
+	e, err := s.db.lookupKind(args[0], kindList, time.Now())
+	if err != nil {
+		return errValue(err)
+	}
+	idx, cerr := strconv.Atoi(args[1])
+	if cerr != nil {
+		return resp.Err("ERR value is not an integer or out of range")
+	}
+	if e == nil {
+		return resp.Nil
+	}
+	if idx < 0 {
+		idx += len(e.list)
+	}
+	if idx < 0 || idx >= len(e.list) {
+		return resp.Nil
+	}
+	return resp.Str(e.list[idx])
+}
+
+func cmdLTrim(s *Server, args []string) resp.Value {
+	e, err := s.db.lookupKind(args[0], kindList, time.Now())
+	if err != nil {
+		return errValue(err)
+	}
+	start, err1 := strconv.Atoi(args[1])
+	stop, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		return resp.Err("ERR value is not an integer or out of range")
+	}
+	if e == nil {
+		return resp.OK
+	}
+	i, j, ok := clampRange(start, stop, len(e.list))
+	if !ok {
+		delete(s.db.keys, args[0])
+		return resp.OK
+	}
+	e.list = append([]string(nil), e.list[i:j+1]...)
+	return resp.OK
+}
+
+func blockingPop(s *Server, args []string, left bool) resp.Value {
+	keys := args[:len(args)-1]
+	secs, err := strconv.ParseFloat(args[len(args)-1], 64)
+	if err != nil || secs < 0 {
+		return resp.Err("ERR timeout is not a float or out of range")
+	}
+	var deadline time.Time
+	if secs > 0 {
+		deadline = time.Now().Add(time.Duration(secs * float64(time.Second)))
+	}
+	for {
+		for _, key := range keys {
+			e, err := s.db.lookupKind(key, kindList, time.Now())
+			if err != nil {
+				return errValue(err)
+			}
+			if e == nil || len(e.list) == 0 {
+				continue
+			}
+			var v string
+			if left {
+				v, e.list = e.list[0], e.list[1:]
+			} else {
+				v, e.list = e.list[len(e.list)-1], e.list[:len(e.list)-1]
+			}
+			if len(e.list) == 0 {
+				delete(s.db.keys, key)
+			}
+			return resp.StrArray(key, v)
+		}
+		if !s.awaitKeys(keys, deadline) {
+			return resp.NilArray()
+		}
+	}
+}
+
+func cmdBLPop(s *Server, args []string) resp.Value { return blockingPop(s, args, true) }
+func cmdBRPop(s *Server, args []string) resp.Value { return blockingPop(s, args, false) }

@@ -1,0 +1,419 @@
+package miniredis_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/redisclient"
+)
+
+func TestXAddXLenXRange(t *testing.T) {
+	_, cl := newPair(t)
+	id1, err := cl.XAddValues("st", "k", "v1")
+	if err != nil || id1 == "" {
+		t.Fatalf("XADD: %q %v", id1, err)
+	}
+	id2, err := cl.XAddValues("st", "k", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(id1 < id2) && !streamIDLess(id1, id2) {
+		t.Fatalf("IDs not increasing: %q then %q", id1, id2)
+	}
+	n, err := cl.XLen("st")
+	mustInt(t, n, err, 2, "XLEN")
+
+	v, err := cl.Do("XRANGE", "st", "-", "+")
+	if err != nil || len(v.Array) != 2 {
+		t.Fatalf("XRANGE: %+v %v", v, err)
+	}
+	first := v.Array[0]
+	if first.Array[0].Str != id1 {
+		t.Fatalf("first entry id %q want %q", first.Array[0].Str, id1)
+	}
+	fields := first.Array[1]
+	if fields.Array[0].Str != "k" || fields.Array[1].Str != "v1" {
+		t.Fatalf("first entry fields: %+v", fields)
+	}
+
+	// COUNT limit.
+	v, err = cl.Do("XRANGE", "st", "-", "+", "COUNT", "1")
+	if err != nil || len(v.Array) != 1 {
+		t.Fatalf("XRANGE COUNT: %+v %v", v, err)
+	}
+	// XREVRANGE returns newest first.
+	v, err = cl.Do("XREVRANGE", "st", "+", "-")
+	if err != nil || len(v.Array) != 2 || v.Array[0].Array[0].Str != id2 {
+		t.Fatalf("XREVRANGE: %+v %v", v, err)
+	}
+}
+
+// streamIDLess compares "ms-seq" ids numerically.
+func streamIDLess(a, b string) bool {
+	pa := strings.SplitN(a, "-", 2)
+	pb := strings.SplitN(b, "-", 2)
+	if pa[0] != pb[0] {
+		return len(pa[0]) < len(pb[0]) || pa[0] < pb[0]
+	}
+	return len(pa[1]) < len(pb[1]) || pa[1] < pb[1]
+}
+
+func TestXAddExplicitIDMonotonic(t *testing.T) {
+	_, cl := newPair(t)
+	if _, err := cl.Do("XADD", "st", "5-1", "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Do("XADD", "st", "5-1", "a", "2")
+	var se redisclient.ServerError
+	if !errors.As(err, &se) || !strings.Contains(string(se), "equal or smaller") {
+		t.Fatalf("expected monotonic error, got %v", err)
+	}
+	if _, err := cl.Do("XADD", "st", "5-2", "a", "3"); err != nil {
+		t.Fatal(err)
+	}
+	// "ms-*" auto-sequence form.
+	v, err := cl.Do("XADD", "st", "5-*", "a", "4")
+	if err != nil || v.Str != "5-3" {
+		t.Fatalf("XADD 5-*: %+v %v", v, err)
+	}
+}
+
+func TestXAddMaxLen(t *testing.T) {
+	_, cl := newPair(t)
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Do("XADD", "st", "MAXLEN", "5", "*", "i", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := cl.XLen("st")
+	mustInt(t, n, err, 5, "XLEN after MAXLEN")
+}
+
+func TestConsumerGroupLifecycle(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("tasks", "workers", "0"); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate create is swallowed by the client helper.
+	if err := cl.XGroupCreate("tasks", "workers", "0"); err != nil {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	id1, err := cl.XAddValues("tasks", "job", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cl.XAddValues("tasks", "job", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := cl.XReadGroup("workers", "w1", 1, 0, "tasks")
+	if err != nil || len(entries) != 1 || entries[0].ID != id1 {
+		t.Fatalf("XREADGROUP first: %+v %v", entries, err)
+	}
+	if entries[0].Fields["job"] != "a" {
+		t.Fatalf("fields: %+v", entries[0].Fields)
+	}
+	entries, err = cl.XReadGroup("workers", "w2", 10, 0, "tasks")
+	if err != nil || len(entries) != 1 || entries[0].ID != id2 {
+		t.Fatalf("XREADGROUP second consumer: %+v %v", entries, err)
+	}
+	// Nothing new left.
+	entries, err = cl.XReadGroup("workers", "w1", 1, 0, "tasks")
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("XREADGROUP drained: %+v %v", entries, err)
+	}
+
+	sum, err := cl.XPendingSummary("tasks", "workers")
+	if err != nil || sum.Count != 2 {
+		t.Fatalf("XPENDING: %+v %v", sum, err)
+	}
+	if sum.PerConsumer["w1"] != 1 || sum.PerConsumer["w2"] != 1 {
+		t.Fatalf("per-consumer: %+v", sum.PerConsumer)
+	}
+
+	n, err := cl.XAck("tasks", "workers", id1)
+	mustInt(t, n, err, 1, "XACK")
+	sum, err = cl.XPendingSummary("tasks", "workers")
+	if err != nil || sum.Count != 1 {
+		t.Fatalf("XPENDING after ack: %+v %v", sum, err)
+	}
+	// Double-ack is a no-op.
+	n, err = cl.XAck("tasks", "workers", id1)
+	mustInt(t, n, err, 0, "double XACK")
+}
+
+func TestXReadGroupReplayPending(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("tasks", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.XAddValues("tasks", "job", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XReadGroup("g", "w1", 1, 0, "tasks"); err != nil {
+		t.Fatal(err)
+	}
+	// Replay from 0 returns the un-acked entry.
+	v, err := cl.Do("XREADGROUP", "GROUP", "g", "w1", "STREAMS", "tasks", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Array) != 1 {
+		t.Fatalf("replay reply: %+v", v)
+	}
+	entries := v.Array[0].Array[1].Array
+	if len(entries) != 1 || entries[0].Array[0].Str != id {
+		t.Fatalf("replay entries: %+v", entries)
+	}
+}
+
+func TestXReadGroupBlocking(t *testing.T) {
+	srv, cl := newPair(t)
+	if err := cl.XGroupCreate("tasks", "g", "$"); err != nil {
+		t.Fatal(err)
+	}
+	producer := redisclient.Dial(srv.Addr())
+	defer producer.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		entries, err := cl.XReadGroup("g", "w1", 1, 5*time.Second, "tasks")
+		if err != nil || len(entries) != 1 {
+			done <- "error"
+			return
+		}
+		done <- entries[0].Fields["job"]
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := producer.XAddValues("tasks", "job", "late"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != "late" {
+			t.Fatalf("blocking read woke with %q", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("XREADGROUP BLOCK did not wake")
+	}
+}
+
+func TestXReadGroupBlockTimesOut(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("tasks", "g", "$"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	entries, err := cl.XReadGroup("g", "w1", 1, 60*time.Millisecond, "tasks")
+	if err != nil || entries != nil {
+		t.Fatalf("timeout read: %+v %v", entries, err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+}
+
+func TestNoGroupError(t *testing.T) {
+	_, cl := newPair(t)
+	if _, err := cl.XAddValues("st", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.XReadGroup("absent", "c", 1, 0, "st")
+	var se redisclient.ServerError
+	if !errors.As(err, &se) || !strings.HasPrefix(string(se), "NOGROUP") {
+		t.Fatalf("expected NOGROUP, got %v", err)
+	}
+}
+
+func TestXPendingExtendedAndIdle(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.XAddValues("st", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XReadGroup("g", "w1", 1, 0, "st"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	v, err := cl.Do("XPENDING", "st", "g", "-", "+", "10")
+	if err != nil || len(v.Array) != 1 {
+		t.Fatalf("XPENDING ext: %+v %v", v, err)
+	}
+	row := v.Array[0].Array
+	if row[0].Str != id || row[1].Str != "w1" {
+		t.Fatalf("row: %+v", row)
+	}
+	if row[2].Int < 10 {
+		t.Fatalf("idle too small: %d", row[2].Int)
+	}
+	if row[3].Int != 1 {
+		t.Fatalf("delivery count: %d", row[3].Int)
+	}
+	// IDLE filter excludes fresh entries.
+	v, err = cl.Do("XPENDING", "st", "g", "IDLE", "60000", "-", "+", "10")
+	if err != nil || len(v.Array) != 0 {
+		t.Fatalf("XPENDING IDLE filter: %+v %v", v, err)
+	}
+}
+
+func TestXClaimAndAutoClaim(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.XAddValues("st", "task", "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XReadGroup("g", "dead", 1, 0, "st"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+
+	// XCLAIM with min-idle 0 moves it immediately.
+	v, err := cl.Do("XCLAIM", "st", "g", "alive", "0", id)
+	if err != nil || len(v.Array) != 1 {
+		t.Fatalf("XCLAIM: %+v %v", v, err)
+	}
+	sum, err := cl.XPendingSummary("st", "g")
+	if err != nil || sum.PerConsumer["alive"] != 1 || sum.PerConsumer["dead"] != 0 {
+		t.Fatalf("after claim: %+v %v", sum, err)
+	}
+
+	// XAUTOCLAIM with huge min-idle claims nothing.
+	_, claimed, err := cl.XAutoClaim("st", "g", "third", time.Hour, "0-0", 10)
+	if err != nil || len(claimed) != 0 {
+		t.Fatalf("XAUTOCLAIM high idle: %+v %v", claimed, err)
+	}
+	// With zero min-idle it takes the entry over.
+	_, claimed, err = cl.XAutoClaim("st", "g", "third", 0, "0-0", 10)
+	if err != nil || len(claimed) != 1 || claimed[0].ID != id {
+		t.Fatalf("XAUTOCLAIM: %+v %v", claimed, err)
+	}
+}
+
+func TestXInfo(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XAddValues("st", "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XReadGroup("g", "w1", 1, 0, "st"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(12 * time.Millisecond)
+	infos, err := cl.XInfoConsumers("st", "g")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("XINFO CONSUMERS: %+v %v", infos, err)
+	}
+	if infos[0].Name != "w1" || infos[0].Pending != 1 || infos[0].Idle < 10*time.Millisecond {
+		t.Fatalf("consumer info: %+v", infos[0])
+	}
+	v, err := cl.Do("XINFO", "STREAM", "st")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reply is a flat [name, value, ...] array; index it into a map.
+	props := map[string]string{}
+	for i := 0; i+1 < len(v.Array); i += 2 {
+		props[v.Array[i].Str] = v.Array[i+1].Text()
+	}
+	if props["length"] != "1" || props["groups"] != "1" {
+		t.Fatalf("XINFO STREAM: %+v", props)
+	}
+	v, err = cl.Do("XINFO", "GROUPS", "st")
+	if err != nil || len(v.Array) != 1 {
+		t.Fatalf("XINFO GROUPS: %+v %v", v, err)
+	}
+}
+
+func TestXDelAndXTrim(t *testing.T) {
+	_, cl := newPair(t)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := cl.XAddValues("st", "i", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	n, err := cl.DoInt("XDEL", "st", ids[0], ids[1], "99999999999-0")
+	mustInt(t, n, err, 2, "XDEL")
+	n, err = cl.XLen("st")
+	mustInt(t, n, err, 3, "XLEN after XDEL")
+	n, err = cl.DoInt("XTRIM", "st", "MAXLEN", "1")
+	mustInt(t, n, err, 2, "XTRIM")
+	n, err = cl.XLen("st")
+	mustInt(t, n, err, 1, "XLEN after XTRIM")
+}
+
+func TestXRead(t *testing.T) {
+	_, cl := newPair(t)
+	id1, err := cl.XAddValues("st", "a", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cl.XAddValues("st", "a", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read everything after 0.
+	v, err := cl.Do("XREAD", "COUNT", "10", "STREAMS", "st", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := v.Array[0].Array[1].Array
+	if len(entries) != 2 || entries[0].Array[0].Str != id1 {
+		t.Fatalf("XREAD: %+v", entries)
+	}
+	// Read after id1 returns only id2.
+	v, err = cl.Do("XREAD", "STREAMS", "st", id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries = v.Array[0].Array[1].Array
+	if len(entries) != 1 || entries[0].Array[0].Str != id2 {
+		t.Fatalf("XREAD after id1: %+v", entries)
+	}
+	// Non-blocking read past the end is a nil array.
+	v, err = cl.Do("XREAD", "STREAMS", "st", id2)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("XREAD drained: %+v %v", v, err)
+	}
+}
+
+func TestXGroupConsumerManagement(t *testing.T) {
+	_, cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.DoInt("XGROUP", "CREATECONSUMER", "st", "g", "w1")
+	mustInt(t, n, err, 1, "CREATECONSUMER")
+	n, err = cl.DoInt("XGROUP", "CREATECONSUMER", "st", "g", "w1")
+	mustInt(t, n, err, 0, "CREATECONSUMER duplicate")
+	// Give w1 a pending entry, then delete the consumer.
+	if _, err := cl.XAddValues("st", "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XReadGroup("g", "w1", 1, 0, "st"); err != nil {
+		t.Fatal(err)
+	}
+	n, err = cl.DoInt("XGROUP", "DELCONSUMER", "st", "g", "w1")
+	mustInt(t, n, err, 1, "DELCONSUMER returns pending count")
+	sum, err := cl.XPendingSummary("st", "g")
+	if err != nil || sum.Count != 0 {
+		t.Fatalf("PEL after DELCONSUMER: %+v %v", sum, err)
+	}
+	n, err = cl.DoInt("XGROUP", "DESTROY", "st", "g")
+	mustInt(t, n, err, 1, "DESTROY")
+}

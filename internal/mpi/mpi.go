@@ -1,0 +1,170 @@
+// Package mpi is a small in-process message-passing substrate modeled on
+// the MPI point-to-point core: a World of ranks with tagged, typed
+// Send/Recv/Probe operations and barriers. The paper lists an MPI mapping
+// among dispel4py's enactment engines and explains why dynamic scheduling
+// does not fit it ("traditional MPI lacks support for a queue-based system
+// crucial for dynamic task assignments"); this package exists so the static
+// MPI-style mapping can be built and that architectural argument exercised
+// in code rather than prose.
+//
+// Semantics: Send blocks until a matching Recv accepts the message
+// (rendezvous, like MPI_Send for large messages); Recv blocks for a
+// matching (source, tag) envelope, with wildcard AnySource/AnyTag;
+// Barrier synchronizes all ranks. Messages between a pair of ranks with the
+// same tag arrive in send order.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv/Probe matching.
+const (
+	// AnySource matches messages from every rank.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// Message is one delivered envelope.
+type Message struct {
+	// Source is the sending rank.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Data is the payload.
+	Data any
+}
+
+// World is a communicator over a fixed number of ranks.
+type World struct {
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	mailbox [][]Message // per destination rank
+	closed  bool
+
+	barrierGen   int
+	barrierCount int
+}
+
+// NewWorld creates a communicator with size ranks.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	w := &World{size: size, mailbox: make([][]Message, size)}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Close aborts the world: all blocked operations return ErrClosed.
+func (w *World) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// ErrClosed is returned by operations on a closed world.
+var ErrClosed = fmt.Errorf("mpi: world closed")
+
+// Send delivers data to rank dest with the given tag. It returns once the
+// message is enqueued at the destination (buffered standard-mode send).
+func (w *World) Send(from, dest, tag int, data any) error {
+	if err := w.checkRank(dest); err != nil {
+		return err
+	}
+	if err := w.checkRank(from); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.mailbox[dest] = append(w.mailbox[dest], Message{Source: from, Tag: tag, Data: data})
+	w.cond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a message matching (source, tag) is available for rank
+// me, then removes and returns it. Use AnySource/AnyTag as wildcards.
+func (w *World) Recv(me, source, tag int) (Message, error) {
+	if err := w.checkRank(me); err != nil {
+		return Message{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed {
+			return Message{}, ErrClosed
+		}
+		if i := w.match(me, source, tag); i >= 0 {
+			m := w.mailbox[me][i]
+			w.mailbox[me] = append(w.mailbox[me][:i], w.mailbox[me][i+1:]...)
+			return m, nil
+		}
+		w.cond.Wait()
+	}
+}
+
+// Probe reports whether a matching message is available without removing it.
+func (w *World) Probe(me, source, tag int) (bool, error) {
+	if err := w.checkRank(me); err != nil {
+		return false, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false, ErrClosed
+	}
+	return w.match(me, source, tag) >= 0, nil
+}
+
+// match finds the first queued message for rank me matching source/tag.
+// Callers hold w.mu.
+func (w *World) match(me, source, tag int) int {
+	for i, m := range w.mailbox[me] {
+		if (source == AnySource || m.Source == source) && (tag == AnyTag || m.Tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Barrier blocks until all ranks have entered it.
+func (w *World) Barrier() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	gen := w.barrierGen
+	w.barrierCount++
+	if w.barrierCount == w.size {
+		w.barrierCount = 0
+		w.barrierGen++
+		w.cond.Broadcast()
+		return nil
+	}
+	for gen == w.barrierGen && !w.closed {
+		w.cond.Wait()
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (w *World) checkRank(r int) error {
+	if r < 0 || r >= w.size {
+		return fmt.Errorf("mpi: rank %d out of range [0, %d)", r, w.size)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWorldSizeValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("zero-size world should fail")
+	}
+	w, err := NewWorld(3)
+	if err != nil || w.Size() != 3 {
+		t.Fatalf("NewWorld: %v", err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w, _ := NewWorld(2)
+	done := make(chan Message, 1)
+	go func() {
+		m, err := w.Recv(1, 0, 7)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- m
+	}()
+	if err := w.Send(0, 1, 7, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	m := <-done
+	if m.Source != 0 || m.Tag != 7 || m.Data.(string) != "hello" {
+		t.Errorf("message: %+v", m)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w, _ := NewWorld(3)
+	if err := w.Send(2, 0, 5, "fromtwo"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.Recv(0, AnySource, AnyTag)
+	if err != nil || m.Source != 2 || m.Data.(string) != "fromtwo" {
+		t.Fatalf("wildcard recv: %+v %v", m, err)
+	}
+}
+
+func TestRecvFiltersByTag(t *testing.T) {
+	w, _ := NewWorld(2)
+	if err := w.Send(0, 1, 1, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send(0, 1, 2, "two"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.Recv(1, 0, 2)
+	if err != nil || m.Data.(string) != "two" {
+		t.Fatalf("tag filter: %+v %v", m, err)
+	}
+	m, err = w.Recv(1, 0, 1)
+	if err != nil || m.Data.(string) != "one" {
+		t.Fatalf("remaining message: %+v %v", m, err)
+	}
+}
+
+func TestFIFOPerPairAndTag(t *testing.T) {
+	w, _ := NewWorld(2)
+	for i := 0; i < 10; i++ {
+		if err := w.Send(0, 1, 3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := w.Recv(1, 0, 3)
+		if err != nil || m.Data.(int) != i {
+			t.Fatalf("order violated at %d: %+v %v", i, m, err)
+		}
+	}
+}
+
+func TestProbe(t *testing.T) {
+	w, _ := NewWorld(2)
+	ok, err := w.Probe(1, AnySource, AnyTag)
+	if err != nil || ok {
+		t.Fatalf("empty probe: %v %v", ok, err)
+	}
+	if err := w.Send(0, 1, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = w.Probe(1, 0, 9)
+	if err != nil || !ok {
+		t.Fatalf("probe after send: %v %v", ok, err)
+	}
+	// Probe must not consume.
+	if _, err := w.Recv(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	w, _ := NewWorld(2)
+	if err := w.Send(0, 5, 0, nil); err == nil {
+		t.Error("send to invalid rank should fail")
+	}
+	if err := w.Send(9, 0, 0, nil); err == nil {
+		t.Error("send from invalid rank should fail")
+	}
+	if _, err := w.Recv(-2, AnySource, AnyTag); err == nil {
+		t.Error("recv on invalid rank should fail")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 4
+	w, _ := NewWorld(n)
+	var phase [n]int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			mu.Lock()
+			phase[r] = 1
+			mu.Unlock()
+			if err := w.Barrier(); err != nil {
+				t.Error(err)
+				return
+			}
+			// After the barrier, everyone must have reached phase 1.
+			mu.Lock()
+			for i := 0; i < n; i++ {
+				if phase[i] != 1 {
+					t.Errorf("rank %d passed barrier before rank %d arrived", r, i)
+				}
+			}
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	w, _ := NewWorld(2)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.Recv(1, AnySource, AnyTag)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Errorf("err=%v want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv not unblocked by Close")
+	}
+	if err := w.Send(0, 1, 0, nil); err != ErrClosed {
+		t.Errorf("send after close: %v", err)
+	}
+}

@@ -1,0 +1,440 @@
+// Package redisclient is a minimal Redis client used by the Redis-backed
+// workflow mappings. It implements a connection pool over RESP2 plus typed
+// helpers for exactly the command surface the engine needs (lists, streams
+// with consumer groups, hashes, counters). It works against any RESP2 server;
+// in this repository it talks to internal/miniredis.
+package redisclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("redisclient: client closed")
+
+// ServerError is an error reply from the server (for example NOGROUP or
+// WRONGTYPE).
+type ServerError string
+
+// Error implements the error interface.
+func (e ServerError) Error() string { return "redis: " + string(e) }
+
+// Client is a pooled Redis client, safe for concurrent use.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// MaxIdle bounds the number of pooled idle connections.
+	MaxIdle int
+}
+
+// conn is one pooled connection.
+type conn struct {
+	nc net.Conn
+	r  *resp.Reader
+	w  *resp.Writer
+}
+
+// Dial creates a client for the server at addr. Connections are created
+// lazily.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, DialTimeout: 5 * time.Second, MaxIdle: 64}
+}
+
+// Close releases all pooled connections. In-flight commands fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cn := range c.idle {
+		cn.nc.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+func (c *Client) getConn() (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("redisclient: dial %s: %w", c.addr, err)
+	}
+	return &conn{nc: nc, r: resp.NewReader(nc), w: resp.NewWriter(nc)}, nil
+}
+
+func (c *Client) putConn(cn *conn, broken bool) {
+	if broken {
+		cn.nc.Close()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= c.MaxIdle {
+		cn.nc.Close()
+		return
+	}
+	c.idle = append(c.idle, cn)
+}
+
+// Do sends one command and returns the reply value. Error replies from the
+// server come back as ServerError.
+func (c *Client) Do(argv ...string) (resp.Value, error) {
+	cn, err := c.getConn()
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if err := cn.w.WriteCommand(argv...); err != nil {
+		c.putConn(cn, true)
+		return resp.Value{}, fmt.Errorf("redisclient: write %s: %w", argv[0], err)
+	}
+	v, err := cn.r.ReadValue()
+	if err != nil {
+		c.putConn(cn, true)
+		return resp.Value{}, fmt.Errorf("redisclient: read %s reply: %w", argv[0], err)
+	}
+	c.putConn(cn, false)
+	if v.Type == resp.Error {
+		return resp.Value{}, ServerError(v.Str)
+	}
+	return v, nil
+}
+
+// DoInt runs a command expecting an integer reply.
+func (c *Client) DoInt(argv ...string) (int64, error) {
+	v, err := c.Do(argv...)
+	if err != nil {
+		return 0, err
+	}
+	if v.Type != resp.Integer {
+		return 0, fmt.Errorf("redisclient: %s: expected integer reply, got %s", argv[0], v.Type)
+	}
+	return v.Int, nil
+}
+
+// DoString runs a command expecting a (possibly nil) string reply. Nil
+// replies return ok=false.
+func (c *Client) DoString(argv ...string) (string, bool, error) {
+	v, err := c.Do(argv...)
+	if err != nil {
+		return "", false, err
+	}
+	if v.IsNull() {
+		return "", false, nil
+	}
+	return v.Text(), true, nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if v.Str != "PONG" {
+		return fmt.Errorf("redisclient: unexpected PING reply %q", v.Str)
+	}
+	return nil
+}
+
+// FlushAll clears the server keyspace.
+func (c *Client) FlushAll() error {
+	_, err := c.Do("FLUSHALL")
+	return err
+}
+
+// --- Lists -----------------------------------------------------------------
+
+// RPush appends values to a list, returning the new length.
+func (c *Client) RPush(key string, values ...string) (int64, error) {
+	return c.DoInt(append([]string{"RPUSH", key}, values...)...)
+}
+
+// LPush prepends values to a list, returning the new length.
+func (c *Client) LPush(key string, values ...string) (int64, error) {
+	return c.DoInt(append([]string{"LPUSH", key}, values...)...)
+}
+
+// LLen returns the list length.
+func (c *Client) LLen(key string) (int64, error) { return c.DoInt("LLEN", key) }
+
+// LPop pops from the head; ok=false when the list is empty.
+func (c *Client) LPop(key string) (string, bool, error) {
+	return c.DoString("LPOP", key)
+}
+
+// BLPop blocks until one of keys has an element or the timeout elapses.
+// It returns the key and value; ok=false on timeout.
+func (c *Client) BLPop(timeout time.Duration, keys ...string) (key, value string, ok bool, err error) {
+	args := append([]string{"BLPOP"}, keys...)
+	args = append(args, formatSeconds(timeout))
+	v, err := c.Do(args...)
+	if err != nil {
+		return "", "", false, err
+	}
+	if v.IsNull() || len(v.Array) != 2 {
+		return "", "", false, nil
+	}
+	return v.Array[0].Str, v.Array[1].Str, true, nil
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
+}
+
+// --- Counters / hashes -------------------------------------------------------
+
+// Incr increments a counter key.
+func (c *Client) Incr(key string) (int64, error) { return c.DoInt("INCR", key) }
+
+// IncrBy adds delta to a counter key.
+func (c *Client) IncrBy(key string, delta int64) (int64, error) {
+	return c.DoInt("INCRBY", key, strconv.FormatInt(delta, 10))
+}
+
+// Get fetches a string key; ok=false when missing.
+func (c *Client) Get(key string) (string, bool, error) { return c.DoString("GET", key) }
+
+// Set stores a string key.
+func (c *Client) Set(key, value string) error {
+	_, err := c.Do("SET", key, value)
+	return err
+}
+
+// HSet sets hash fields given alternating field/value pairs.
+func (c *Client) HSet(key string, fieldValues ...string) error {
+	_, err := c.Do(append([]string{"HSET", key}, fieldValues...)...)
+	return err
+}
+
+// HGetAll fetches all fields of a hash.
+func (c *Client) HGetAll(key string) (map[string]string, error) {
+	v, err := c.Do("HGETALL", key)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(v.Array)/2)
+	for i := 0; i+1 < len(v.Array); i += 2 {
+		out[v.Array[i].Str] = v.Array[i+1].Str
+	}
+	return out, nil
+}
+
+// --- Streams -----------------------------------------------------------------
+
+// StreamEntry is one stream record as seen by a client.
+type StreamEntry struct {
+	ID     string
+	Fields map[string]string
+}
+
+// StreamMessages groups the entries read from one stream key.
+type StreamMessages struct {
+	Key     string
+	Entries []StreamEntry
+}
+
+// XAdd appends an entry with auto ID, returning the assigned ID.
+func (c *Client) XAdd(key string, fields map[string]string) (string, error) {
+	args := []string{"XADD", key, "*"}
+	for f, v := range fields {
+		args = append(args, f, v)
+	}
+	s, _, err := c.DoString(args...)
+	return s, err
+}
+
+// XAddValues appends an entry from alternating field/value pairs, preserving
+// order (map iteration order is randomized; the engine wants determinism).
+func (c *Client) XAddValues(key string, fieldValues ...string) (string, error) {
+	args := append([]string{"XADD", key, "*"}, fieldValues...)
+	s, _, err := c.DoString(args...)
+	return s, err
+}
+
+// XLen returns the number of entries in the stream.
+func (c *Client) XLen(key string) (int64, error) { return c.DoInt("XLEN", key) }
+
+// XGroupCreate creates a consumer group at the given start ("0" or "$"),
+// creating the stream when necessary. Existing groups are not an error.
+func (c *Client) XGroupCreate(key, group, start string) error {
+	_, err := c.Do("XGROUP", "CREATE", key, group, start, "MKSTREAM")
+	var se ServerError
+	if errors.As(err, &se) && len(se) >= 9 && se[:9] == "BUSYGROUP" {
+		return nil
+	}
+	return err
+}
+
+// XReadGroup reads new entries (id ">") for a consumer, blocking up to block
+// (0 means non-blocking). It returns nil when nothing is available.
+func (c *Client) XReadGroup(group, consumer string, count int, block time.Duration, key string) ([]StreamEntry, error) {
+	args := []string{"XREADGROUP", "GROUP", group, consumer}
+	if count > 0 {
+		args = append(args, "COUNT", strconv.Itoa(count))
+	}
+	if block > 0 {
+		args = append(args, "BLOCK", strconv.FormatInt(block.Milliseconds(), 10))
+	}
+	args = append(args, "STREAMS", key, ">")
+	v, err := c.Do(args...)
+	if err != nil {
+		return nil, err
+	}
+	msgs := parseStreamsReply(v)
+	for _, m := range msgs {
+		if m.Key == key {
+			return m.Entries, nil
+		}
+	}
+	return nil, nil
+}
+
+// XAck acknowledges processed entries, returning how many were pending.
+func (c *Client) XAck(key, group string, ids ...string) (int64, error) {
+	return c.DoInt(append([]string{"XACK", key, group}, ids...)...)
+}
+
+// PendingSummary is the XPENDING summary reply.
+type PendingSummary struct {
+	Count       int64
+	MinID       string
+	MaxID       string
+	PerConsumer map[string]int64
+}
+
+// XPendingSummary fetches the group's PEL summary.
+func (c *Client) XPendingSummary(key, group string) (PendingSummary, error) {
+	v, err := c.Do("XPENDING", key, group)
+	if err != nil {
+		return PendingSummary{}, err
+	}
+	sum := PendingSummary{PerConsumer: map[string]int64{}}
+	if len(v.Array) >= 4 {
+		sum.Count = v.Array[0].Int
+		sum.MinID = v.Array[1].Str
+		sum.MaxID = v.Array[2].Str
+		for _, row := range v.Array[3].Array {
+			if len(row.Array) == 2 {
+				n, _ := strconv.ParseInt(row.Array[1].Str, 10, 64)
+				sum.PerConsumer[row.Array[0].Str] = n
+			}
+		}
+	}
+	return sum, nil
+}
+
+// ConsumerInfo is one row of XINFO CONSUMERS.
+type ConsumerInfo struct {
+	Name    string
+	Pending int64
+	// Idle is the time since the consumer's last attempted interaction.
+	Idle time.Duration
+	// Inactive is the time since the consumer's last successful entry
+	// delivery (Redis 7 semantics) — the dyn_auto_redis monitor metric,
+	// because polling consumers reset Idle on every empty read.
+	Inactive time.Duration
+}
+
+// XInfoConsumers lists consumers of a group with their idle times. The
+// dyn_auto_redis monitoring strategy averages the Idle values.
+func (c *Client) XInfoConsumers(key, group string) ([]ConsumerInfo, error) {
+	v, err := c.Do("XINFO", "CONSUMERS", key, group)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ConsumerInfo, 0, len(v.Array))
+	for _, row := range v.Array {
+		info := ConsumerInfo{}
+		for i := 0; i+1 < len(row.Array); i += 2 {
+			switch row.Array[i].Str {
+			case "name":
+				info.Name = row.Array[i+1].Str
+			case "pending":
+				info.Pending = row.Array[i+1].Int
+			case "idle":
+				info.Idle = time.Duration(row.Array[i+1].Int) * time.Millisecond
+			case "inactive":
+				info.Inactive = time.Duration(row.Array[i+1].Int) * time.Millisecond
+			}
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// XAutoClaim claims entries idle for at least minIdle onto consumer, starting
+// the PEL scan at start ("0-0" to scan from the beginning). It returns the
+// next cursor and the claimed entries.
+func (c *Client) XAutoClaim(key, group, consumer string, minIdle time.Duration, start string, count int) (string, []StreamEntry, error) {
+	args := []string{
+		"XAUTOCLAIM", key, group, consumer,
+		strconv.FormatInt(minIdle.Milliseconds(), 10), start,
+		"COUNT", strconv.Itoa(count),
+	}
+	v, err := c.Do(args...)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(v.Array) < 2 {
+		return "0-0", nil, nil
+	}
+	return v.Array[0].Str, parseEntries(v.Array[1]), nil
+}
+
+// parseStreamsReply decodes the [[key, [entries...]]...] XREAD/XREADGROUP shape.
+func parseStreamsReply(v resp.Value) []StreamMessages {
+	if v.IsNull() {
+		return nil
+	}
+	out := make([]StreamMessages, 0, len(v.Array))
+	for _, sv := range v.Array {
+		if len(sv.Array) != 2 {
+			continue
+		}
+		out = append(out, StreamMessages{
+			Key:     sv.Array[0].Str,
+			Entries: parseEntries(sv.Array[1]),
+		})
+	}
+	return out
+}
+
+// parseEntries decodes [[id, [f, v, ...]]...].
+func parseEntries(v resp.Value) []StreamEntry {
+	entries := make([]StreamEntry, 0, len(v.Array))
+	for _, ev := range v.Array {
+		if len(ev.Array) != 2 {
+			continue
+		}
+		e := StreamEntry{ID: ev.Array[0].Str, Fields: map[string]string{}}
+		fv := ev.Array[1].Array
+		for i := 0; i+1 < len(fv); i += 2 {
+			e.Fields[fv[i].Str] = fv[i+1].Str
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}

@@ -1,0 +1,170 @@
+package redisclient_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/miniredis"
+	"repro/internal/redisclient"
+)
+
+func newPair(t *testing.T) *redisclient.Client {
+	t.Helper()
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := redisclient.Dial(srv.Addr())
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return cl
+}
+
+func TestPingAndPoolReuse(t *testing.T) {
+	cl := newPair(t)
+	for i := 0; i < 20; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	cl := redisclient.Dial("127.0.0.1:1")
+	cl.DialTimeout = 200 * time.Millisecond
+	defer cl.Close()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping to closed port should fail")
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	cl := newPair(t)
+	cl.Close()
+	if _, err := cl.Do("PING"); !errors.Is(err, redisclient.ErrClosed) {
+		t.Fatalf("err=%v want ErrClosed", err)
+	}
+}
+
+func TestServerErrorSurface(t *testing.T) {
+	cl := newPair(t)
+	_, err := cl.Do("GET", "a", "b", "c")
+	var se redisclient.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want ServerError, got %v", err)
+	}
+	if se.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestTypedHelpers(t *testing.T) {
+	cl := newPair(t)
+	if err := cl.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok, err := cl.Get("k"); err != nil || !ok || s != "v" {
+		t.Fatalf("Get: %q %v %v", s, ok, err)
+	}
+	if n, err := cl.IncrBy("c", 5); err != nil || n != 5 {
+		t.Fatalf("IncrBy: %d %v", n, err)
+	}
+	if err := cl.HSet("h", "f", "1"); err != nil {
+		t.Fatal(err)
+	}
+	all, err := cl.HGetAll("h")
+	if err != nil || all["f"] != "1" {
+		t.Fatalf("HGetAll: %v %v", all, err)
+	}
+	if _, err := cl.RPush("l", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.LLen("l"); err != nil || n != 2 {
+		t.Fatalf("LLen: %d %v", n, err)
+	}
+	if err := cl.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cl.Get("k"); ok {
+		t.Error("key survived FlushAll")
+	}
+}
+
+func TestStreamHelpers(t *testing.T) {
+	cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.XAddValues("st", "f", "payload")
+	if err != nil || id == "" {
+		t.Fatalf("XAddValues: %q %v", id, err)
+	}
+	if n, err := cl.XLen("st"); err != nil || n != 1 {
+		t.Fatalf("XLen: %d %v", n, err)
+	}
+	entries, err := cl.XReadGroup("g", "c1", 5, 0, "st")
+	if err != nil || len(entries) != 1 || entries[0].Fields["f"] != "payload" {
+		t.Fatalf("XReadGroup: %+v %v", entries, err)
+	}
+	sum, err := cl.XPendingSummary("st", "g")
+	if err != nil || sum.Count != 1 || sum.PerConsumer["c1"] != 1 {
+		t.Fatalf("XPendingSummary: %+v %v", sum, err)
+	}
+	infos, err := cl.XInfoConsumers("st", "g")
+	if err != nil || len(infos) != 1 || infos[0].Name != "c1" {
+		t.Fatalf("XInfoConsumers: %+v %v", infos, err)
+	}
+	if n, err := cl.XAck("st", "g", id); err != nil || n != 1 {
+		t.Fatalf("XAck: %d %v", n, err)
+	}
+	// XAdd from a map form.
+	if _, err := cl.XAdd("st", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	// XAutoClaim empty PEL is a no-op.
+	cursor, claimed, err := cl.XAutoClaim("st", "g", "c2", 0, "0-0", 10)
+	if err != nil || len(claimed) != 0 || cursor == "" {
+		t.Fatalf("XAutoClaim: %q %+v %v", cursor, claimed, err)
+	}
+}
+
+func TestConcurrentPoolUse(t *testing.T) {
+	cl := newPair(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := cl.Incr("n"); err != nil {
+					t.Errorf("incr: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s, ok, err := cl.Get("n")
+	if err != nil || !ok || s != "250" {
+		t.Fatalf("final: %q %v %v", s, ok, err)
+	}
+}
+
+func TestBLPopAgainstServer(t *testing.T) {
+	cl := newPair(t)
+	if _, err := cl.RPush("q", "v"); err != nil {
+		t.Fatal(err)
+	}
+	key, val, ok, err := cl.BLPop(time.Second, "q")
+	if err != nil || !ok || key != "q" || val != "v" {
+		t.Fatalf("BLPop: %q %q %v %v", key, val, ok, err)
+	}
+	_, _, ok, err = cl.BLPop(50*time.Millisecond, "q")
+	if err != nil || ok {
+		t.Fatalf("BLPop timeout: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,88 @@
+package statics_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/statics"
+)
+
+// profGraph builds gen → slow → fast with distinguishable exec times.
+func profGraph() *graph.Graph {
+	g := graph.New("prof")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 0; i < 5; i++ {
+				if err := ctx.EmitDefault(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewMap("slow", func(ctx *core.Context, v any) (any, error) {
+			time.Sleep(4 * time.Millisecond)
+			return v, nil
+		})
+	})
+	g.Add(func() core.PE {
+		return core.NewSink("fast", func(ctx *core.Context, v any) error {
+			return nil
+		})
+	})
+	g.Pipe("gen", "slow")
+	g.Pipe("slow", "fast")
+	return g
+}
+
+func TestMeasureProfileExecTimes(t *testing.T) {
+	prof, err := statics.MeasureProfile(profGraph(), statics.DefaultCommModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Exec["slow"] < 3*time.Millisecond {
+		t.Errorf("slow exec %v, want ≥ ~4ms", prof.Exec["slow"])
+	}
+	if prof.Exec["fast"] >= prof.Exec["slow"] {
+		t.Errorf("fast (%v) should be cheaper than slow (%v)", prof.Exec["fast"], prof.Exec["slow"])
+	}
+	for _, key := range []string{statics.EdgeKey("gen", "slow"), statics.EdgeKey("slow", "fast")} {
+		if prof.Comm[key] <= 0 {
+			t.Errorf("comm[%s] missing", key)
+		}
+	}
+}
+
+func TestMeasureProfileDrivesNaiveAssignment(t *testing.T) {
+	// With measured times, the edge into the cheap sink has comm > exec
+	// (sink does nothing), so naive assignment fuses slow+fast but keeps
+	// gen→slow separate (slow's exec dwarfs comm).
+	prof, err := statics.MeasureProfile(profGraph(), statics.DefaultCommModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := statics.NaiveAssignment(profGraph(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Node("slow+fast") == nil {
+		names := []string{}
+		for _, n := range fused.Nodes() {
+			names = append(names, n.Name)
+		}
+		t.Fatalf("expected slow+fast fusion from measured profile, got %v", names)
+	}
+	if fused.Node("gen") == nil {
+		t.Error("gen should stay separate (comm < slow's exec)")
+	}
+}
+
+func TestMeasureProfileRejectsInvalidGraph(t *testing.T) {
+	g := graph.New("empty")
+	if _, err := statics.MeasureProfile(g, statics.DefaultCommModel(), 1); err == nil {
+		t.Error("empty graph must fail")
+	}
+}

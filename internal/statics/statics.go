@@ -1,0 +1,234 @@
+// Package statics implements the two *static* optimizations the paper
+// recounts from its prior work (Section 2.2): staging and naive assignment.
+// Both are abstract-workflow → abstract-workflow transforms applied before
+// mapping, so they compose with every enactment engine:
+//
+//   - Staging "clusters operations that do not require data shuffling based
+//     on the abstract workflow": maximal linear chains of stateless PEs
+//     connected 1:1 with the default shuffle grouping are fused into one
+//     composite PE, eliminating the queue/channel hop between them.
+//
+//   - NaiveAssignment "consolidates all interconnected PEs whose
+//     communication times surpass their execution times by analyzing
+//     execution logs": given a Profile of measured per-unit execution and
+//     communication costs, an edge is fused when shipping a data unit costs
+//     more than processing it at the destination.
+package statics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Profile is the execution-log summary naive assignment consumes: average
+// per-data-unit execution time per PE and communication time per edge.
+type Profile struct {
+	// Exec maps PE name → average per-unit processing time.
+	Exec map[string]time.Duration
+	// Comm maps "from→to" edge key → average per-unit transfer time.
+	Comm map[string]time.Duration
+}
+
+// EdgeKey builds the Comm map key for an edge.
+func EdgeKey(from, to string) string { return from + "→" + to }
+
+// Staging fuses every maximal fusible chain in g and returns the optimized
+// graph. The input graph is not modified.
+func Staging(g *graph.Graph) (*graph.Graph, error) {
+	return fuse(g, func(e *graph.Edge) bool { return true })
+}
+
+// NaiveAssignment fuses fusible edges whose logged communication time
+// exceeds the destination PE's execution time.
+func NaiveAssignment(g *graph.Graph, p Profile) (*graph.Graph, error) {
+	return fuse(g, func(e *graph.Edge) bool {
+		comm, okC := p.Comm[EdgeKey(e.From, e.To)]
+		exec, okE := p.Exec[e.To]
+		return okC && okE && comm > exec
+	})
+}
+
+// fusibleEdge reports whether an edge may be fused at all: 1:1 linear
+// connection with shuffle grouping between stateless PEs using the default
+// ports. Edges out of a source never fuse — a source generates the whole
+// stream from one instance, so pulling downstream PEs into it would
+// serialize the entire workflow instead of saving a queue hop per unit.
+func fusibleEdge(g *graph.Graph, e *graph.Edge) bool {
+	if e.Grouping.Kind != graph.Shuffle {
+		return false
+	}
+	if len(g.OutEdges(e.From)) != 1 || len(g.InEdges(e.To)) != 1 {
+		return false
+	}
+	from, to := g.Node(e.From), g.Node(e.To)
+	if from.IsSource() {
+		return false
+	}
+	if from.Stateful || to.Stateful {
+		return false
+	}
+	// Explicit instance pinning signals the user wants separate processes.
+	if from.Instances > 0 && to.Instances > 0 && from.Instances != to.Instances {
+		return false
+	}
+	return true
+}
+
+// fuse rewrites g, merging every fusible edge accepted by want into
+// composite PEs.
+func fuse(g *graph.Graph, want func(e *graph.Edge) bool) (*graph.Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Union chains via a next/prev map over accepted edges.
+	next := map[string]string{}
+	prev := map[string]string{}
+	for _, e := range g.Edges() {
+		if fusibleEdge(g, e) && want(e) {
+			next[e.From] = e.To
+			prev[e.To] = e.From
+		}
+	}
+	// Build chains: start at nodes with no fused predecessor.
+	chainOf := map[string][]string{} // head → member names
+	headOf := map[string]string{}    // member → head
+	for _, n := range g.Nodes() {
+		if _, hasPrev := prev[n.Name]; hasPrev {
+			continue
+		}
+		chain := []string{n.Name}
+		for cur := n.Name; ; {
+			nx, ok := next[cur]
+			if !ok {
+				break
+			}
+			chain = append(chain, nx)
+			cur = nx
+		}
+		chainOf[n.Name] = chain
+		for _, m := range chain {
+			headOf[m] = n.Name
+		}
+	}
+
+	out := graph.New(g.Name)
+	newName := map[string]string{} // original node → new node name
+	for _, n := range g.Nodes() {
+		head, ok := headOf[n.Name]
+		if !ok || head != n.Name {
+			continue // not a chain head; emitted as part of its chain
+		}
+		chain := chainOf[head]
+		if len(chain) == 1 {
+			orig := g.Node(head)
+			node := out.Add(orig.Factory)
+			node.Instances = orig.Instances
+			node.Stateful = orig.Stateful
+			newName[head] = head
+			continue
+		}
+		members := make([]*graph.Node, len(chain))
+		for i, m := range chain {
+			members[i] = g.Node(m)
+		}
+		fusedName := strings.Join(chain, "+")
+		node := out.Add(newFusedFactory(fusedName, members))
+		// Inherit the strictest explicit instance request in the chain.
+		for _, m := range members {
+			if m.Instances > 0 && (node.Instances == 0 || m.Instances < node.Instances) {
+				node.Instances = m.Instances
+			}
+		}
+		for _, m := range chain {
+			newName[m] = fusedName
+		}
+	}
+	// Rewire surviving edges.
+	for _, e := range g.Edges() {
+		if headOf[e.To] == headOf[e.From] && headOf[e.From] != "" && newName[e.From] == newName[e.To] {
+			continue // internal to a fused chain
+		}
+		ne := out.Connect(newName[e.From], e.FromPort, newName[e.To], e.ToPort)
+		ne.Grouping = e.Grouping
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("statics: fused graph invalid: %w", err)
+	}
+	return out, nil
+}
+
+// newFusedFactory builds a factory for the composite PE executing a linear
+// chain of member PEs synchronously. The composite exposes the chain head's
+// input ports and the chain tail's output ports.
+func newFusedFactory(name string, members []*graph.Node) func() core.PE {
+	return func() core.PE {
+		stages := make([]core.PE, len(members))
+		for i, m := range members {
+			stages[i] = m.Factory()
+		}
+		head, tail := stages[0], stages[len(stages)-1]
+		return &fusedPE{
+			Base:   core.NewBase(name, head.InPorts(), tail.OutPorts()),
+			stages: stages,
+		}
+	}
+}
+
+// fusedPE runs a chain of PEs in one Process call. Intermediate emissions
+// flow synchronously to the next stage; the tail's emissions leave through
+// the composite's context.
+type fusedPE struct {
+	core.Base
+	stages []core.PE
+}
+
+// stageContext builds the per-stage context chain: stage i emits into stage
+// i+1's Process; the last stage emits through outer.
+func (f *fusedPE) stageContexts(outer *core.Context) []*core.Context {
+	ctxs := make([]*core.Context, len(f.stages))
+	for i := len(f.stages) - 1; i >= 0; i-- {
+		i := i
+		if i == len(f.stages)-1 {
+			// The tail emits through the composite's own context, keeping
+			// the outer host and routing.
+			ctxs[i] = outer.WithPE(f.stages[i].Name())
+			continue
+		}
+		nextPE := f.stages[i+1]
+		nextCtx := func() *core.Context { return ctxs[i+1] }
+		ctxs[i] = outer.WithEmit(f.stages[i].Name(), func(port string, value any) error {
+			in := nextPE.InPorts()
+			target := core.PortIn
+			if len(in) == 1 {
+				target = in[0]
+			}
+			return nextPE.Process(nextCtx(), target, value)
+		})
+	}
+	return ctxs
+}
+
+// Process implements core.PE.
+func (f *fusedPE) Process(ctx *core.Context, port string, value any) error {
+	ctxs := f.stageContexts(ctx)
+	return f.stages[0].Process(ctxs[0], port, value)
+}
+
+// Init implements core.Initializer, initializing every stage.
+func (f *fusedPE) Init(ctx *core.Context) error {
+	ctxs := f.stageContexts(ctx)
+	for i, s := range f.stages {
+		if ini, ok := s.(core.Initializer); ok {
+			if err := ini.Init(ctxs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var _ core.PE = (*fusedPE)(nil)

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+)
+
+// Galaxy is one record of the synthetic galaxy catalog consumed by the
+// Internal Extinction of Galaxies workflow. It plays the role of a row in
+// the coordinate input file the paper's readRaDec PE parses.
+type Galaxy struct {
+	// Name is a catalog identifier.
+	Name string
+	// RA is right ascension in degrees [0, 360).
+	RA float64
+	// Dec is declination in degrees [-90, 90].
+	Dec float64
+	// MorphType is the numeric morphological type code (de Vaucouleurs T),
+	// which the extinction computation weights.
+	MorphType float64
+	// LogR25 is the decimal log of the major/minor isophotal axis ratio, the
+	// quantity the internal extinction formula is applied to.
+	LogR25 float64
+}
+
+// GalaxyCatalog deterministically generates n synthetic galaxies. The value
+// distributions are loosely modeled on the HyperLEDA columns the real
+// workflow downloads via VO tables; what matters for the reproduction is a
+// stable per-record payload with plausible numeric ranges.
+func GalaxyCatalog(seed int64, n int) []Galaxy {
+	rng := NewRand(seed)
+	out := make([]Galaxy, n)
+	for i := range out {
+		out[i] = Galaxy{
+			Name:      fmt.Sprintf("SYN%05d", i),
+			RA:        rng.Float64() * 360,
+			Dec:       rng.Float64()*180 - 90,
+			MorphType: math.Round(rng.Float64()*10*10) / 10, // 0.0 .. 10.0
+			LogR25:    rng.Float64() * 0.9,                  // axis ratios up to ~8:1
+		}
+	}
+	return out
+}
+
+// VOTableRow is one row of the synthetic "VO table" the getVOTable PE emits
+// for a galaxy: a set of named columns, most of which the filterColumns PE
+// discards.
+type VOTableRow struct {
+	Columns map[string]float64
+}
+
+// VOTableColumns is the full column set produced for each galaxy.
+var VOTableColumns = []string{
+	"ra", "dec", "t", "logr25", "bt", "vmax", "modz", "e_t", "e_logr25", "ag",
+}
+
+// ExtinctionColumns is the subset the internal extinction computation needs.
+var ExtinctionColumns = []string{"t", "logr25"}
+
+// MakeVOTable builds the synthetic VO table rows for one galaxy. rows
+// controls the table length (the real service returns a small table per
+// coordinate query).
+func MakeVOTable(g Galaxy, rows int, seed int64) []VOTableRow {
+	rng := NewRand(seed ^ int64(len(g.Name)))
+	out := make([]VOTableRow, rows)
+	for i := range out {
+		cols := map[string]float64{
+			"ra":       g.RA,
+			"dec":      g.Dec,
+			"t":        g.MorphType,
+			"logr25":   g.LogR25,
+			"bt":       10 + rng.Float64()*8,
+			"vmax":     50 + rng.Float64()*400,
+			"modz":     30 + rng.Float64()*5,
+			"e_t":      rng.Float64(),
+			"e_logr25": rng.Float64() * 0.1,
+			"ag":       rng.Float64() * 0.3,
+		}
+		out[i] = VOTableRow{Columns: cols}
+	}
+	return out
+}
+
+// InternalExtinction applies the classic Bottinelli et al. style internal
+// extinction correction used by the real workflow: A_int = gamma(T) * logR25,
+// where the wavelength-dependent coefficient gamma depends on morphological
+// type T and vanishes for early types.
+func InternalExtinction(morphType, logR25 float64) float64 {
+	var gamma float64
+	switch {
+	case morphType < 0:
+		gamma = 0
+	case morphType <= 5:
+		gamma = 1.5 - 0.03*(morphType-5)*(morphType-5)
+	default:
+		gamma = 1.5
+	}
+	if gamma < 0 {
+		gamma = 0
+	}
+	return gamma * logR25
+}

@@ -1,0 +1,193 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trace is one synthetic seismic waveform: samples from a station channel,
+// standing in for the MiniSEED segments the real Seismic Cross-Correlation
+// workflow pulls from FDSN stations.
+type Trace struct {
+	// Station is the originating station code.
+	Station string
+	// SampleRate is samples per second.
+	SampleRate float64
+	// Samples is the waveform data.
+	Samples []float64
+}
+
+// Stations generates n synthetic station codes.
+func Stations(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("ST%03d", i)
+	}
+	return out
+}
+
+// MakeTrace synthesizes a waveform for one station: a sum of sinusoids (the
+// "signal"), a linear drift (exercised by the detrend PE), a DC offset
+// (exercised by the demean PE), and uniform noise.
+func MakeTrace(station string, samples int, seed int64) Trace {
+	rng := NewRand(seed)
+	data := make([]float64, samples)
+	freq1 := 0.5 + rng.Float64()*2
+	freq2 := 4 + rng.Float64()*8
+	offset := rng.Float64()*20 - 10
+	drift := (rng.Float64()*2 - 1) / float64(samples)
+	for i := range data {
+		t := float64(i) / 100.0
+		data[i] = math.Sin(2*math.Pi*freq1*t) +
+			0.4*math.Sin(2*math.Pi*freq2*t) +
+			offset + drift*float64(i) +
+			(rng.Float64()*2-1)*0.25
+	}
+	return Trace{Station: station, SampleRate: 100, Samples: data}
+}
+
+// Mean returns the arithmetic mean of samples.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Detrend removes the least-squares linear trend in place and returns the
+// slice for chaining.
+func Detrend(samples []float64) []float64 {
+	n := float64(len(samples))
+	if n < 2 {
+		return samples
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i, v := range samples {
+		x := float64(i)
+		sumX += x
+		sumY += v
+		sumXY += x * v
+		sumXX += x * x
+	}
+	denom := n*sumXX - sumX*sumX
+	if denom == 0 {
+		return samples
+	}
+	slope := (n*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / n
+	for i := range samples {
+		samples[i] -= intercept + slope*float64(i)
+	}
+	return samples
+}
+
+// Demean subtracts the mean in place and returns the slice.
+func Demean(samples []float64) []float64 {
+	m := Mean(samples)
+	for i := range samples {
+		samples[i] -= m
+	}
+	return samples
+}
+
+// Decimate keeps every factor-th sample.
+func Decimate(samples []float64, factor int) []float64 {
+	if factor <= 1 {
+		return samples
+	}
+	out := make([]float64, 0, len(samples)/factor+1)
+	for i := 0; i < len(samples); i += factor {
+		out = append(out, samples[i])
+	}
+	return out
+}
+
+// LowPassFIR applies a simple moving-average FIR filter of the given window,
+// a stand-in for the band-pass filtering stage.
+func LowPassFIR(samples []float64, window int) []float64 {
+	if window <= 1 || len(samples) == 0 {
+		return samples
+	}
+	out := make([]float64, len(samples))
+	var acc float64
+	for i, v := range samples {
+		acc += v
+		if i >= window {
+			acc -= samples[i-window]
+			out[i] = acc / float64(window)
+		} else {
+			out[i] = acc / float64(i+1)
+		}
+	}
+	return out
+}
+
+// Whiten normalizes each sample by the RMS over a sliding window, the
+// spectral-whitening stand-in.
+func Whiten(samples []float64, window int) []float64 {
+	if window <= 1 || len(samples) == 0 {
+		return samples
+	}
+	out := make([]float64, len(samples))
+	var acc float64
+	sq := make([]float64, len(samples))
+	for i, v := range samples {
+		sq[i] = v * v
+		acc += sq[i]
+		if i >= window {
+			acc -= sq[i-window]
+		}
+		n := window
+		if i < window {
+			n = i + 1
+		}
+		rms := math.Sqrt(acc / float64(n))
+		if rms == 0 {
+			out[i] = 0
+		} else {
+			out[i] = v / rms
+		}
+	}
+	return out
+}
+
+// OneBitNormalize applies sign-bit temporal normalization.
+func OneBitNormalize(samples []float64) []float64 {
+	out := make([]float64, len(samples))
+	for i, v := range samples {
+		switch {
+		case v > 0:
+			out[i] = 1
+		case v < 0:
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// CrossCorrelate computes the normalized cross-correlation of two equal-rate
+// traces at the given lag range, returning the correlation series. It backs
+// the phase-2 PE used by the extended example.
+func CrossCorrelate(a, b []float64, maxLag int) []float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]float64, 2*maxLag+1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			j := i + lag
+			if j < 0 || j >= n {
+				continue
+			}
+			sum += a[i] * b[j]
+		}
+		out[lag+maxLag] = sum / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package galaxy implements the paper's first use case: the Internal
+// Extinction of Galaxies workflow (Section 4.1) — four stateless PEs that
+// read galaxy coordinates, fetch VO tables, filter columns, and compute the
+// internal extinction metric.
+//
+//	readRaDec → getVOTable → filterColumns → internalExtinction
+//
+// The paper scales the workload two ways, both reproduced here: the stream
+// length (1X = 100 galaxies, 3X, 5X, 10X) and a "heavy" variant that adds a
+// beta(2,5)-distributed delay inside getVOTable and filterColumns. Real
+// service times (seconds: VO-service downloads) are scaled to milliseconds;
+// the relative weights are preserved.
+package galaxy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/synth"
+)
+
+// Workload multipliers from the paper.
+const (
+	// BaseGalaxies is the 1X stream length.
+	BaseGalaxies = 100
+)
+
+// Config parameterizes the workflow.
+type Config struct {
+	// Galaxies is the stream length; 0 means BaseGalaxies (1X).
+	Galaxies int
+	// Heavy adds the beta(2,5) delay to getVOTable and filterColumns.
+	Heavy bool
+	// HeavyMax is the maximum heavy delay (the paper's 1 second, scaled);
+	// 0 means 20ms.
+	HeavyMax time.Duration
+	// VORows is the VO table length per galaxy; 0 means 3.
+	VORows int
+	// Seed drives the synthetic catalog; the run seed is separate.
+	Seed int64
+	// OnResult, when non-nil, receives every computed extinction value.
+	// It must be safe for concurrent use.
+	OnResult func(name string, extinction float64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Galaxies <= 0 {
+		c.Galaxies = BaseGalaxies
+	}
+	if c.HeavyMax <= 0 {
+		c.HeavyMax = 20 * time.Millisecond
+	}
+	if c.VORows <= 0 {
+		c.VORows = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Scaled returns a config with the paper's NX stream-length multiplier.
+func Scaled(x int, heavy bool) Config {
+	return Config{Galaxies: BaseGalaxies * x, Heavy: heavy}
+}
+
+// VOTablePayload carries a galaxy with its downloaded VO table.
+type VOTablePayload struct {
+	Galaxy synth.Galaxy
+	Rows   []synth.VOTableRow
+}
+
+// FilteredPayload carries the two columns the extinction computation needs.
+type FilteredPayload struct {
+	Name      string
+	MorphType float64
+	LogR25    float64
+}
+
+// ResultPayload is the computed extinction for one galaxy.
+type ResultPayload struct {
+	Name       string
+	Extinction float64
+}
+
+func init() {
+	codec.Register(synth.Galaxy{})
+	codec.Register(VOTablePayload{})
+	codec.Register(FilteredPayload{})
+	codec.Register(ResultPayload{})
+}
+
+// Base service times (scaled from the real workflow's profile: the VO
+// download dominates, filtering is cheap, the computation cheapest).
+const (
+	readCost   = 100 * time.Microsecond
+	voCost     = 2 * time.Millisecond
+	filterCost = 1 * time.Millisecond
+	extCost    = 500 * time.Microsecond
+)
+
+// New builds the abstract workflow.
+func New(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	g := graph.New("galaxy")
+
+	g.Add(func() core.PE {
+		return core.NewSource("readRaDec", func(ctx *core.Context) error {
+			catalog := synth.GalaxyCatalog(cfg.Seed, cfg.Galaxies)
+			for _, gal := range catalog {
+				ctx.Work(readCost)
+				if err := ctx.EmitDefault(gal); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+
+	g.Add(func() core.PE {
+		return core.NewMap("getVOTable", func(ctx *core.Context, v any) (any, error) {
+			gal, ok := v.(synth.Galaxy)
+			if !ok {
+				return nil, fmt.Errorf("getVOTable: unexpected payload %T", v)
+			}
+			ctx.Work(voCost)
+			if cfg.Heavy {
+				frac := synth.Beta(ctx.Rand(), 2, 5)
+				ctx.Work(time.Duration(frac * float64(cfg.HeavyMax)))
+			}
+			rows := synth.MakeVOTable(gal, cfg.VORows, cfg.Seed)
+			return VOTablePayload{Galaxy: gal, Rows: rows}, nil
+		})
+	})
+
+	g.Add(func() core.PE {
+		return core.NewMap("filterColumns", func(ctx *core.Context, v any) (any, error) {
+			p, ok := v.(VOTablePayload)
+			if !ok {
+				return nil, fmt.Errorf("filterColumns: unexpected payload %T", v)
+			}
+			ctx.Work(filterCost)
+			if cfg.Heavy {
+				frac := synth.Beta(ctx.Rand(), 2, 5)
+				ctx.Work(time.Duration(frac * float64(cfg.HeavyMax)))
+			}
+			if len(p.Rows) == 0 {
+				return nil, fmt.Errorf("filterColumns: galaxy %s has empty VO table", p.Galaxy.Name)
+			}
+			row := p.Rows[0]
+			return FilteredPayload{
+				Name:      p.Galaxy.Name,
+				MorphType: row.Columns["t"],
+				LogR25:    row.Columns["logr25"],
+			}, nil
+		})
+	})
+
+	g.Add(func() core.PE {
+		return core.NewEach("internalExtinction", func(ctx *core.Context, v any) error {
+			p, ok := v.(FilteredPayload)
+			if !ok {
+				return fmt.Errorf("internalExtinction: unexpected payload %T", v)
+			}
+			ctx.Work(extCost)
+			ext := synth.InternalExtinction(p.MorphType, p.LogR25)
+			if cfg.OnResult != nil {
+				cfg.OnResult(p.Name, ext)
+			}
+			return ctx.EmitDefault(ResultPayload{Name: p.Name, Extinction: ext})
+		})
+	})
+
+	g.Pipe("readRaDec", "getVOTable")
+	g.Pipe("getVOTable", "filterColumns")
+	g.Pipe("filterColumns", "internalExtinction")
+	return g
+}

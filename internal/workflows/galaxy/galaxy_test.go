@@ -1,0 +1,125 @@
+package galaxy
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Galaxies != BaseGalaxies || cfg.HeavyMax != 20*time.Millisecond || cfg.VORows != 3 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	cfg := Scaled(10, false)
+	if cfg.Galaxies != 1000 || cfg.Heavy {
+		t.Errorf("Scaled(10,false) = %+v", cfg)
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := New(Config{Galaxies: 5})
+	if len(g.Nodes()) != 4 {
+		t.Fatalf("galaxy has %d PEs, want 4 per the paper", len(g.Nodes()))
+	}
+	want := []string{"readRaDec", "getVOTable", "filterColumns", "internalExtinction"}
+	for i, n := range g.Nodes() {
+		if n.Name != want[i] {
+			t.Errorf("node %d = %s want %s", i, n.Name, want[i])
+		}
+	}
+	if g.HasStateful() || g.HasNonShuffleGrouping() {
+		t.Error("galaxy must be fully stateless with shuffle groupings")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drive runs the graph synchronously through bare PE instances (no engine),
+// verifying the PE contract directly.
+func drive(t *testing.T, cfg Config) int {
+	t.Helper()
+	g := New(cfg)
+	pes := map[string]core.PE{}
+	for _, n := range g.Nodes() {
+		pes[n.Name] = n.Factory()
+	}
+	var results int
+	var route func(from, port string, v any) error
+	mkCtx := func(name string) *core.Context {
+		return core.NewContext(name, 0, nil, synth.NewRand(1), func(port string, v any) error {
+			return route(name, port, v)
+		})
+	}
+	route = func(from, port string, v any) error {
+		for _, e := range g.OutEdges(from) {
+			if err := pes[e.To].Process(mkCtx(e.To), e.ToPort, v); err != nil {
+				return err
+			}
+		}
+		if from == "internalExtinction" {
+			results++
+		}
+		return nil
+	}
+	src := pes["readRaDec"].(core.Source)
+	if err := src.Generate(mkCtx("readRaDec")); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestPipelineProducesOneResultPerGalaxy(t *testing.T) {
+	if got := drive(t, Config{Galaxies: 7, VORows: 2}); got != 7 {
+		t.Errorf("results=%d want 7", got)
+	}
+}
+
+func TestOnResultCallback(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]float64{}
+	cfg := Config{Galaxies: 4, OnResult: func(name string, ext float64) {
+		mu.Lock()
+		got[name] = ext
+		mu.Unlock()
+	}}
+	drive(t, cfg)
+	if len(got) != 4 {
+		t.Fatalf("callback fired %d times", len(got))
+	}
+	for name, ext := range got {
+		if ext < 0 {
+			t.Errorf("%s: negative extinction %v", name, ext)
+		}
+	}
+}
+
+func TestPEsRejectWrongPayloads(t *testing.T) {
+	g := New(Config{Galaxies: 1})
+	ctx := core.NewContext("t", 0, nil, nil, func(string, any) error { return nil })
+	for _, name := range []string{"getVOTable", "filterColumns", "internalExtinction"} {
+		pe := g.Node(name).Factory()
+		if err := pe.Process(ctx, core.PortIn, "wrong type"); err == nil {
+			t.Errorf("%s accepted a bogus payload", name)
+		}
+	}
+}
+
+func TestHeavyConfigAddsWork(t *testing.T) {
+	start := time.Now()
+	drive(t, Config{Galaxies: 3, Heavy: true, HeavyMax: 10 * time.Millisecond})
+	heavy := time.Since(start)
+	start = time.Now()
+	drive(t, Config{Galaxies: 3})
+	std := time.Since(start)
+	if heavy <= std {
+		t.Errorf("heavy %v not slower than standard %v", heavy, std)
+	}
+}

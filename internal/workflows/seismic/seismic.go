@@ -1,0 +1,306 @@
+// Package seismic implements the paper's second use case: phase 1 of the
+// Seismic Cross-Correlation workflow (Section 4.2) — nine interconnected
+// stateless PEs with a deliberately imbalanced cost profile ("the
+// intermediate PEs only do calculations in main memory, but the last PE
+// writes data into the disk").
+//
+//	readStations → fetchWaveform → decimate → detrend → demean →
+//	  filterBand → whiten → normalize → writeData
+//
+// The signal transforms are real (package synth); the per-PE service costs
+// are scaled from the original profile, with fetch and the disk writer
+// heaviest. Phase 2 (the cross-correlation of station pairs under a
+// grouping) is provided by NewPhase2 for the stateful examples.
+package seismic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/synth"
+)
+
+// Config parameterizes the workflow.
+type Config struct {
+	// Stations is the number of stations; 0 means 50 (the paper's input).
+	Stations int
+	// Samples is the per-trace sample count; 0 means 3000.
+	Samples int
+	// OutDir receives the written traces; empty means discard (the write
+	// cost is still modeled).
+	OutDir string
+	// Seed drives the synthetic waveforms.
+	Seed int64
+	// OnWrite, when non-nil, observes every written trace (station, bytes).
+	// It must be safe for concurrent use.
+	OnWrite func(station string, size int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stations <= 0 {
+		c.Stations = 50
+	}
+	if c.Samples <= 0 {
+		c.Samples = 3000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TracePayload is the waveform flowing between the processing PEs.
+type TracePayload struct {
+	Station string
+	Rate    float64
+	Samples []float64
+}
+
+func init() {
+	codec.Register(TracePayload{})
+	codec.Register(PairPayload{})
+}
+
+// Per-PE service costs: the imbalance is the point (reader and transforms
+// cheap-to-moderate, fetch and disk write heavy).
+const (
+	readCost      = 100 * time.Microsecond
+	fetchCost     = 2 * time.Millisecond
+	decimateCost  = 800 * time.Microsecond
+	detrendCost   = 1 * time.Millisecond
+	demeanCost    = 600 * time.Microsecond
+	filterCost    = 2500 * time.Microsecond
+	whitenCost    = 1800 * time.Microsecond
+	normalizeCost = 500 * time.Microsecond
+	writeCost     = 3 * time.Millisecond
+)
+
+// transform builds a map PE over TracePayload.
+func transform(name string, cost time.Duration, fn func(samples []float64) []float64) func() core.PE {
+	return func() core.PE {
+		return core.NewMap(name, func(ctx *core.Context, v any) (any, error) {
+			tr, ok := v.(TracePayload)
+			if !ok {
+				return nil, fmt.Errorf("%s: unexpected payload %T", name, v)
+			}
+			ctx.Work(cost)
+			out := fn(append([]float64(nil), tr.Samples...))
+			return TracePayload{Station: tr.Station, Rate: tr.Rate, Samples: out}, nil
+		})
+	}
+}
+
+// New builds the 9-PE phase-1 abstract workflow.
+func New(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	g := graph.New("seismic")
+
+	g.Add(func() core.PE {
+		return core.NewSource("readStations", func(ctx *core.Context) error {
+			for _, st := range synth.Stations(cfg.Stations) {
+				ctx.Work(readCost)
+				if err := ctx.EmitDefault(st); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+
+	g.Add(func() core.PE {
+		return core.NewMap("fetchWaveform", func(ctx *core.Context, v any) (any, error) {
+			station, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("fetchWaveform: unexpected payload %T", v)
+			}
+			ctx.Work(fetchCost)
+			tr := synth.MakeTrace(station, cfg.Samples, cfg.Seed^int64(stationHash(station)))
+			return TracePayload{Station: tr.Station, Rate: tr.SampleRate, Samples: tr.Samples}, nil
+		})
+	})
+
+	g.Add(transform("decimate", decimateCost, func(s []float64) []float64 { return synth.Decimate(s, 2) }))
+	g.Add(transform("detrend", detrendCost, synth.Detrend))
+	g.Add(transform("demean", demeanCost, synth.Demean))
+	g.Add(transform("filterBand", filterCost, func(s []float64) []float64 { return synth.LowPassFIR(s, 16) }))
+	g.Add(transform("whiten", whitenCost, func(s []float64) []float64 { return synth.Whiten(s, 64) }))
+	g.Add(transform("normalize", normalizeCost, synth.OneBitNormalize))
+
+	g.Add(func() core.PE {
+		return core.NewSink("writeData", func(ctx *core.Context, v any) error {
+			tr, ok := v.(TracePayload)
+			if !ok {
+				return fmt.Errorf("writeData: unexpected payload %T", v)
+			}
+			ctx.Work(writeCost)
+			data := encodeTrace(tr)
+			if cfg.OutDir != "" {
+				path := filepath.Join(cfg.OutDir, tr.Station+".trace")
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return fmt.Errorf("writeData: %w", err)
+				}
+			}
+			if cfg.OnWrite != nil {
+				cfg.OnWrite(tr.Station, len(data))
+			}
+			return nil
+		})
+	})
+
+	chain := []string{
+		"readStations", "fetchWaveform", "decimate", "detrend", "demean",
+		"filterBand", "whiten", "normalize", "writeData",
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		g.Pipe(chain[i], chain[i+1])
+	}
+	return g
+}
+
+// encodeTrace renders a trace as a simple text format for the disk writer.
+func encodeTrace(tr TracePayload) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# station=%s rate=%g n=%d\n", tr.Station, tr.Rate, len(tr.Samples))
+	for _, s := range tr.Samples {
+		fmt.Fprintf(&b, "%.5f\n", s)
+	}
+	return []byte(b.String())
+}
+
+func stationHash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// --- Phase 2: cross-correlation (stateful) -----------------------------------
+
+// PairPayload is a cross-correlation result for a station pair.
+type PairPayload struct {
+	A, B string
+	Peak float64
+}
+
+// NewPhase2 builds the second phase as a stateful workflow: traces are
+// grouped onto a stateful pairing PE that cross-correlates consecutive
+// traces per group and emits peak correlations; a global top-K PE ranks
+// them. The paper keeps phase 2 out of its dynamic experiments precisely
+// because of this grouping; it is included here for the hybrid mapping and
+// the extended examples.
+func NewPhase2(cfg Config, k int, onTop func([]PairPayload)) *graph.Graph {
+	cfg = cfg.withDefaults()
+	if k <= 0 {
+		k = 3
+	}
+	g := graph.New("seismic-xcorr")
+
+	g.Add(func() core.PE {
+		return core.NewSource("readTraces", func(ctx *core.Context) error {
+			for _, st := range synth.Stations(cfg.Stations) {
+				ctx.Work(readCost)
+				tr := synth.MakeTrace(st, cfg.Samples, cfg.Seed^int64(stationHash(st)))
+				norm := synth.OneBitNormalize(synth.Demean(tr.Samples))
+				if err := ctx.EmitDefault(TracePayload{Station: st, Rate: tr.SampleRate, Samples: norm}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+
+	g.Add(newPairer).SetInstances(4).SetStateful(true)
+	g.Add(func() core.PE { return newTopK(k, onTop) }).SetInstances(1).SetStateful(true)
+
+	g.Pipe("readTraces", "xcorrPair").SetGrouping(graph.GroupByKey(func(v any) string {
+		// Group stations into bands so pairs form within a band.
+		tr := v.(TracePayload)
+		return tr.Station[:len(tr.Station)-1]
+	}))
+	g.Pipe("xcorrPair", "topPairs").SetGrouping(graph.GlobalGrouping())
+	return g
+}
+
+// pairer cross-correlates each incoming trace against the previous one in
+// its group (stateful: it must see every trace of its keys).
+type pairer struct {
+	core.Base
+	prev map[string]TracePayload
+}
+
+func newPairer() core.PE {
+	return &pairer{Base: core.NewBase("xcorrPair", core.In(), core.Out()), prev: map[string]TracePayload{}}
+}
+
+// Process implements core.PE.
+func (p *pairer) Process(ctx *core.Context, port string, v any) error {
+	tr, ok := v.(TracePayload)
+	if !ok {
+		return fmt.Errorf("xcorrPair: unexpected payload %T", v)
+	}
+	ctx.Work(filterCost) // correlation cost on par with filtering
+	band := tr.Station[:len(tr.Station)-1]
+	if prev, ok := p.prev[band]; ok {
+		cc := synth.CrossCorrelate(prev.Samples, tr.Samples, 16)
+		peak := 0.0
+		for _, c := range cc {
+			if c > peak {
+				peak = c
+			}
+		}
+		if err := ctx.EmitDefault(PairPayload{A: prev.Station, B: tr.Station, Peak: peak}); err != nil {
+			return err
+		}
+	}
+	p.prev[band] = tr
+	return nil
+}
+
+// topK keeps the k best-correlated pairs and flushes them at Final.
+type topK struct {
+	core.Base
+	k     int
+	pairs []PairPayload
+	onTop func([]PairPayload)
+}
+
+func newTopK(k int, onTop func([]PairPayload)) core.PE {
+	return &topK{Base: core.NewBase("topPairs", core.In(), core.Out()), k: k, onTop: onTop}
+}
+
+// Process implements core.PE.
+func (t *topK) Process(ctx *core.Context, port string, v any) error {
+	p, ok := v.(PairPayload)
+	if !ok {
+		return fmt.Errorf("topPairs: unexpected payload %T", v)
+	}
+	t.pairs = append(t.pairs, p)
+	return nil
+}
+
+// Final implements core.Finalizer.
+func (t *topK) Final(ctx *core.Context) error {
+	sort.Slice(t.pairs, func(i, j int) bool { return t.pairs[i].Peak > t.pairs[j].Peak })
+	top := t.pairs
+	if len(top) > t.k {
+		top = top[:t.k]
+	}
+	if t.onTop != nil {
+		t.onTop(append([]PairPayload(nil), top...))
+	}
+	for _, p := range top {
+		if err := ctx.EmitDefault(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

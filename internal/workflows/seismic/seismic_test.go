@@ -1,0 +1,158 @@
+package seismic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Stations != 50 || cfg.Samples != 3000 || cfg.Seed != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := New(Config{Stations: 3, Samples: 100})
+	if len(g.Nodes()) != 9 {
+		t.Fatalf("phase 1 has %d PEs, want 9", len(g.Nodes()))
+	}
+	if len(g.Sinks()) != 1 || g.Sinks()[0].Name != "writeData" {
+		t.Errorf("sink: %+v", g.Sinks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strictly linear: every node except source/sink has exactly one in and
+	// one out edge.
+	for _, n := range g.Nodes() {
+		in, out := len(g.InEdges(n.Name)), len(g.OutEdges(n.Name))
+		switch n.Name {
+		case "readStations":
+			if in != 0 || out != 1 {
+				t.Errorf("%s: %d in %d out", n.Name, in, out)
+			}
+		case "writeData":
+			if in != 1 || out != 0 {
+				t.Errorf("%s: %d in %d out", n.Name, in, out)
+			}
+		default:
+			if in != 1 || out != 1 {
+				t.Errorf("%s: %d in %d out", n.Name, in, out)
+			}
+		}
+	}
+}
+
+func TestTransformRejectsWrongPayload(t *testing.T) {
+	g := New(Config{Stations: 1, Samples: 50})
+	ctx := core.NewContext("t", 0, nil, nil, func(string, any) error { return nil })
+	for _, name := range []string{"decimate", "detrend", "filterBand", "writeData"} {
+		pe := g.Node(name).Factory()
+		if err := pe.Process(ctx, core.PortIn, 42); err == nil {
+			t.Errorf("%s accepted a bogus payload", name)
+		}
+	}
+}
+
+func TestTransformsPreserveStationAndShrinkOnlyAtDecimate(t *testing.T) {
+	g := New(Config{Stations: 1, Samples: 200})
+	var out any
+	ctx := core.NewContext("t", 0, nil, synth.NewRand(1), func(port string, v any) error {
+		out = v
+		return nil
+	})
+	tr := TracePayload{Station: "ST000", Rate: 100, Samples: make([]float64, 200)}
+	for i := range tr.Samples {
+		tr.Samples[i] = math.Sin(float64(i) / 5)
+	}
+	dec := g.Node("decimate").Factory()
+	if err := dec.Process(ctx, core.PortIn, tr); err != nil {
+		t.Fatal(err)
+	}
+	half := out.(TracePayload)
+	if half.Station != "ST000" || len(half.Samples) != 100 {
+		t.Errorf("decimate: %s %d samples", half.Station, len(half.Samples))
+	}
+	dm := g.Node("demean").Factory()
+	if err := dm.Process(ctx, core.PortIn, half); err != nil {
+		t.Fatal(err)
+	}
+	demeaned := out.(TracePayload)
+	if len(demeaned.Samples) != 100 {
+		t.Errorf("demean changed length: %d", len(demeaned.Samples))
+	}
+	if m := synth.Mean(demeaned.Samples); math.Abs(m) > 1e-9 {
+		t.Errorf("mean after demean: %v", m)
+	}
+}
+
+func TestEncodeTraceFormat(t *testing.T) {
+	data := encodeTrace(TracePayload{Station: "ST001", Rate: 100, Samples: []float64{1.25, -0.5}})
+	s := string(data)
+	if !strings.HasPrefix(s, "# station=ST001 rate=100 n=2\n") {
+		t.Errorf("header: %q", s)
+	}
+	if !strings.Contains(s, "1.25000\n") || !strings.Contains(s, "-0.50000\n") {
+		t.Errorf("samples: %q", s)
+	}
+}
+
+func TestPhase2GraphShape(t *testing.T) {
+	g := NewPhase2(Config{Stations: 10, Samples: 100}, 3, nil)
+	if len(g.Nodes()) != 3 {
+		t.Fatalf("phase 2 has %d PEs", len(g.Nodes()))
+	}
+	if !g.HasStateful() || !g.HasNonShuffleGrouping() {
+		t.Error("phase 2 must be stateful and grouped (that is its point)")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairerEmitsPerBandPairs(t *testing.T) {
+	p := newPairer().(*pairer)
+	var emitted []PairPayload
+	ctx := core.NewContext("xcorrPair", 0, nil, synth.NewRand(1), func(port string, v any) error {
+		emitted = append(emitted, v.(PairPayload))
+		return nil
+	})
+	mk := func(st string) TracePayload {
+		tr := synth.MakeTrace(st, 100, 1)
+		return TracePayload{Station: st, Rate: 100, Samples: tr.Samples}
+	}
+	// Two stations in band ST00x, one in band ST01x.
+	for _, st := range []string{"ST000", "ST010", "ST001"} {
+		if err := p.Process(ctx, core.PortIn, mk(st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("pairs: %+v", emitted)
+	}
+	if emitted[0].A != "ST000" || emitted[0].B != "ST001" {
+		t.Errorf("pair: %+v", emitted[0])
+	}
+}
+
+func TestTopKOrdersAndLimits(t *testing.T) {
+	var got []PairPayload
+	tk := newTopK(2, func(pairs []PairPayload) { got = pairs }).(*topK)
+	ctx := core.NewContext("topPairs", 0, nil, nil, func(port string, v any) error { return nil })
+	for _, peak := range []float64{0.1, 0.9, 0.5} {
+		if err := tk.Process(ctx, core.PortIn, PairPayload{A: "a", B: "b", Peak: peak}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tk.Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Peak != 0.9 || got[1].Peak != 0.5 {
+		t.Errorf("topK: %+v", got)
+	}
+}

@@ -1,0 +1,186 @@
+package sentiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/synth"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Articles != 120 || cfg.HappyInstances != 4 || cfg.TopInstances != 2 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestGraphShapeMatchesFigure7(t *testing.T) {
+	g := New(Config{Articles: 5})
+	if len(g.Nodes()) != 8 {
+		t.Fatalf("%d PEs", len(g.Nodes()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Stateful markers and instance counts from the paper's setup.
+	happy := g.Node("happyState")
+	top := g.Node("top3Happiest")
+	if !happy.Stateful || happy.Instances != 4 {
+		t.Errorf("happyState: %+v", happy)
+	}
+	if !top.Stateful || top.Instances != 2 {
+		t.Errorf("top3Happiest: %+v", top)
+	}
+	// Groupings: both edges into happyState are group-by; happy→top3 is
+	// global.
+	for _, e := range g.InEdges("happyState") {
+		if e.Grouping.Kind != graph.GroupBy {
+			t.Errorf("edge %s→happyState grouping %s", e.From, e.Grouping.Kind)
+		}
+	}
+	for _, e := range g.InEdges("top3Happiest") {
+		if e.Grouping.Kind != graph.Global {
+			t.Errorf("edge into top3 grouping %s", e.Grouping.Kind)
+		}
+	}
+	// The dual-pathway fan-out from the reader.
+	if len(g.OutEdges("readArticles")) != 2 {
+		t.Error("reader must feed both scoring pathways")
+	}
+	if g.MinStaticProcesses() != 14 {
+		t.Errorf("min static processes %d, want the paper's 14", g.MinStaticProcesses())
+	}
+}
+
+func TestFindStateDropsUnknownStates(t *testing.T) {
+	g := New(Config{Articles: 1})
+	pe := g.Node("findStateAFINN").Factory()
+	var emitted int
+	ctx := core.NewContext("findStateAFINN", 0, nil, nil, func(string, any) error {
+		emitted++
+		return nil
+	})
+	if err := pe.Process(ctx, core.PortIn, ScoredPayload{State: "Atlantis", Score: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 0 {
+		t.Error("unknown state should be dropped")
+	}
+	if err := pe.Process(ctx, core.PortIn, ScoredPayload{State: "Texas", Score: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 {
+		t.Error("known state should pass")
+	}
+}
+
+func TestHappyStateAggregatesOrderIndependently(t *testing.T) {
+	runOrder := func(scores []float64) float64 {
+		h := newHappyState().(*happyState)
+		ctx := core.NewContext("happyState", 0, nil, nil, func(string, any) error { return nil })
+		for _, s := range scores {
+			if err := h.Process(ctx, core.PortIn, ScoredPayload{State: "Ohio", Score: s}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got float64
+		fctx := core.NewContext("happyState", 0, nil, nil, func(port string, v any) error {
+			got = v.(StateScore).Score
+			return nil
+		})
+		if err := h.Final(fctx); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a := runOrder([]float64{0.1, 0.2, 0.3, -0.05, 1.17})
+	b := runOrder([]float64{1.17, -0.05, 0.3, 0.2, 0.1})
+	if a != b {
+		t.Errorf("aggregation order-dependent: %v vs %v", a, b)
+	}
+}
+
+func TestTop3RanksAndTruncates(t *testing.T) {
+	var got []StateScore
+	tp := newTop3(func(s []StateScore) { got = s }).(*top3)
+	ctx := core.NewContext("top3Happiest", 0, nil, nil, func(string, any) error { return nil })
+	for _, ss := range []StateScore{
+		{State: "Ohio", Score: 5}, {State: "Texas", Score: 9},
+		{State: "Utah", Score: 7}, {State: "Iowa", Score: 1},
+	} {
+		if err := tp.Process(ctx, core.PortIn, ss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fctx := core.NewContext("top3Happiest", 0, nil, nil, func(string, any) error { return nil })
+	if err := tp.Final(fctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].State != "Texas" || got[1].State != "Utah" || got[2].State != "Ohio" {
+		t.Errorf("top3: %+v", got)
+	}
+}
+
+func TestTop3EmptyInstanceStaysSilent(t *testing.T) {
+	called := false
+	tp := newTop3(func([]StateScore) { called = true }).(*top3)
+	ctx := core.NewContext("top3Happiest", 1, nil, nil, func(string, any) error { return nil })
+	if err := tp.Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("instance without data must not report")
+	}
+}
+
+func TestTop3TieBreaksByName(t *testing.T) {
+	var got []StateScore
+	tp := newTop3(func(s []StateScore) { got = s }).(*top3)
+	ctx := core.NewContext("top3Happiest", 0, nil, nil, func(string, any) error { return nil })
+	for _, st := range []string{"Utah", "Ohio", "Iowa"} {
+		if err := tp.Process(ctx, core.PortIn, StateScore{State: st, Score: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tp.Final(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].State != "Iowa" || got[1].State != "Ohio" || got[2].State != "Utah" {
+		t.Errorf("tie break: %+v", got)
+	}
+}
+
+func TestScorersAgreeInSign(t *testing.T) {
+	g := New(Config{Articles: 1})
+	art := synth.Articles(1, 1)[0]
+	var afinnScore, swn3Score float64
+	actx := core.NewContext("sentimentAFINN", 0, nil, nil, func(port string, v any) error {
+		afinnScore = v.(ScoredPayload).Score
+		return nil
+	})
+	if err := g.Node("sentimentAFINN").Factory().Process(actx, core.PortIn, art); err != nil {
+		t.Fatal(err)
+	}
+	var tokens TokensPayload
+	tctx := core.NewContext("tokenizeWD", 0, nil, nil, func(port string, v any) error {
+		tokens = v.(TokensPayload)
+		return nil
+	})
+	if err := g.Node("tokenizeWD").Factory().Process(tctx, core.PortIn, art); err != nil {
+		t.Fatal(err)
+	}
+	sctx := core.NewContext("sentimentSWN3", 0, nil, nil, func(port string, v any) error {
+		swn3Score = v.(ScoredPayload).Score
+		return nil
+	})
+	if err := g.Node("sentimentSWN3").Factory().Process(sctx, core.PortIn, tokens); err != nil {
+		t.Fatal(err)
+	}
+	if tokens.State != art.State {
+		t.Error("tokenizer lost the state")
+	}
+	if (afinnScore > 0) != (swn3Score > 0) && afinnScore != 0 && swn3Score != 0 {
+		t.Errorf("lexicons disagree in sign: afinn=%v swn3=%v", afinnScore, swn3Score)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/codec"
+	"repro/internal/core"
 	_ "repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -22,6 +24,7 @@ import (
 	_ "repro/internal/multiproc"
 	"repro/internal/platform"
 	_ "repro/internal/redismap"
+	"repro/internal/state"
 	"repro/internal/statics"
 	"repro/internal/workflows/galaxy"
 	"repro/internal/workflows/sentiment"
@@ -351,4 +354,164 @@ func BenchmarkAblationRedisCost(b *testing.B) {
 // harnessSeismic builds the quick-scale seismic graph via the catalog.
 func harnessSeismic(s harness.Scale) *graph.Graph {
 	return harness.Fig11(s)[0].MakeGraph()
+}
+
+// benchKeyed is the payload of the state-subsystem benchmark workload.
+type benchKeyed struct {
+	Key string
+	Val int64
+}
+
+func init() { codec.Register(benchKeyed{}) }
+
+// benchFieldCount is the legacy model: per-instance totals in PE fields.
+type benchFieldCount struct {
+	core.Base
+	totals map[string]int64
+}
+
+func (p *benchFieldCount) Process(ctx *core.Context, port string, v any) error {
+	it := v.(benchKeyed)
+	p.totals[it.Key] += it.Val
+	return nil
+}
+
+func (p *benchFieldCount) Final(ctx *core.Context) error {
+	for k, v := range p.totals {
+		if err := ctx.EmitDefault(fmt.Sprintf("%s=%d", k, v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchManagedCount is the same aggregation on the managed state subsystem.
+type benchManagedCount struct {
+	core.Base
+}
+
+func (p *benchManagedCount) Process(ctx *core.Context, port string, v any) error {
+	it := v.(benchKeyed)
+	_, err := ctx.State().AddInt(it.Key, it.Val)
+	return err
+}
+
+func (p *benchManagedCount) Final(ctx *core.Context) error {
+	entries, err := state.SortedEntries(ctx.State())
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := ctx.EmitDefault(e.Key + "=" + e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchKeyedGraph builds gen → count ×3 (group-by key) → sink.
+func benchKeyedGraph(items int, managed bool) *graph.Graph {
+	g := graph.New("benchstate")
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for i := 0; i < items; i++ {
+				if err := ctx.EmitDefault(benchKeyed{Key: keys[i%len(keys)], Val: int64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if managed {
+		g.Add(func() core.PE {
+			return &benchManagedCount{Base: core.NewBase("count", core.In(), core.Out())}
+		}).SetInstances(3).SetKeyedState()
+	} else {
+		g.Add(func() core.PE {
+			return &benchFieldCount{Base: core.NewBase("count", core.In(), core.Out()), totals: map[string]int64{}}
+		}).SetInstances(3).SetStateful(true)
+	}
+	g.Add(func() core.PE {
+		return core.NewSink("sink", func(ctx *core.Context, v any) error { return nil })
+	})
+	g.Pipe("gen", "count").SetGrouping(graph.GroupByKey(func(v any) string { return v.(benchKeyed).Key }))
+	g.Pipe("count", "sink")
+	return g
+}
+
+// BenchmarkStateFieldVsManaged compares the cost structures of the three
+// state models on one keyed aggregation workload: legacy field state,
+// managed state on the lock-sharded memory backend, and managed state on the
+// Redis backend — first under the static multi mapping (where field state is
+// the baseline), then managed state under the dynamic mappings field state
+// cannot use at all.
+func BenchmarkStateFieldVsManaged(b *testing.B) {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const items = 400
+
+	run := func(b *testing.B, mappingName string, g *graph.Graph, opts mapping.Options) {
+		b.Helper()
+		m, err := mapping.Get(mappingName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := m.Execute(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ops := rep.State.Total(); ops > 0 {
+			// One benchmark op is one Execute, so the per-run total is
+			// already the per-op figure.
+			b.ReportMetric(float64(ops), "state-ops/op")
+		}
+	}
+	baseOpts := func() mapping.Options {
+		return mapping.Options{Processes: 5, Platform: platform.Server, Seed: 3}
+	}
+
+	b.Run("field/multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, "multi", benchKeyedGraph(items, false), baseOpts())
+		}
+	})
+	b.Run("managed-memory/multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, "multi", benchKeyedGraph(items, true), baseOpts())
+		}
+	})
+	b.Run("managed-redis/multi", func(b *testing.B) {
+		// Backend pluggability: an in-process mapping with external Redis
+		// state (the resume-capable configuration).
+		backend := state.DialRedisBackend(srv.Addr(), "bench")
+		defer backend.Close()
+		for i := 0; i < b.N; i++ {
+			opts := baseOpts()
+			opts.StateBackend = backend
+			run(b, "multi", benchKeyedGraph(items, true), opts)
+		}
+	})
+	b.Run("managed-memory/dyn_multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, "dyn_multi", benchKeyedGraph(items, true), baseOpts())
+		}
+	})
+	b.Run("managed-redis/dyn_redis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := baseOpts()
+			opts.RedisAddr = srv.Addr()
+			run(b, "dyn_redis", benchKeyedGraph(items, true), opts)
+		}
+	})
+	b.Run("managed-redis/hybrid_redis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := baseOpts()
+			opts.RedisAddr = srv.Addr()
+			run(b, "hybrid_redis", benchKeyedGraph(items, true), opts)
+		}
+	})
 }

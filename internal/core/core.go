@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/platform"
+	"repro/internal/state"
 )
 
 // Default port names. Most PEs have a single input and a single output.
@@ -72,6 +73,7 @@ type Context struct {
 	host     *platform.Host
 	rng      *rand.Rand
 	emit     func(port string, value any) error
+	store    state.Store
 }
 
 // NewContext builds a Context. Mappings construct one per PE instance; emit
@@ -86,6 +88,27 @@ func (c *Context) PEName() string { return c.peName }
 
 // Instance returns the zero-based instance index of the PE copy running.
 func (c *Context) Instance() int { return c.instance }
+
+// State returns the PE's managed state store. It panics when the node
+// declared no managed state (graph.Node.SetKeyedState/SetSingletonState) —
+// a composition-time programming error, mirroring graph's panics.
+func (c *Context) State() state.Store {
+	if c.store == nil {
+		panic(fmt.Sprintf("core: PE %s has no managed state store; declare one with SetKeyedState or SetSingletonState on its graph node", c.peName))
+	}
+	return c.store
+}
+
+// HasState reports whether a managed state store is wired.
+func (c *Context) HasState() bool { return c.store != nil }
+
+// WithStore returns a copy of the context carrying the managed state store.
+// Mappings call it when constructing contexts for managed-state nodes.
+func (c *Context) WithStore(st state.Store) *Context {
+	cp := *c
+	cp.store = st
+	return &cp
+}
 
 // Emit sends value out of the named port. It blocks until the value is
 // accepted by the transport (channel, queue or Redis stream).

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/state"
 	"repro/internal/synth"
 )
 
@@ -46,17 +47,35 @@ func (DynAuto) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, er
 
 // ValidateDynamic rejects workflow features plain dynamic scheduling cannot
 // honor, mirroring the paper's limitation statement ("dynamic scheduling
-// exclusively manages stateless PEs and lacks support for grouping").
+// exclusively manages stateless PEs and lacks support for grouping") — with
+// one extension beyond the paper: nodes whose state is *managed* (package
+// state) are accepted, because their state lives in a shared atomic store
+// rather than in worker-local PE fields, so any worker may process any task
+// and a coordinator flushes each managed node's Final exactly once.
 func ValidateDynamic(g *graph.Graph, technique string) error {
-	if g.HasStateful() {
-		return fmt.Errorf("%s: workflow %s has stateful PEs; dynamic scheduling supports only stateless PEs (use hybrid_redis or multi)", technique, g.Name)
+	if g.HasUnmanagedStateful() {
+		return fmt.Errorf("%s: workflow %s has stateful PEs with unmanaged field state; dynamic scheduling supports only stateless or managed-state PEs (declare SetKeyedState/SetSingletonState, or use hybrid_redis or multi)", technique, g.Name)
 	}
-	if g.HasNonShuffleGrouping() {
-		return fmt.Errorf("%s: workflow %s uses groupings; dynamic scheduling supports only the default shuffle grouping (use hybrid_redis or multi)", technique, g.Name)
+	for _, e := range g.Edges() {
+		if e.Grouping.Kind == graph.Shuffle {
+			continue
+		}
+		dst := g.Node(e.To)
+		if e.Grouping.Kind == graph.OneToAll {
+			// Broadcast needs per-instance delivery, which a dynamic pool
+			// cannot express regardless of how the state is managed.
+			return fmt.Errorf("%s: edge %s→%s uses one-to-all grouping; dynamic scheduling has no instance identity to broadcast to (use hybrid_redis or multi)", technique, e.From, e.To)
+		}
+		if dst.HasManagedState() {
+			// Routing affinity is unnecessary: keyed/global semantics come
+			// from the shared store, not from which worker runs the task.
+			continue
+		}
+		return fmt.Errorf("%s: edge %s→%s uses %s grouping into a PE without managed state; dynamic scheduling supports only the default shuffle grouping (use hybrid_redis or multi)", technique, e.From, e.To, e.Grouping.Kind)
 	}
 	for _, n := range g.Nodes() {
-		if _, ok := n.Prototype.(core.Finalizer); ok {
-			return fmt.Errorf("%s: PE %s implements Final; per-instance finalization requires a stateful mapping (hybrid_redis or multi)", technique, n.Name)
+		if _, ok := n.Prototype.(core.Finalizer); ok && !n.HasManagedState() {
+			return fmt.Errorf("%s: PE %s implements Final without managed state; per-instance finalization requires a stateful mapping (hybrid_redis or multi)", technique, n.Name)
 		}
 	}
 	return nil
@@ -75,6 +94,17 @@ func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metr
 	q := NewQueue(host.SyncCost())
 	var pending atomic.Int64 // queued + in-flight real tasks
 	var tasks, outputs atomic.Int64
+
+	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend { return state.NewMemoryBackend() })
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	success := false
+	defer func() { ms.Finish(g, success) }()
+	// Managed-state graphs run in coordinated mode: workers never
+	// self-terminate; a coordinator drains the queue, flushes each managed
+	// node's Final exactly once (topological order), then poisons the pool.
+	coordinated := g.HasManagedState()
 
 	// Seed one generate task per source.
 	for _, src := range g.Sources() {
@@ -100,12 +130,14 @@ func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metr
 
 	var firstErr error
 	var errMu sync.Mutex
+	var failed atomic.Bool
 	fail := func(err error) {
 		errMu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
 		errMu.Unlock()
+		failed.Store(true)
 		// Poison everyone so the run unwinds promptly.
 		for i := 0; i < opts.Processes; i++ {
 			q.Push(Task{Poison: true})
@@ -121,18 +153,35 @@ func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metr
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(g, host, opts, name, w, q, ctrl, &pending, &tasks, &outputs, fail)
+			runWorker(g, host, opts, name, w, q, ctrl, ms, coordinated, &pending, &tasks, &outputs, fail)
 		}(w)
+	}
+	if coordinated {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runCoordinator(g, q, opts, &pending, &failed); err != nil && !failed.Load() {
+				fail(err)
+				return
+			}
+			for i := 0; i < opts.Processes; i++ {
+				q.Push(Task{Poison: true})
+			}
+			if ctrl != nil {
+				ctrl.Terminate()
+			}
+		}()
 	}
 	wg.Wait()
 	runtime := time.Since(start)
 
 	errMu.Lock()
-	err := firstErr
+	err = firstErr
 	errMu.Unlock()
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
+	success = true
 	return metrics.Report{
 		Workflow:    g.Name,
 		Mapping:     name,
@@ -142,7 +191,57 @@ func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metr
 		ProcessTime: host.TotalProcessTime(),
 		Tasks:       tasks.Load(),
 		Outputs:     outputs.Load(),
+		State:       ms.Ops(),
 	}, nil
+}
+
+// runCoordinator owns termination for managed-state graphs: it waits for the
+// queue to drain, then pushes one Finalize task per managed node carrying a
+// Final hook (topological order, draining between nodes so flushed values
+// propagate), mirroring hybrid_redis's coordinated flush phase.
+func runCoordinator(g *graph.Graph, q *Queue, opts mapping.Options, pending *atomic.Int64, failed *atomic.Bool) error {
+	// awaitDrain reports false when the run failed first — fail() owns that
+	// unwind, so the coordinator just stops. (Unlike the Redis variant there
+	// is no transport here, hence no error path of its own.)
+	awaitDrain := func() bool {
+		zeros := 0
+		for {
+			if failed.Load() {
+				return false
+			}
+			if pending.Load() == 0 {
+				zeros++
+				if zeros > opts.Retries {
+					return true
+				}
+			} else {
+				zeros = 0
+			}
+			time.Sleep(opts.PollTimeout)
+		}
+	}
+	if !awaitDrain() {
+		return nil
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		n := g.Node(name)
+		if !n.HasManagedState() {
+			continue
+		}
+		if _, ok := n.Prototype.(core.Finalizer); !ok {
+			continue
+		}
+		pending.Add(1)
+		q.Push(Task{PE: n.Name, Finalize: true})
+		if !awaitDrain() {
+			return nil
+		}
+	}
+	return nil
 }
 
 // runWorker is one dynamic process: it owns a private copy of every PE and
@@ -155,6 +254,8 @@ func runWorker(
 	w int,
 	q *Queue,
 	ctrl *autoscale.Controller,
+	ms *mapping.ManagedState,
+	coordinated bool,
 	pending, tasks, outputs *atomic.Int64,
 	fail func(error),
 ) {
@@ -181,8 +282,12 @@ func runWorker(
 			}
 			return nil
 		}
-		ctxs[n.Name] = core.NewContext(n.Name, w, host,
+		ctx := core.NewContext(n.Name, w, host,
 			synth.NewRand(opts.Seed^int64(w*7919)^int64(nodeHash(n.Name))), emit)
+		if st := ms.Store(n.Name); st != nil {
+			ctx = ctx.WithStore(st)
+		}
+		ctxs[n.Name] = ctx
 	}
 	for name, pe := range pes {
 		if ini, ok := pe.(core.Initializer); ok {
@@ -206,9 +311,11 @@ func runWorker(
 		t, ok := q.Pop(opts.PollTimeout)
 		if !ok {
 			retries++
-			if retries > opts.Retries && pending.Load() == 0 {
+			if !coordinated && retries > opts.Retries && pending.Load() == 0 {
 				// Termination: broadcast poison pills to wake the others,
 				// then exit (Section 3.2.3's retry + poison pill protocol).
+				// In coordinated (managed-state) mode the coordinator owns
+				// termination instead.
 				for i := 0; i < host.ProcessCount(); i++ {
 					q.Push(Task{Poison: true})
 				}
@@ -222,6 +329,17 @@ func runWorker(
 		retries = 0
 		if t.Poison {
 			return
+		}
+		if t.Finalize {
+			if fin, ok := pes[t.PE].(core.Finalizer); ok {
+				if err := fin.Final(ctxs[t.PE]); err != nil {
+					pending.Add(-1)
+					fail(fmt.Errorf("worker %d: final %s: %w", w, t.PE, err))
+					return
+				}
+			}
+			pending.Add(-1)
+			continue
 		}
 		tasks.Add(1)
 		if err := runTask(g, pes, ctxs, t); err != nil {

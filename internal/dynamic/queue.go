@@ -21,12 +21,15 @@ import (
 
 // Task is one schedulable unit: run PE's Process with value on port, or run
 // the PE's Generate when Port is empty (a source task), or terminate the
-// receiving worker when Poison is set.
+// receiving worker when Poison is set. Finalize asks whichever worker pops
+// the task to run the PE's Final hook (the coordinator's once-per-run flush
+// of a managed-state node).
 type Task struct {
-	PE     string
-	Port   string
-	Value  any
-	Poison bool
+	PE       string
+	Port     string
+	Value    any
+	Poison   bool
+	Finalize bool
 }
 
 // Queue is the dynamic global queue. Every operation holds the queue lock

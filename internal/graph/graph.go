@@ -107,6 +107,37 @@ func fnv32(s string) uint32 {
 	return h
 }
 
+// StateKind declares how a PE's cross-call state is managed.
+type StateKind int
+
+const (
+	// StateNone is the default: any state lives in PE struct fields and is
+	// invisible to the engine (the seed's legacy model).
+	StateNone StateKind = iota
+	// StateKeyed declares managed state partitioned by the GroupBy key of
+	// the node's in-edges: each key's entry is owned by whichever instance
+	// (or worker) the key routes to, so the PE scales past one instance.
+	StateKeyed
+	// StateSingleton declares one managed state cell for the whole PE
+	// (top-k style global aggregates). With instances > 1 the in-edges must
+	// use Global grouping so a single instance observes the stream.
+	StateSingleton
+)
+
+// String names the state kind.
+func (k StateKind) String() string {
+	switch k {
+	case StateNone:
+		return "none"
+	case StateKeyed:
+		return "keyed"
+	case StateSingleton:
+		return "singleton"
+	default:
+		return fmt.Sprintf("state(%d)", int(k))
+	}
+}
+
 // Node is one PE in the abstract workflow.
 type Node struct {
 	// Name is the unique node name (defaults to the prototype PE's name).
@@ -119,8 +150,13 @@ type Node struct {
 	// decide" (the static allocation formula).
 	Instances int
 	// Stateful marks PEs whose cross-call state must be preserved per
-	// instance. Dynamic (non-hybrid) mappings reject stateful nodes.
+	// instance. Dynamic (non-hybrid) mappings reject stateful nodes whose
+	// state is not managed (State == StateNone).
 	Stateful bool
+	// State declares managed state (package state). Managed-state nodes get
+	// a Store wired into their Context, may run under dynamic mappings, and
+	// have their Final hook invoked exactly once per run by the engine.
+	State StateKind
 }
 
 // SetInstances fixes the node's instance count and returns the node for
@@ -135,6 +171,26 @@ func (n *Node) SetStateful(stateful bool) *Node {
 	n.Stateful = stateful
 	return n
 }
+
+// SetKeyedState declares managed keyed state. The node is implicitly
+// stateful (static mappings pin its instances; hybrid gives it private
+// queues), but unlike legacy field state it may also run under the plain
+// dynamic mappings, because the managed store is shared and atomic.
+func (n *Node) SetKeyedState() *Node {
+	n.State = StateKeyed
+	n.Stateful = true
+	return n
+}
+
+// SetSingletonState declares managed singleton state.
+func (n *Node) SetSingletonState() *Node {
+	n.State = StateSingleton
+	n.Stateful = true
+	return n
+}
+
+// HasManagedState reports whether the node declared managed state.
+func (n *Node) HasManagedState() bool { return n.State != StateNone }
 
 // IsSource reports whether the node's PE generates the input stream.
 func (n *Node) IsSource() bool {
@@ -293,6 +349,38 @@ func (g *Graph) HasStateful() bool {
 	return false
 }
 
+// HasManagedState reports whether any node declares managed state.
+func (g *Graph) HasManagedState() bool {
+	for _, n := range g.nodes {
+		if n.HasManagedState() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasUnmanagedStateful reports whether any node is stateful without managed
+// state (the legacy field-state model dynamic mappings cannot run).
+func (g *Graph) HasUnmanagedStateful() bool {
+	for _, n := range g.nodes {
+		if n.Stateful && !n.HasManagedState() {
+			return true
+		}
+	}
+	return false
+}
+
+// ManagedStateNodes returns the managed-state nodes in insertion order.
+func (g *Graph) ManagedStateNodes() []*Node {
+	var out []*Node
+	for _, name := range g.order {
+		if n := g.nodes[name]; n.HasManagedState() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // HasNonShuffleGrouping reports whether any edge uses a grouping other than
 // shuffle. Plain dynamic scheduling cannot honor such groupings (the paper's
 // motivation for hybrid_redis).
@@ -324,6 +412,35 @@ func (g *Graph) Validate() error {
 	for _, e := range g.edges {
 		if e.Grouping.Kind == GroupBy && e.Grouping.Key == nil {
 			return fmt.Errorf("graph %s: edge %s→%s uses group-by without a key function", g.Name, e.From, e.To)
+		}
+	}
+	for _, name := range g.order {
+		n := g.nodes[name]
+		if !n.HasManagedState() {
+			continue
+		}
+		if n.IsSource() {
+			return fmt.Errorf("graph %s: source PE %q cannot declare managed state", g.Name, n.Name)
+		}
+		switch n.State {
+		case StateKeyed:
+			// Keyed state is partitioned by the group key: every in-edge
+			// must carry one, or the partition contract is meaningless.
+			for _, e := range g.InEdges(n.Name) {
+				if e.Grouping.Kind != GroupBy {
+					return fmt.Errorf("graph %s: edge %s→%s must use group-by (PE %s declares keyed state)",
+						g.Name, e.From, e.To, n.Name)
+				}
+			}
+		case StateSingleton:
+			if n.Instances > 1 {
+				for _, e := range g.InEdges(n.Name) {
+					if e.Grouping.Kind != Global {
+						return fmt.Errorf("graph %s: edge %s→%s must use global grouping (PE %s declares singleton state with %d instances)",
+							g.Name, e.From, e.To, n.Name, n.Instances)
+					}
+				}
+			}
 		}
 	}
 	if _, err := g.TopoSort(); err != nil {
@@ -384,6 +501,12 @@ func (g *Graph) AllocateInstances(processes int) (map[string]int, error) {
 			alloc[name] = n.Instances
 			fixed += n.Instances
 		case n.IsSource():
+			alloc[name] = 1
+			fixed++
+		case n.State == StateSingleton:
+			// A singleton-state node with no explicit count must not be
+			// spread by the flexible split: its Global-grouping contract is
+			// only validated for explicit Instances > 1, so pin it at 1.
 			alloc[name] = 1
 			fixed++
 		default:

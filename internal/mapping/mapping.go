@@ -26,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/state"
 )
 
 // Options configures one workflow execution.
@@ -58,6 +59,21 @@ type Options struct {
 	// Execution becomes at-least-once: a task abandoned mid-flight may be
 	// re-run by another worker.
 	RecoverStale bool
+	// StateBackend overrides the managed-state backend. nil means a private
+	// per-run backend (in-memory for the in-process mappings, a run-prefixed
+	// Redis backend for the Redis mappings). Supplying an external backend
+	// makes state survive the run: on failure the namespaces are kept, so a
+	// follow-up run with StateResume can pick up from the last checkpoint.
+	StateBackend state.Backend
+	// StateResume restores each managed store from its last checkpoint (when
+	// one exists) before execution instead of starting from empty state. It
+	// requires an explicit StateBackend — a default per-run backend cannot
+	// hold a previous run's checkpoints.
+	StateResume bool
+	// StateCheckpointEvery checkpoints each managed store after every N
+	// mutations (0 disables auto-checkpointing). Lower values bound the
+	// state lost to a crash at the cost of more checkpoint writes.
+	StateCheckpointEvery int
 }
 
 // WithDefaults fills zero-valued fields.

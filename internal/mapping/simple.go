@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/state"
 	"repro/internal/synth"
 )
 
@@ -35,6 +36,13 @@ func (Simple) Execute(g *graph.Graph, opts Options) (metrics.Report, error) {
 	proc.Activate()
 	defer proc.Deactivate()
 
+	ms, err := OpenManagedState(g, opts, func() state.Backend { return state.NewMemoryBackend() })
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	success := false
+	defer func() { ms.Finish(g, success) }()
+
 	var tasks, outputs atomic.Int64
 
 	// One instance per PE.
@@ -49,11 +57,15 @@ func (Simple) Execute(g *graph.Graph, opts Options) (metrics.Report, error) {
 	var route func(src, port string, value any) error
 	for _, n := range g.Nodes() {
 		n := n
-		ctxs[n.Name] = core.NewContext(
+		ctx := core.NewContext(
 			n.Name, 0, host,
 			synth.NewRand(opts.Seed^int64(graphNodeSeed(n.Name))),
 			func(port string, value any) error { return route(n.Name, port, value) },
 		)
+		if st := ms.Store(n.Name); st != nil {
+			ctx = ctx.WithStore(st)
+		}
+		ctxs[n.Name] = ctx
 	}
 	route = func(src, port string, value any) error {
 		for _, e := range g.OutEdges(src) {
@@ -108,6 +120,7 @@ func (Simple) Execute(g *graph.Graph, opts Options) (metrics.Report, error) {
 	}
 	runtime := time.Since(start)
 	proc.Deactivate()
+	success = true
 
 	return metrics.Report{
 		Workflow:    g.Name,
@@ -118,6 +131,7 @@ func (Simple) Execute(g *graph.Graph, opts Options) (metrics.Report, error) {
 		ProcessTime: host.TotalProcessTime(),
 		Tasks:       tasks.Load(),
 		Outputs:     outputs.Load(),
+		State:       ms.Ops(),
 	}, nil
 }
 

@@ -10,8 +10,92 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// StateOps summarizes managed-state store traffic of one run: how often PEs
+// hit the state layer, broken down by operation. It is the state-subsystem
+// analogue of Tasks/Outputs, letting the benches compare the cost of
+// field-state vs. managed-state (memory and Redis backends).
+type StateOps struct {
+	// Gets/Puts/Deletes/Adds/Updates count single-key operations.
+	Gets, Puts, Deletes, Adds, Updates int64
+	// Lists counts whole-namespace reads (Keys/Len/Snapshot sweeps).
+	Lists int64
+	// Snapshots/Restores count whole-store snapshot round-trips.
+	Snapshots, Restores int64
+	// Checkpoints counts durable checkpoint writes.
+	Checkpoints int64
+}
+
+// Total sums all counted operations.
+func (s StateOps) Total() int64 {
+	return s.Gets + s.Puts + s.Deletes + s.Adds + s.Updates + s.Lists + s.Snapshots + s.Restores + s.Checkpoints
+}
+
+// Sub returns the element-wise difference s - o (for diffing a shared
+// counter around one run).
+func (s StateOps) Sub(o StateOps) StateOps {
+	return StateOps{
+		Gets: s.Gets - o.Gets, Puts: s.Puts - o.Puts, Deletes: s.Deletes - o.Deletes,
+		Adds: s.Adds - o.Adds, Updates: s.Updates - o.Updates, Lists: s.Lists - o.Lists,
+		Snapshots: s.Snapshots - o.Snapshots, Restores: s.Restores - o.Restores,
+		Checkpoints: s.Checkpoints - o.Checkpoints,
+	}
+}
+
+// String renders the non-zero counters compactly.
+func (s StateOps) String() string {
+	if s.Total() == 0 {
+		return "state=∅"
+	}
+	return fmt.Sprintf("state[get=%d put=%d del=%d add=%d upd=%d list=%d snap=%d restore=%d ckpt=%d]",
+		s.Gets, s.Puts, s.Deletes, s.Adds, s.Updates, s.Lists, s.Snapshots, s.Restores, s.Checkpoints)
+}
+
+// StateCounter is the concurrency-safe accumulator behind StateOps. State
+// backends carry one and increment it on every store operation.
+type StateCounter struct {
+	gets, puts, deletes, adds, updates, lists, snapshots, restores, checkpoints atomic.Int64
+}
+
+// IncGet counts one Get.
+func (c *StateCounter) IncGet() { c.gets.Add(1) }
+
+// IncPut counts one Put.
+func (c *StateCounter) IncPut() { c.puts.Add(1) }
+
+// IncDelete counts one Delete.
+func (c *StateCounter) IncDelete() { c.deletes.Add(1) }
+
+// IncAdd counts one AddInt.
+func (c *StateCounter) IncAdd() { c.adds.Add(1) }
+
+// IncUpdate counts one atomic Update.
+func (c *StateCounter) IncUpdate() { c.updates.Add(1) }
+
+// IncList counts one whole-namespace read.
+func (c *StateCounter) IncList() { c.lists.Add(1) }
+
+// IncSnapshot counts one Snapshot.
+func (c *StateCounter) IncSnapshot() { c.snapshots.Add(1) }
+
+// IncRestore counts one Restore.
+func (c *StateCounter) IncRestore() { c.restores.Add(1) }
+
+// IncCheckpoint counts one checkpoint write.
+func (c *StateCounter) IncCheckpoint() { c.checkpoints.Add(1) }
+
+// Snapshot reads the current totals.
+func (c *StateCounter) Snapshot() StateOps {
+	return StateOps{
+		Gets: c.gets.Load(), Puts: c.puts.Load(), Deletes: c.deletes.Load(),
+		Adds: c.adds.Load(), Updates: c.updates.Load(), Lists: c.lists.Load(),
+		Snapshots: c.snapshots.Load(), Restores: c.restores.Load(),
+		Checkpoints: c.checkpoints.Load(),
+	}
+}
 
 // Report captures one workflow execution.
 type Report struct {
@@ -31,14 +115,21 @@ type Report struct {
 	Tasks int64
 	// Outputs counts values that reached sink PEs.
 	Outputs int64
+	// State summarizes managed-state store traffic (zero when the workflow
+	// uses no managed state).
+	State StateOps
 }
 
 // String renders a one-line summary.
 func (r Report) String() string {
-	return fmt.Sprintf("%-10s %-16s %-7s procs=%-3d runtime=%-9s proctime=%-10s tasks=%-6d outputs=%d",
+	s := fmt.Sprintf("%-10s %-16s %-7s procs=%-3d runtime=%-9s proctime=%-10s tasks=%-6d outputs=%d",
 		r.Workflow, r.Mapping, r.Platform, r.Processes,
 		r.Runtime.Round(time.Millisecond), r.ProcessTime.Round(time.Millisecond),
 		r.Tasks, r.Outputs)
+	if r.State.Total() > 0 {
+		s += " " + r.State.String()
+	}
+	return s
 }
 
 // Series is a sweep of runs of one technique over process counts.

@@ -54,6 +54,12 @@ func (Mapping) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, er
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}
+	if g.HasManagedState() {
+		// Managed state needs either instance-affine finalization barriers
+		// (multi) or a drain coordinator (dynamic, hybrid); the rank-based
+		// engine has neither yet.
+		return metrics.Report{}, fmt.Errorf("mpi: workflow %s declares managed state; use multi, the dynamic mappings, or hybrid_redis", g.Name)
+	}
 	alloc, err := g.AllocateInstances(opts.Processes)
 	if err != nil {
 		return metrics.Report{}, err

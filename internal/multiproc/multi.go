@@ -23,6 +23,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/state"
 	"repro/internal/synth"
 )
 
@@ -63,8 +64,18 @@ func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, erro
 	}
 	host := platform.NewHost(opts.Platform)
 
-	// Build all instances.
+	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend { return state.NewMemoryBackend() })
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	success := false
+	defer func() { ms.Finish(g, success) }()
+
+	// Build all instances. Managed-state nodes get a finalization barrier:
+	// instance 0 runs the node's single Final only after every sibling has
+	// stopped mutating the shared store.
 	instances := make(map[string][]*instance, len(g.Nodes()))
+	barriers := make(map[string]*sync.WaitGroup, len(g.Nodes()))
 	for _, n := range g.Nodes() {
 		count := alloc[n.Name]
 		list := make([]*instance, count)
@@ -72,6 +83,11 @@ func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, erro
 			list[i] = &instance{node: n, index: i, in: make(chan message, 256)}
 		}
 		instances[n.Name] = list
+		if n.HasManagedState() {
+			bar := &sync.WaitGroup{}
+			bar.Add(count - 1) // siblings of instance 0
+			barriers[n.Name] = bar
+		}
 	}
 	// Expected EOS per destination instance: one per (in-edge × upstream
 	// instance). Every upstream instance broadcasts EOS on each of its
@@ -150,7 +166,7 @@ func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, erro
 				proc := host.NewProcess(fmt.Sprintf("multi:%s:%d", n.Name, inst.index))
 				proc.Activate()
 				defer proc.Deactivate()
-				if err := runInstance(g, n, inst, instances, host, opts, newEmit(n), send, &tasks, abort); err != nil {
+				if err := runInstance(g, n, inst, instances, host, opts, ms, barriers[n.Name], newEmit(n), send, &tasks, abort); err != nil {
 					if err != errAborted {
 						fail(err)
 					}
@@ -167,6 +183,7 @@ func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, erro
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("multi: %w", err)
 	}
+	success = true
 	return metrics.Report{
 		Workflow:    g.Name,
 		Mapping:     "multi",
@@ -176,6 +193,7 @@ func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, erro
 		ProcessTime: host.TotalProcessTime(),
 		Tasks:       tasks.Load(),
 		Outputs:     outputs.Load(),
+		State:       ms.Ops(),
 	}, nil
 }
 
@@ -190,6 +208,8 @@ func runInstance(
 	instances map[string][]*instance,
 	host *platform.Host,
 	opts mapping.Options,
+	ms *mapping.ManagedState,
+	barrier *sync.WaitGroup,
 	emit func(port string, value any) error,
 	send func(dst *instance, m message) bool,
 	tasks *atomic.Int64,
@@ -198,6 +218,19 @@ func runInstance(
 	pe := n.Factory()
 	rng := synth.NewRand(opts.Seed ^ int64(instSeed(n.Name, inst.index)))
 	ctx := core.NewContext(n.Name, inst.index, host, rng, emit)
+	if st := ms.Store(n.Name); st != nil {
+		ctx = ctx.WithStore(st)
+	}
+
+	// Sibling instances of a managed-state node must release the barrier on
+	// every exit path, or instance 0 would wait forever on an aborted run.
+	var barrierOnce sync.Once
+	barrierDone := func() {
+		if barrier != nil && inst.index != 0 {
+			barrierOnce.Do(barrier.Done)
+		}
+	}
+	defer barrierDone()
 
 	// sendEOS broadcasts end-of-stream on every out-edge.
 	sendEOS := func() {
@@ -246,6 +279,28 @@ func runInstance(
 			return errAborted
 		}
 	}
+	if n.HasManagedState() {
+		// The engine's Final-once contract: siblings release the barrier and
+		// go straight to EOS; instance 0 waits for them (no more writes to
+		// the shared store) and runs the node's single Final over the whole
+		// namespace. Its own EOS follows the Final emissions, so downstream
+		// cannot terminate before seeing them.
+		if inst.index != 0 {
+			barrierDone()
+			sendEOS()
+			return nil
+		}
+		if !waitBarrier(barrier, abort) {
+			return errAborted
+		}
+		if fin, ok := pe.(core.Finalizer); ok {
+			if err := fin.Final(ctx); err != nil {
+				return fmt.Errorf("PE %s[%d] final: %w", n.Name, inst.index, err)
+			}
+		}
+		sendEOS()
+		return nil
+	}
 	if fin, ok := pe.(core.Finalizer); ok {
 		if err := fin.Final(ctx); err != nil {
 			return fmt.Errorf("PE %s[%d] final: %w", n.Name, inst.index, err)
@@ -253,6 +308,21 @@ func runInstance(
 	}
 	sendEOS()
 	return nil
+}
+
+// waitBarrier waits for wg, abandoning on abort.
+func waitBarrier(wg *sync.WaitGroup, abort <-chan struct{}) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-abort:
+		return false
+	}
 }
 
 // instSeed mixes a PE name and instance index into a seed component.

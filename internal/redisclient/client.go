@@ -242,6 +242,59 @@ func (c *Client) HGetAll(key string) (map[string]string, error) {
 	return out, nil
 }
 
+// HGet fetches one hash field; ok=false when the field is missing.
+func (c *Client) HGet(key, field string) (string, bool, error) {
+	return c.DoString("HGET", key, field)
+}
+
+// HDel removes hash fields, returning how many existed.
+func (c *Client) HDel(key string, fields ...string) (int64, error) {
+	return c.DoInt(append([]string{"HDEL", key}, fields...)...)
+}
+
+// HKeys lists the field names of a hash.
+func (c *Client) HKeys(key string) ([]string, error) {
+	v, err := c.Do("HKEYS", key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(v.Array))
+	for _, f := range v.Array {
+		out = append(out, f.Str)
+	}
+	return out, nil
+}
+
+// HLen returns the number of fields in a hash.
+func (c *Client) HLen(key string) (int64, error) { return c.DoInt("HLEN", key) }
+
+// HIncrBy adds delta to an integer hash field, returning the new value. The
+// increment is atomic on the server, which makes it the fast path for keyed
+// counter state.
+func (c *Client) HIncrBy(key, field string, delta int64) (int64, error) {
+	return c.DoInt("HINCRBY", key, field, strconv.FormatInt(delta, 10))
+}
+
+// SetNX sets key only when absent, reporting whether it was set; a non-zero
+// ttl expires the key (SET NX PX, one atomic command). It is the primitive
+// behind the state layer's per-key update locks.
+func (c *Client) SetNX(key, value string, ttl time.Duration) (bool, error) {
+	args := []string{"SET", key, value, "NX"}
+	if ttl > 0 {
+		args = append(args, "PX", strconv.FormatInt(ttl.Milliseconds(), 10))
+	}
+	v, err := c.Do(args...)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull(), nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	return c.DoInt(append([]string{"DEL"}, keys...)...)
+}
+
 // --- Streams -----------------------------------------------------------------
 
 // StreamEntry is one stream record as seen by a client.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/redisclient"
+	"repro/internal/state"
 	"repro/internal/synth"
 )
 
@@ -64,6 +65,26 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	if err := cl.XGroupCreate(keys.queue, keys.group, "0"); err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: create consumer group: %w", name, err)
 	}
+
+	if g.HasManagedState() && opts.RecoverStale {
+		// XAUTOCLAIM replay re-runs Process (and possibly Finalize) for
+		// tasks whose worker stalled past the idle threshold; managed store
+		// mutations are not yet idempotent (no sequence-number fencing, see
+		// ROADMAP), so the combination would silently double-apply state.
+		return metrics.Report{}, fmt.Errorf("%s: Options.RecoverStale is not supported with managed-state PEs (at-least-once replay would double-apply store mutations)", name)
+	}
+	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend {
+		return state.NewRedisBackend(cl, keys.prefix+":state")
+	})
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	success := false
+	defer func() { ms.Finish(g, success) }()
+	// Managed-state graphs run in coordinated mode (see package dynamic):
+	// the coordinator drains the stream, flushes managed Finals once each,
+	// then poisons the pool; workers never self-terminate.
+	coordinated := g.HasManagedState()
 
 	host := platform.NewHost(opts.Platform)
 	var tasks, outputs atomic.Int64
@@ -118,12 +139,14 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	var firstErr error
 	var errMu sync.Mutex
 	var poisoned atomic.Bool
+	var failed atomic.Bool
 	fail := func(err error) {
 		errMu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
 		errMu.Unlock()
+		failed.Store(true)
 		broadcastPills(cl, keys, opts.Processes, &poisoned)
 		if ctrl != nil {
 			ctrl.Terminate()
@@ -136,8 +159,22 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runRedisWorker(g, host, opts, name, w, keys, ctrl, &tasks, &outputs, &poisoned, fail)
+			runRedisWorker(g, host, opts, name, w, keys, ctrl, ms, coordinated, &tasks, &outputs, &poisoned, fail)
 		}(w)
+	}
+	if coordinated {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runStreamCoordinator(g, cl, keys, opts, &failed); err != nil && !failed.Load() {
+				fail(err)
+				return
+			}
+			broadcastPills(cl, keys, opts.Processes, &poisoned)
+			if ctrl != nil {
+				ctrl.Terminate()
+			}
+		}()
 	}
 	wg.Wait()
 	runtime := time.Since(start)
@@ -148,6 +185,7 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
+	success = true
 	return metrics.Report{
 		Workflow:    g.Name,
 		Mapping:     name,
@@ -157,7 +195,50 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 		ProcessTime: host.TotalProcessTime(),
 		Tasks:       tasks.Load(),
 		Outputs:     outputs.Load(),
+		State:       ms.Ops(),
 	}, nil
+}
+
+// runStreamCoordinator is the managed-state termination protocol of the
+// dynamic Redis mappings: drain the global stream, then push one Finalize
+// task per managed node carrying a Final hook (topological order, draining
+// between nodes so flushed values propagate through the pool).
+func runStreamCoordinator(g *graph.Graph, cl *redisclient.Client, keys runKeys, opts mapping.Options, failed *atomic.Bool) error {
+	// drain distinguishes "a worker already failed" (fail() owns the
+	// unwind; report nothing) from a real Redis error mid-drain, which must
+	// propagate or the run would report success with Finals never flushed.
+	drain := func() (aborted bool, err error) {
+		if err := awaitDrain(cl, keys, opts, failed); err != nil {
+			if failed.Load() {
+				return true, nil
+			}
+			return false, err
+		}
+		return false, nil
+	}
+	if aborted, err := drain(); aborted || err != nil {
+		return err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		n := g.Node(name)
+		if !n.HasManagedState() {
+			continue
+		}
+		if _, ok := n.Prototype.(core.Finalizer); !ok {
+			continue
+		}
+		if err := pushStream(cl, keys, codec.Task{PE: n.Name, Instance: -1, Finalize: true}); err != nil {
+			return err
+		}
+		if aborted, err := drain(); aborted || err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // broadcastPills pushes one poison pill per worker, once.
@@ -181,6 +262,8 @@ func runRedisWorker(
 	w int,
 	keys runKeys,
 	ctrl *autoscale.Controller,
+	ms *mapping.ManagedState,
+	coordinated bool,
 	tasks, outputs *atomic.Int64,
 	poisoned *atomic.Bool,
 	fail func(error),
@@ -211,8 +294,12 @@ func runRedisWorker(
 			}
 			return nil
 		}
-		ctxs[n.Name] = core.NewContext(n.Name, w, host,
+		ctx := core.NewContext(n.Name, w, host,
 			synth.NewRand(opts.Seed^int64(w*7919)^int64(nodeHash(n.Name))), emit)
+		if st := ms.Store(n.Name); st != nil {
+			ctx = ctx.WithStore(st)
+		}
+		ctxs[n.Name] = ctx
 	}
 	for name, pe := range pes {
 		if ini, ok := pe.(core.Initializer); ok {
@@ -251,7 +338,9 @@ func runRedisWorker(
 					goto process
 				}
 			}
-			if retries > opts.Retries {
+			if !coordinated && retries > opts.Retries {
+				// In coordinated (managed-state) mode the coordinator owns
+				// termination; workers just keep polling until poisoned.
 				n, err := pendingCount(cl, keys)
 				if err != nil {
 					fail(fmt.Errorf("worker %d: pending count: %w", w, err))
@@ -278,6 +367,24 @@ func runRedisWorker(
 			if t.Poison {
 				_, _ = cl.XAck(keys.queue, keys.group, entry.ID)
 				return
+			}
+			if t.Finalize {
+				if fin, ok := pes[t.PE].(core.Finalizer); ok {
+					if err := fin.Final(ctxs[t.PE]); err != nil {
+						_ = taskDone(cl, keys)
+						fail(fmt.Errorf("worker %d: final %s: %w", w, t.PE, err))
+						return
+					}
+				}
+				if err := taskDone(cl, keys); err != nil {
+					fail(fmt.Errorf("worker %d: finalize done: %w", w, err))
+					return
+				}
+				if _, err := cl.XAck(keys.queue, keys.group, entry.ID); err != nil {
+					fail(fmt.Errorf("worker %d: ack: %w", w, err))
+					return
+				}
+				continue
 			}
 			tasks.Add(1)
 			if err := runRedisTask(g, pes, ctxs, t); err != nil {

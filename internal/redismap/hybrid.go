@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/redisclient"
+	"repro/internal/state"
 	"repro/internal/synth"
 )
 
@@ -137,6 +138,15 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 		return metrics.Report{}, fmt.Errorf("%s: create consumer group: %w", name, err)
 	}
 
+	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend {
+		return state.NewRedisBackend(cl, keys.prefix+":state")
+	})
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	runOK := false
+	defer func() { ms.Finish(g, runOK) }()
+
 	var ctrl *autoscale.Controller
 	if auto && plan.stateless > 1 {
 		cfg := autoscale.Config{MaxPoolSize: plan.stateless}
@@ -223,7 +233,7 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 		wg.Add(1)
 		go func(p pinned) {
 			defer wg.Done()
-			runHybridStateful(g, host, opts, p, keys, &tasks, &outputs, fail)
+			runHybridStateful(g, host, opts, p, keys, ms, &tasks, &outputs, fail)
 		}(p)
 	}
 
@@ -245,7 +255,14 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 			if _, ok := n.Prototype.(core.Finalizer); !ok {
 				continue
 			}
-			for i := 0; i < statefulInstances(n); i++ {
+			// Managed-state nodes share one namespace across instances, so
+			// their Final runs exactly once (on instance 0); legacy
+			// field-state nodes flush every instance's private state.
+			finalizeInstances := statefulInstances(n)
+			if n.HasManagedState() {
+				finalizeInstances = 1
+			}
+			for i := 0; i < finalizeInstances; i++ {
 				if err := pushPrivate(cl, keys, n.Name, i, codec.Task{PE: n.Name, Instance: i, Finalize: true}); err != nil {
 					return err
 				}
@@ -274,6 +291,7 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
+	runOK = true
 	return metrics.Report{
 		Workflow:    g.Name,
 		Mapping:     name,
@@ -283,6 +301,7 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 		ProcessTime: host.TotalProcessTime(),
 		Tasks:       tasks.Load(),
 		Outputs:     outputs.Load(),
+		State:       ms.Ops(),
 	}, nil
 }
 
@@ -449,6 +468,7 @@ func runHybridStateful(
 	opts mapping.Options,
 	p pinned,
 	keys runKeys,
+	ms *mapping.ManagedState,
 	tasks, outputs *atomic.Int64,
 	fail func(error),
 ) {
@@ -462,6 +482,9 @@ func runHybridStateful(
 	ctx := core.NewContext(p.node.Name, p.instance, host,
 		synth.NewRand(opts.Seed^int64(p.instance*104729)^int64(nodeHash(p.node.Name))),
 		newHybridEmit(g, cl, keys, p.node.Name, outputs))
+	if st := ms.Store(p.node.Name); st != nil {
+		ctx = ctx.WithStore(st)
+	}
 	if ini, ok := pe.(core.Initializer); ok {
 		if err := ini.Init(ctx); err != nil {
 			fail(fmt.Errorf("stateful %s[%d]: init: %w", p.node.Name, p.instance, err))

@@ -1,0 +1,279 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/redisclient"
+)
+
+// lockToken issues update-lock ownership tokens; lockNonce makes them unique
+// across OS processes sharing one server (pid alone can recur across
+// container restarts).
+var (
+	lockToken atomic.Int64
+	lockNonce = time.Now().UnixNano()
+)
+
+// RedisBackend serves namespaces out of a Redis server: each namespace is
+// one hash (field = state key), checkpoints are single gob-encoded string
+// keys (so an empty checkpoint is representable and the save is one atomic
+// SET). It works against internal/miniredis or any RESP2 server and backs
+// the distributed mappings, where workers in different processes must see
+// the same state.
+type RedisBackend struct {
+	cl      *redisclient.Client
+	ownsCl  bool
+	prefix  string
+	counter metrics.StateCounter
+
+	// LockRetry is the sleep between attempts on a contended per-key update
+	// lock. Zero means 200µs.
+	LockRetry time.Duration
+	// LockAttempts bounds lock acquisition; zero means 30000 attempts —
+	// chosen so that retry × attempts (6s) outlasts the default LockTTL: a
+	// lock orphaned by a killed holder delays an update until the TTL reaps
+	// it rather than failing the run.
+	LockAttempts int
+	// LockTTL expires an update lock whose holder died before releasing it,
+	// so a killed run cannot deadlock a key forever. Zero means 5s.
+	LockTTL time.Duration
+}
+
+// NewRedisBackend creates a backend on an existing client. The caller keeps
+// ownership of cl (Close does not close it). prefix namespaces every key the
+// backend writes, isolating concurrent runs on one server.
+func NewRedisBackend(cl *redisclient.Client, prefix string) *RedisBackend {
+	return &RedisBackend{cl: cl, prefix: prefix}
+}
+
+// DialRedisBackend creates a backend with its own client connection pool to
+// addr; Close closes the pool.
+func DialRedisBackend(addr, prefix string) *RedisBackend {
+	return &RedisBackend{cl: redisclient.Dial(addr), ownsCl: true, prefix: prefix}
+}
+
+// Name implements Backend.
+func (b *RedisBackend) Name() string { return "redis" }
+
+// liveKey is the hash holding a namespace's live entries.
+func (b *RedisBackend) liveKey(ns string) string { return b.prefix + ":st:{" + ns + "}" }
+
+// ckptKey is the string key holding a namespace's checkpoint.
+func (b *RedisBackend) ckptKey(ns string) string { return b.prefix + ":ck:{" + ns + "}" }
+
+// lockKey is the SETNX spin-lock guarding one state key's read-modify-write.
+func (b *RedisBackend) lockKey(ns, key string) string {
+	return b.prefix + ":lk:{" + ns + "}:" + key
+}
+
+// Open implements Backend.
+func (b *RedisBackend) Open(namespace string) (Store, error) {
+	return &redisStore{b: b, namespace: namespace}, nil
+}
+
+// SaveCheckpoint implements Backend.
+func (b *RedisBackend) SaveCheckpoint(namespace string, snap Snapshot) error {
+	enc, err := EncodeValue(map[string]string(snap))
+	if err != nil {
+		return err
+	}
+	if err := b.cl.Set(b.ckptKey(namespace), enc); err != nil {
+		return fmt.Errorf("state: save checkpoint %s: %w", namespace, err)
+	}
+	b.counter.IncCheckpoint()
+	return nil
+}
+
+// LoadCheckpoint implements Backend.
+func (b *RedisBackend) LoadCheckpoint(namespace string) (Snapshot, bool, error) {
+	s, ok, err := b.cl.Get(b.ckptKey(namespace))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	m, err := DecodeValue[map[string]string](s)
+	if err != nil {
+		return nil, false, fmt.Errorf("state: load checkpoint %s: %w", namespace, err)
+	}
+	return Snapshot(m), true, nil
+}
+
+// DropNamespace implements Backend. Orphaned update locks are left to their
+// TTL (a KEYS/SCAN sweep would block or burden a shared production server);
+// the Update spin budget outlasts the TTL, so they delay, never deadlock.
+func (b *RedisBackend) DropNamespace(namespace string) error {
+	_, err := b.cl.Del(b.liveKey(namespace), b.ckptKey(namespace))
+	return err
+}
+
+// Ops implements Backend.
+func (b *RedisBackend) Ops() metrics.StateOps { return b.counter.Snapshot() }
+
+// Close implements Backend.
+func (b *RedisBackend) Close() error {
+	if b.ownsCl {
+		return b.cl.Close()
+	}
+	return nil
+}
+
+// lockParams resolves the retry configuration.
+func (b *RedisBackend) lockParams() (retry time.Duration, attempts int, ttl time.Duration) {
+	retry = b.LockRetry
+	if retry <= 0 {
+		retry = 200 * time.Microsecond
+	}
+	attempts = b.LockAttempts
+	if attempts <= 0 {
+		attempts = 30000
+	}
+	ttl = b.LockTTL
+	if ttl <= 0 {
+		ttl = 5 * time.Second
+	}
+	return retry, attempts, ttl
+}
+
+// redisStore is one namespace on a RedisBackend.
+type redisStore struct {
+	b         *RedisBackend
+	namespace string
+}
+
+// Namespace implements Store.
+func (st *redisStore) Namespace() string { return st.namespace }
+
+// Get implements Store.
+func (st *redisStore) Get(key string) (string, bool, error) {
+	st.b.counter.IncGet()
+	return st.b.cl.HGet(st.b.liveKey(st.namespace), key)
+}
+
+// Put implements Store.
+func (st *redisStore) Put(key, value string) error {
+	st.b.counter.IncPut()
+	return st.b.cl.HSet(st.b.liveKey(st.namespace), key, value)
+}
+
+// Delete implements Store.
+func (st *redisStore) Delete(key string) error {
+	st.b.counter.IncDelete()
+	_, err := st.b.cl.HDel(st.b.liveKey(st.namespace), key)
+	return err
+}
+
+// Keys implements Store.
+func (st *redisStore) Keys() ([]string, error) {
+	st.b.counter.IncList()
+	return st.b.cl.HKeys(st.b.liveKey(st.namespace))
+}
+
+// Len implements Store.
+func (st *redisStore) Len() (int, error) {
+	st.b.counter.IncList()
+	n, err := st.b.cl.HLen(st.b.liveKey(st.namespace))
+	return int(n), err
+}
+
+// AddInt implements Store. HINCRBY executes atomically on the server, so no
+// client-side lock is needed.
+func (st *redisStore) AddInt(key string, delta int64) (int64, error) {
+	st.b.counter.IncAdd()
+	return st.b.cl.HIncrBy(st.b.liveKey(st.namespace), key, delta)
+}
+
+// Update implements Store. The read-modify-write is guarded by a per-key
+// SET NX PX spin lock, making concurrent updates of the same key from
+// different workers serialize (the Redis idiom for client-side atomic
+// sections when scripting is unavailable). The TTL reaps locks whose holder
+// died mid-update, at the cost of a theoretical double-execution when an
+// update outlives the TTL — acceptable for the engine's microsecond-scale
+// update sections.
+func (st *redisStore) Update(key string, fn func(string, bool) (string, bool, error)) error {
+	st.b.counter.IncUpdate()
+	lock := st.b.lockKey(st.namespace, key)
+	retry, attempts, ttl := st.b.lockParams()
+	// The lock value is an ownership token: release only deletes the lock
+	// while it still holds our token, so a holder that outlived the TTL
+	// cannot delete a successor's lock and cascade the breach to a third
+	// writer. (GET+DEL is not atomic without scripting, but it shrinks the
+	// misrelease window from "always after TTL expiry" to one round trip.)
+	token := fmt.Sprintf("%d-%d-%d", os.Getpid(), lockNonce, lockToken.Add(1))
+	acquired := false
+	for i := 0; i < attempts; i++ {
+		ok, err := st.b.cl.SetNX(lock, token, ttl)
+		if err != nil {
+			return err
+		}
+		if ok {
+			acquired = true
+			break
+		}
+		time.Sleep(retry)
+	}
+	if !acquired {
+		return fmt.Errorf("state: update lock on %s/%s not acquired after %d attempts", st.namespace, key, attempts)
+	}
+	defer func() {
+		if v, ok, err := st.b.cl.Get(lock); err == nil && ok && v == token {
+			_, _ = st.b.cl.Del(lock)
+		}
+	}()
+
+	live := st.b.liveKey(st.namespace)
+	cur, exists, err := st.b.cl.HGet(live, key)
+	if err != nil {
+		return err
+	}
+	next, keep, err := fn(cur, exists)
+	if err != nil {
+		return err
+	}
+	if !keep {
+		_, err = st.b.cl.HDel(live, key)
+		return err
+	}
+	return st.b.cl.HSet(live, key, next)
+}
+
+// Snapshot implements Store.
+func (st *redisStore) Snapshot() (Snapshot, error) {
+	st.b.counter.IncSnapshot()
+	m, err := st.b.cl.HGetAll(st.b.liveKey(st.namespace))
+	if err != nil {
+		return nil, err
+	}
+	return Snapshot(m), nil
+}
+
+// Restore implements Store.
+func (st *redisStore) Restore(snap Snapshot) error {
+	st.b.counter.IncRestore()
+	live := st.b.liveKey(st.namespace)
+	if _, err := st.b.cl.Del(live); err != nil {
+		return err
+	}
+	if len(snap) == 0 {
+		return nil
+	}
+	fv := make([]string, 0, 2*len(snap))
+	for k, v := range snap {
+		fv = append(fv, k, v)
+	}
+	return st.b.cl.HSet(live, fv...)
+}
+
+// Clear implements Store.
+func (st *redisStore) Clear() error {
+	st.b.counter.IncDelete()
+	_, err := st.b.cl.Del(st.b.liveKey(st.namespace))
+	return err
+}
+
+var (
+	_ Store   = (*redisStore)(nil)
+	_ Backend = (*RedisBackend)(nil)
+)

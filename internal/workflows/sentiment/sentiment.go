@@ -12,17 +12,24 @@
 // top3Happiest ×2 (stateful, pinned), the two findState PEs ×2 each, the
 // scorers and reader ×1 — which makes the static multi mapping demand its
 // paper-quoted minimum of 14 processes.
+//
+// Config.ManagedState selects an alternative implementation of the two
+// stateful PEs on the managed state subsystem (package state): identical
+// results, but the state is externalized, so the workflow additionally runs
+// under the plain dynamic mappings and supports checkpoint/resume.
 package sentiment
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/state"
 	"repro/internal/synth"
 )
 
@@ -36,9 +43,18 @@ type Config struct {
 	HappyInstances int
 	// TopInstances is the top3Happiest instance count; 0 means 2.
 	TopInstances int
+	// ManagedState switches the two stateful PEs from field state (the
+	// paper-faithful model: state pinned to instances, dynamic mappings
+	// reject the workflow) to the managed state subsystem (package state):
+	// happyState keeps keyed per-state totals and top3Happiest a singleton
+	// ranking in engine-managed stores, which lets the workflow run under
+	// every mapping — including dyn_multi/dyn_redis — and be checkpointed
+	// and resumed.
+	ManagedState bool
 	// OnTop3, when non-nil, receives the final top-3 ranking from each
 	// top3Happiest instance that holds data (with global grouping, exactly
-	// one). It must be safe for concurrent use.
+	// one; with ManagedState, from the single engine-invoked Final). It must
+	// be safe for concurrent use.
 	OnTop3 func([]StateScore)
 }
 
@@ -181,8 +197,13 @@ func New(cfg Config) *graph.Graph {
 	g.Add(findState("findStateAFINN")).SetInstances(2)
 	g.Add(findState("findStateSWN3")).SetInstances(2)
 
-	g.Add(newHappyState).SetInstances(cfg.HappyInstances).SetStateful(true)
-	g.Add(func() core.PE { return newTop3(cfg.OnTop3) }).SetInstances(cfg.TopInstances).SetStateful(true)
+	if cfg.ManagedState {
+		g.Add(newManagedHappyState).SetInstances(cfg.HappyInstances).SetKeyedState()
+		g.Add(func() core.PE { return newManagedTop3(cfg.OnTop3) }).SetInstances(cfg.TopInstances).SetSingletonState()
+	} else {
+		g.Add(newHappyState).SetInstances(cfg.HappyInstances).SetStateful(true)
+		g.Add(func() core.PE { return newTop3(cfg.OnTop3) }).SetInstances(cfg.TopInstances).SetStateful(true)
+	}
 
 	g.Pipe("readArticles", "sentimentAFINN")
 	g.Pipe("readArticles", "tokenizeWD")
@@ -236,6 +257,101 @@ func (h *happyState) Final(ctx *core.Context) error {
 		}
 	}
 	return nil
+}
+
+// managedHappyState is happyState on the managed state subsystem: per-state
+// totals live in a keyed store (key = state, value = score hundredths via
+// AddInt, atomic under every mapping), not in PE fields. The engine runs
+// Final once per run; it sweeps the whole namespace, so the flush is correct
+// regardless of how many instances or dynamic workers fed the store.
+type managedHappyState struct {
+	core.Base
+}
+
+func newManagedHappyState() core.PE {
+	return &managedHappyState{Base: core.NewBase("happyState", core.In(), core.Out())}
+}
+
+// Process implements core.PE.
+func (h *managedHappyState) Process(ctx *core.Context, port string, v any) error {
+	sc, ok := v.(ScoredPayload)
+	if !ok {
+		return fmt.Errorf("happyState: unexpected payload %T", v)
+	}
+	ctx.Work(happyCost)
+	_, err := ctx.State().AddInt(sc.State, int64(math.Round(sc.Score*100)))
+	return err
+}
+
+// Final implements core.Finalizer.
+func (h *managedHappyState) Final(ctx *core.Context) error {
+	entries, err := state.SortedEntries(ctx.State())
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		hundredths, err := strconv.ParseInt(e.Value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("happyState: corrupt total for %s: %w", e.Key, err)
+		}
+		if err := ctx.EmitDefault(StateScore{State: e.Key, Score: float64(hundredths) / 100}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// managedTop3 is top3Happiest on managed singleton state: one store entry
+// per state score received, ranked in the single engine-invoked Final.
+type managedTop3 struct {
+	core.Base
+	onTop func([]StateScore)
+}
+
+func newManagedTop3(onTop func([]StateScore)) core.PE {
+	return &managedTop3{Base: core.NewBase("top3Happiest", core.In(), core.Out()), onTop: onTop}
+}
+
+// Process implements core.PE.
+func (t *managedTop3) Process(ctx *core.Context, port string, v any) error {
+	sc, ok := v.(StateScore)
+	if !ok {
+		return fmt.Errorf("top3Happiest: unexpected payload %T", v)
+	}
+	ctx.Work(topCost)
+	return ctx.State().Put(sc.State, strconv.FormatFloat(sc.Score, 'g', -1, 64))
+}
+
+// Final implements core.Finalizer.
+func (t *managedTop3) Final(ctx *core.Context) error {
+	entries, err := state.SortedEntries(ctx.State())
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	scores := make([]StateScore, 0, len(entries))
+	for _, e := range entries {
+		f, err := strconv.ParseFloat(e.Value, 64)
+		if err != nil {
+			return fmt.Errorf("top3Happiest: corrupt score for %s: %w", e.Key, err)
+		}
+		scores = append(scores, StateScore{State: e.Key, Score: f})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].State < scores[j].State
+	})
+	if len(scores) > 3 {
+		scores = scores[:3]
+	}
+	if t.onTop != nil {
+		t.onTop(scores)
+	}
+	return ctx.EmitDefault(scores)
 }
 
 // top3 keeps every state total and emits the top three at Final.

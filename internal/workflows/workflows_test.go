@@ -284,6 +284,73 @@ func TestSentimentRejectsDynamicMappings(t *testing.T) {
 	}
 }
 
+func sentimentTop3Managed(t *testing.T, mappingName string, procs int, articles int) []sentiment.StateScore {
+	t.Helper()
+	var mu sync.Mutex
+	var got []sentiment.StateScore
+	g := sentiment.New(sentiment.Config{
+		Articles:     articles,
+		ManagedState: true,
+		OnTop3: func(s []sentiment.StateScore) {
+			mu.Lock()
+			got = append([]sentiment.StateScore(nil), s...)
+			mu.Unlock()
+		},
+	})
+	m, err := mapping.Get(mappingName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mapping.Options{Processes: procs, Platform: testPlatform(), Seed: 6}
+	switch mappingName {
+	case "hybrid_redis", "hybrid_auto_redis", "dyn_redis", "dyn_auto_redis":
+		opts = withRedis(t, opts)
+	}
+	if _, err := m.Execute(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return got
+}
+
+// TestSentimentManagedStateAgreesEverywhere is the headline capability of
+// the state subsystem: the managed-state sentiment workflow produces the
+// field-state reference ranking under every mapping — including the plain
+// dynamic mappings, which reject the field-state version outright.
+func TestSentimentManagedStateAgreesEverywhere(t *testing.T) {
+	const articles = 60
+	ref := sentimentTop3(t, "simple", 1, articles)
+	if len(ref) != 3 {
+		t.Fatalf("reference top3: %+v", ref)
+	}
+	for _, tc := range []struct {
+		name  string
+		procs int
+	}{
+		{"simple", 1},
+		{"multi", sentiment.MinMultiProcesses},
+		{"dyn_multi", 6},
+		{"dyn_auto_multi", 6},
+		{"dyn_redis", 6},
+		{"dyn_auto_redis", 6},
+		{"hybrid_redis", 8},
+		{"hybrid_auto_redis", 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := sentimentTop3Managed(t, tc.name, tc.procs, articles)
+			if len(got) != 3 {
+				t.Fatalf("top3: %+v", got)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("rank %d: got %+v want %+v", i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
 func TestSentimentTop3IsPlausible(t *testing.T) {
 	// The synthetic corpus biases states deterministically; the top-3 must
 	// be valid states with the highest scores overall.

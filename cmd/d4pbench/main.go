@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,16 +35,17 @@ func main() {
 		outDir  = flag.String("out", "results", "output directory")
 		reps    = flag.Int("reps", 1, "repetitions per point (averaged)")
 		opDelay = flag.Duration("redis-op-delay", 0, "extra per-command service delay in the embedded Redis")
+		jsonOut = flag.Bool("json", false, "additionally write BENCH_<name>.json result files (machine-readable perf trajectory)")
 	)
 	flag.Parse()
 
-	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay); err != nil {
+	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "d4pbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration) error {
+func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -91,7 +93,13 @@ func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Durat
 		if err := writeFile(outDir, name+".txt", strings.Join(rendered, "\n")); err != nil {
 			return err
 		}
-		return writeFile(outDir, name+".csv", metrics.CSV(allSeries))
+		if err := writeFile(outDir, name+".csv", metrics.CSV(allSeries)); err != nil {
+			return err
+		}
+		if jsonOut {
+			return writeBenchJSON(outDir, name, allSeries)
+		}
+		return nil
 	}
 
 	if err := runFigure(8, harness.Fig8(scale)); err != nil {
@@ -197,4 +205,54 @@ func writeFile(dir, name, body string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// benchPoint is one run in the machine-readable result schema. Durations are
+// seconds so downstream tooling can diff the perf trajectory across PRs
+// without parsing Go duration strings.
+type benchPoint struct {
+	Workflow           string  `json:"workflow"`
+	Mapping            string  `json:"mapping"`
+	Platform           string  `json:"platform"`
+	Processes          int     `json:"processes"`
+	RuntimeSeconds     float64 `json:"runtime_seconds"`
+	ProcessTimeSeconds float64 `json:"process_time_seconds"`
+	Tasks              int64   `json:"tasks"`
+	Outputs            int64   `json:"outputs"`
+}
+
+// benchSeries is one technique's sweep in the JSON schema.
+type benchSeries struct {
+	Label  string       `json:"label"`
+	Points []benchPoint `json:"points"`
+}
+
+// writeBenchJSON writes BENCH_<name>.json, the machine-readable counterpart
+// of a figure's txt/csv outputs.
+func writeBenchJSON(dir, name string, series []metrics.Series) error {
+	out := struct {
+		Name   string        `json:"name"`
+		Series []benchSeries `json:"series"`
+	}{Name: name}
+	for _, s := range series {
+		bs := benchSeries{Label: s.Label, Points: make([]benchPoint, 0, len(s.Points))}
+		for _, p := range s.Points {
+			bs.Points = append(bs.Points, benchPoint{
+				Workflow:           p.Workflow,
+				Mapping:            p.Mapping,
+				Platform:           p.Platform,
+				Processes:          p.Processes,
+				RuntimeSeconds:     p.Runtime.Seconds(),
+				ProcessTimeSeconds: p.ProcessTime.Seconds(),
+				Tasks:              p.Tasks,
+				Outputs:            p.Outputs,
+			})
+		}
+		out.Series = append(out.Series, bs)
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "BENCH_"+name+".json", string(body))
 }

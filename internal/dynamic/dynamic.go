@@ -1,19 +1,25 @@
+// Package dynamic implements the paper's dynamic scheduling optimization
+// over the in-process global queue (the dyn_multi mapping) and its
+// auto-scaling extension (dyn_auto_multi). Workers hold a private copy of
+// the whole workflow, fetch (PE, data) tasks from the shared queue, execute
+// them, and push the results back — the "dynamic PE-Process mode" of the
+// paper's Figure 2.
+//
+// The worker loop, queue and termination protocol live in package runtime;
+// this package is a planner: it validates the workflow against dynamic
+// scheduling's limits, builds a pool plan over the queue transport, and —
+// for dyn_auto_multi — attaches the Algorithm 1 auto-scaler driven by the
+// queue-size strategy.
 package dynamic
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
-
 	"repro/internal/autoscale"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/runtime"
 	"repro/internal/state"
-	"repro/internal/synth"
 )
 
 // Dyn is the dyn_multi mapping: dynamic scheduling over the in-process
@@ -45,72 +51,17 @@ func (DynAuto) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, er
 	return execute(g, opts, "dyn_auto_multi", true)
 }
 
-// ValidateDynamic rejects workflow features plain dynamic scheduling cannot
-// honor, mirroring the paper's limitation statement ("dynamic scheduling
-// exclusively manages stateless PEs and lacks support for grouping") — with
-// one extension beyond the paper: nodes whose state is *managed* (package
-// state) are accepted, because their state lives in a shared atomic store
-// rather than in worker-local PE fields, so any worker may process any task
-// and a coordinator flushes each managed node's Final exactly once.
-func ValidateDynamic(g *graph.Graph, technique string) error {
-	if g.HasUnmanagedStateful() {
-		return fmt.Errorf("%s: workflow %s has stateful PEs with unmanaged field state; dynamic scheduling supports only stateless or managed-state PEs (declare SetKeyedState/SetSingletonState, or use hybrid_redis or multi)", technique, g.Name)
-	}
-	for _, e := range g.Edges() {
-		if e.Grouping.Kind == graph.Shuffle {
-			continue
-		}
-		dst := g.Node(e.To)
-		if e.Grouping.Kind == graph.OneToAll {
-			// Broadcast needs per-instance delivery, which a dynamic pool
-			// cannot express regardless of how the state is managed.
-			return fmt.Errorf("%s: edge %s→%s uses one-to-all grouping; dynamic scheduling has no instance identity to broadcast to (use hybrid_redis or multi)", technique, e.From, e.To)
-		}
-		if dst.HasManagedState() {
-			// Routing affinity is unnecessary: keyed/global semantics come
-			// from the shared store, not from which worker runs the task.
-			continue
-		}
-		return fmt.Errorf("%s: edge %s→%s uses %s grouping into a PE without managed state; dynamic scheduling supports only the default shuffle grouping (use hybrid_redis or multi)", technique, e.From, e.To, e.Grouping.Kind)
-	}
-	for _, n := range g.Nodes() {
-		if _, ok := n.Prototype.(core.Finalizer); ok && !n.HasManagedState() {
-			return fmt.Errorf("%s: PE %s implements Final without managed state; per-instance finalization requires a stateful mapping (hybrid_redis or multi)", technique, n.Name)
-		}
-	}
-	return nil
-}
-
 func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metrics.Report, error) {
 	opts = opts.WithDefaults()
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}
-	if err := ValidateDynamic(g, name); err != nil {
+	if err := runtime.ValidateDynamic(g, name); err != nil {
 		return metrics.Report{}, err
 	}
 
 	host := platform.NewHost(opts.Platform)
-	q := NewQueue(host.SyncCost())
-	var pending atomic.Int64 // queued + in-flight real tasks
-	var tasks, outputs atomic.Int64
-
-	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend { return state.NewMemoryBackend() })
-	if err != nil {
-		return metrics.Report{}, err
-	}
-	success := false
-	defer func() { ms.Finish(g, success) }()
-	// Managed-state graphs run in coordinated mode: workers never
-	// self-terminate; a coordinator drains the queue, flushes each managed
-	// node's Final exactly once (topological order), then poisons the pool.
-	coordinated := g.HasManagedState()
-
-	// Seed one generate task per source.
-	for _, src := range g.Sources() {
-		pending.Add(1)
-		q.Push(Task{PE: src.Name})
-	}
+	q := runtime.NewQueue(host.SyncCost())
 
 	var ctrl *autoscale.Controller
 	if auto {
@@ -128,257 +79,12 @@ func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metr
 		defer ctrl.Terminate()
 	}
 
-	var firstErr error
-	var errMu sync.Mutex
-	var failed atomic.Bool
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		failed.Store(true)
-		// Poison everyone so the run unwinds promptly.
-		for i := 0; i < opts.Processes; i++ {
-			q.Push(Task{Poison: true})
-		}
-		if ctrl != nil {
-			ctrl.Terminate()
-		}
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Processes; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			runWorker(g, host, opts, name, w, q, ctrl, ms, coordinated, &pending, &tasks, &outputs, fail)
-		}(w)
-	}
-	if coordinated {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := runCoordinator(g, q, opts, &pending, &failed); err != nil && !failed.Load() {
-				fail(err)
-				return
-			}
-			for i := 0; i < opts.Processes; i++ {
-				q.Push(Task{Poison: true})
-			}
-			if ctrl != nil {
-				ctrl.Terminate()
-			}
-		}()
-	}
-	wg.Wait()
-	runtime := time.Since(start)
-
-	errMu.Lock()
-	err = firstErr
-	errMu.Unlock()
-	if err != nil {
-		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
-	}
-	success = true
-	return metrics.Report{
-		Workflow:    g.Name,
-		Mapping:     name,
-		Platform:    opts.Platform.Name,
-		Processes:   opts.Processes,
-		Runtime:     runtime,
-		ProcessTime: host.TotalProcessTime(),
-		Tasks:       tasks.Load(),
-		Outputs:     outputs.Load(),
-		State:       ms.Ops(),
-	}, nil
-}
-
-// runCoordinator owns termination for managed-state graphs: it waits for the
-// queue to drain, then pushes one Finalize task per managed node carrying a
-// Final hook (topological order, draining between nodes so flushed values
-// propagate), mirroring hybrid_redis's coordinated flush phase.
-func runCoordinator(g *graph.Graph, q *Queue, opts mapping.Options, pending *atomic.Int64, failed *atomic.Bool) error {
-	// awaitDrain reports false when the run failed first — fail() owns that
-	// unwind, so the coordinator just stops. (Unlike the Redis variant there
-	// is no transport here, hence no error path of its own.)
-	awaitDrain := func() bool {
-		zeros := 0
-		for {
-			if failed.Load() {
-				return false
-			}
-			if pending.Load() == 0 {
-				zeros++
-				if zeros > opts.Retries {
-					return true
-				}
-			} else {
-				zeros = 0
-			}
-			time.Sleep(opts.PollTimeout)
-		}
-	}
-	if !awaitDrain() {
-		return nil
-	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return err
-	}
-	for _, name := range order {
-		n := g.Node(name)
-		if !n.HasManagedState() {
-			continue
-		}
-		if _, ok := n.Prototype.(core.Finalizer); !ok {
-			continue
-		}
-		pending.Add(1)
-		q.Push(Task{PE: n.Name, Finalize: true})
-		if !awaitDrain() {
-			return nil
-		}
-	}
-	return nil
-}
-
-// runWorker is one dynamic process: it owns a private copy of every PE and
-// loops on the global queue until poisoned or terminated.
-func runWorker(
-	g *graph.Graph,
-	host *platform.Host,
-	opts mapping.Options,
-	technique string,
-	w int,
-	q *Queue,
-	ctrl *autoscale.Controller,
-	ms *mapping.ManagedState,
-	coordinated bool,
-	pending, tasks, outputs *atomic.Int64,
-	fail func(error),
-) {
-	proc := host.NewProcess(fmt.Sprintf("%s:w%d", technique, w))
-	proc.Activate()
-	defer proc.Deactivate()
-
-	// Private workflow copy (the paper's cp_graph ← DeepCopy(graph)).
-	pes := make(map[string]core.PE, len(g.Nodes()))
-	ctxs := make(map[string]*core.Context, len(g.Nodes()))
-	for _, n := range g.Nodes() {
-		n := n
-		pes[n.Name] = n.Factory()
-		emit := func(port string, value any) error {
-			for _, e := range g.OutEdges(n.Name) {
-				if e.FromPort != port {
-					continue
-				}
-				if len(g.OutEdges(e.To)) == 0 {
-					outputs.Add(1)
-				}
-				pending.Add(1)
-				q.Push(Task{PE: e.To, Port: e.ToPort, Value: value})
-			}
-			return nil
-		}
-		ctx := core.NewContext(n.Name, w, host,
-			synth.NewRand(opts.Seed^int64(w*7919)^int64(nodeHash(n.Name))), emit)
-		if st := ms.Store(n.Name); st != nil {
-			ctx = ctx.WithStore(st)
-		}
-		ctxs[n.Name] = ctx
-	}
-	for name, pe := range pes {
-		if ini, ok := pe.(core.Initializer); ok {
-			if err := ini.Init(ctxs[name]); err != nil {
-				fail(fmt.Errorf("worker %d: init %s: %w", w, name, err))
-				return
-			}
-		}
-	}
-
-	retries := 0
-	for {
-		if ctrl != nil && ctrl.Idle(w) {
-			// Idle state: stop accruing process time until readmitted.
-			proc.Deactivate()
-			if !ctrl.Admit(w) {
-				return
-			}
-			proc.Activate()
-		}
-		t, ok := q.Pop(opts.PollTimeout)
-		if !ok {
-			retries++
-			if !coordinated && retries > opts.Retries && pending.Load() == 0 {
-				// Termination: broadcast poison pills to wake the others,
-				// then exit (Section 3.2.3's retry + poison pill protocol).
-				// In coordinated (managed-state) mode the coordinator owns
-				// termination instead.
-				for i := 0; i < host.ProcessCount(); i++ {
-					q.Push(Task{Poison: true})
-				}
-				if ctrl != nil {
-					ctrl.Terminate()
-				}
-				return
-			}
-			continue
-		}
-		retries = 0
-		if t.Poison {
-			return
-		}
-		if t.Finalize {
-			if fin, ok := pes[t.PE].(core.Finalizer); ok {
-				if err := fin.Final(ctxs[t.PE]); err != nil {
-					pending.Add(-1)
-					fail(fmt.Errorf("worker %d: final %s: %w", w, t.PE, err))
-					return
-				}
-			}
-			pending.Add(-1)
-			continue
-		}
-		tasks.Add(1)
-		if err := runTask(g, pes, ctxs, t); err != nil {
-			pending.Add(-1)
-			fail(fmt.Errorf("worker %d: %w", w, err))
-			return
-		}
-		pending.Add(-1)
-	}
-}
-
-// runTask executes one task against the worker's private PE copies.
-func runTask(g *graph.Graph, pes map[string]core.PE, ctxs map[string]*core.Context, t Task) error {
-	pe, ok := pes[t.PE]
-	if !ok {
-		return fmt.Errorf("task for unknown PE %q", t.PE)
-	}
-	if t.Port == "" {
-		src, ok := pe.(core.Source)
-		if !ok {
-			return fmt.Errorf("generate task for non-source PE %q", t.PE)
-		}
-		if err := src.Generate(ctxs[t.PE]); err != nil {
-			return fmt.Errorf("source %s: %w", t.PE, err)
-		}
-		return nil
-	}
-	if err := pe.Process(ctxs[t.PE], t.Port, t.Value); err != nil {
-		return fmt.Errorf("PE %s: %w", t.PE, err)
-	}
-	return nil
-}
-
-// nodeHash gives a stable per-node seed component.
-func nodeHash(name string) uint32 {
-	var h uint32 = 2166136261
-	for i := 0; i < len(name); i++ {
-		h ^= uint32(name[i])
-		h *= 16777619
-	}
-	return h
+	return runtime.Execute(g, opts, runtime.Config{
+		Name:            name,
+		Plan:            runtime.PoolPlan(g, opts.Processes),
+		Transport:       runtime.NewQueueTransport(q),
+		Host:            host,
+		Controller:      ctrl,
+		NewStateBackend: func() state.Backend { return state.NewMemoryBackend() },
+	})
 }

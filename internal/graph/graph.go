@@ -83,7 +83,7 @@ func (g Grouping) RouteInstance(value any, seq uint64, n int) int {
 		if g.Key == nil {
 			return int(seq % uint64(n))
 		}
-		return int(fnv32(g.Key(value)) % uint32(n))
+		return int(Hash32(g.Key(value)) % uint32(n))
 	case Global:
 		return 0
 	case OneToAll:
@@ -93,8 +93,10 @@ func (g Grouping) RouteInstance(value any, seq uint64, n int) int {
 	}
 }
 
-// fnv32 hashes a string with FNV-1a.
-func fnv32(s string) uint32 {
+// Hash32 hashes a string with FNV-1a. It is the one hash the engine uses
+// everywhere a stable name-derived value is needed: group-by routing here,
+// and per-node/per-instance RNG seeds in package runtime.
+func Hash32(s string) uint32 {
 	const (
 		offset = 2166136261
 		prime  = 16777619

@@ -261,6 +261,7 @@ func TestKeyedStateConformanceAcrossMappings(t *testing.T) {
 		procs int
 	}{
 		{"multi", 6}, // count at 3 instances: keyed scale-out in-process
+		{"mpi", 6},   // managed state via the shared runtime finalization barrier
 		{"dyn_multi", 4},
 		{"dyn_auto_multi", 4},
 		{"dyn_redis", 4},

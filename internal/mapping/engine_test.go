@@ -9,11 +9,12 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/core"
-	"repro/internal/dynamic"
+	_ "repro/internal/dynamic" // register dyn_multi, dyn_auto_multi
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	_ "repro/internal/multiproc" // register multi
 	"repro/internal/platform"
+	"repro/internal/runtime"
 )
 
 // sumCollector accumulates sink deliveries across instances/workers.
@@ -436,9 +437,9 @@ func TestDynAutoUsesFewerProcessTimeThanDyn(t *testing.T) {
 }
 
 func TestQueueOpsAndLen(t *testing.T) {
-	q := dynamic.NewQueue(0)
-	q.Push(dynamic.Task{PE: "a"})
-	q.Push(dynamic.Task{PE: "b"})
+	q := runtime.NewQueue(0)
+	q.Push(runtime.Task{PE: "a"})
+	q.Push(runtime.Task{PE: "b"})
 	if q.Len() != 2 {
 		t.Errorf("len=%d", q.Len())
 	}

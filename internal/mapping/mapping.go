@@ -74,6 +74,20 @@ type Options struct {
 	// mutations (0 disables auto-checkpointing). Lower values bound the
 	// state lost to a crash at the cost of more checkpoint writes.
 	StateCheckpointEvery int
+	// EmitBatch buffers up to this many emitted tasks per worker and hands
+	// them to the transport in one batched push: Redis transports pipeline
+	// the XADD/RPUSH commands into a single round trip, in-process
+	// transports pay one synchronization cost per batch. 0 or 1 disables
+	// batching. A batch is always flushed before the task that emitted it
+	// is acknowledged, so termination accounting is unaffected.
+	EmitBatch int
+	// EmitFlushEvery bounds how long a partially-filled emit batch may age
+	// before being flushed. The age is checked at each emission (and the
+	// batch always flushes when the emitting task finishes), so the bound
+	// kicks in for sources that keep emitting across a long Generate; a PE
+	// that emits once and then only computes holds its batch until the
+	// task-end flush. Zero defaults to 2ms when EmitBatch enables batching.
+	EmitFlushEvery time.Duration
 }
 
 // WithDefaults fills zero-valued fields.
@@ -89,6 +103,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Retries <= 0 {
 		o.Retries = 5
+	}
+	if o.EmitBatch > 1 && o.EmitFlushEvery <= 0 {
+		o.EmitFlushEvery = 2 * time.Millisecond
 	}
 	return o
 }

@@ -59,7 +59,7 @@ func (Simple) Execute(g *graph.Graph, opts Options) (metrics.Report, error) {
 		n := n
 		ctx := core.NewContext(
 			n.Name, 0, host,
-			synth.NewRand(opts.Seed^int64(graphNodeSeed(n.Name))),
+			synth.NewRand(opts.Seed^int64(graph.Hash32(n.Name))),
 			func(port string, value any) error { return route(n.Name, port, value) },
 		)
 		if st := ms.Store(n.Name); st != nil {
@@ -133,14 +133,4 @@ func (Simple) Execute(g *graph.Graph, opts Options) (metrics.Report, error) {
 		Outputs:     outputs.Load(),
 		State:       ms.Ops(),
 	}, nil
-}
-
-// graphNodeSeed derives a stable per-node seed component.
-func graphNodeSeed(name string) uint32 {
-	var h uint32 = 2166136261
-	for i := 0; i < len(name); i++ {
-		h ^= uint32(name[i])
-		h *= 16777619
-	}
-	return h
 }

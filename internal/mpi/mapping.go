@@ -1,24 +1,25 @@
 package mpi
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
-	"repro/internal/synth"
+	"repro/internal/runtime"
+	"repro/internal/state"
 )
 
 // Mapping is the static MPI-style enactment: the same instance allocation
-// as multi, but every connection is realized as tagged point-to-point
-// messages between fixed ranks. Like the paper's MPI mapping it is static
-// only — there is no shared queue, so neither dynamic scheduling nor
-// auto-scaling can be layered on it.
+// as multi, but every connection is realized as point-to-point messages
+// between fixed ranks over a World. Like the paper's MPI mapping it is
+// static only — there is no shared queue, so neither dynamic scheduling nor
+// auto-scaling can be layered on it (the rank transport rejects pool
+// routing outright).
+//
+// Managed keyed state is supported: the shared runtime coordinator drains
+// the rank mailboxes and flushes each managed node's Final exactly once, so
+// the rank-level finalization barrier the seed lacked now falls out of the
+// unified termination protocol instead of needing an MPI-specific one.
 type Mapping struct{}
 
 func init() { mapping.Register(Mapping{}) }
@@ -26,191 +27,32 @@ func init() { mapping.Register(Mapping{}) }
 // Name implements mapping.Mapping.
 func (Mapping) Name() string { return "mpi" }
 
-// tags: data messages use the destination's edge index; EOS uses tagEOS.
-const tagEOS = 1 << 20
-
-// rankAssignment maps every PE instance to a dedicated rank.
-type rankAssignment struct {
-	rankOf map[string][]int // node name → instance index → rank
-	total  int
-}
-
-func assignRanks(g *graph.Graph, alloc map[string]int) rankAssignment {
-	ra := rankAssignment{rankOf: make(map[string][]int, len(alloc))}
-	for _, n := range g.Nodes() {
-		ranks := make([]int, alloc[n.Name])
-		for i := range ranks {
-			ranks[i] = ra.total
-			ra.total++
-		}
-		ra.rankOf[n.Name] = ranks
-	}
-	return ra
-}
-
 // Execute implements mapping.Mapping.
 func (Mapping) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
 	opts = opts.WithDefaults()
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}
-	if g.HasManagedState() {
-		// Managed state needs either instance-affine finalization barriers
-		// (multi) or a drain coordinator (dynamic, hybrid); the rank-based
-		// engine has neither yet.
-		return metrics.Report{}, fmt.Errorf("mpi: workflow %s declares managed state; use multi, the dynamic mappings, or hybrid_redis", g.Name)
-	}
 	alloc, err := g.AllocateInstances(opts.Processes)
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	ra := assignRanks(g, alloc)
-	world, err := NewWorld(ra.total)
+	plan := runtime.PinnedPlan(g, alloc)
+	world, err := NewWorld(len(plan.Workers))
 	if err != nil {
 		return metrics.Report{}, err
 	}
 	defer world.Close()
-	host := platform.NewHost(opts.Platform)
-
-	var tasks, outputs atomic.Int64
-	var firstErr error
-	var errMu sync.Mutex
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		world.Close()
-	}
-
-	// envelope carried on the wire.
-	type envelope struct {
-		Port  string
-		Value any
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for _, n := range g.Nodes() {
-		for inst, rank := range ra.rankOf[n.Name] {
-			wg.Add(1)
-			go func(n *graph.Node, inst, rank int) {
-				defer wg.Done()
-				proc := host.NewProcess(fmt.Sprintf("mpi:%s:%d", n.Name, inst))
-				proc.Activate()
-				defer proc.Deactivate()
-
-				pe := n.Factory()
-				seq := map[*graph.Edge]uint64{}
-				emit := func(port string, value any) error {
-					for _, e := range g.OutEdges(n.Name) {
-						if e.FromPort != port {
-							continue
-						}
-						dsts := ra.rankOf[e.To]
-						if len(g.OutEdges(e.To)) == 0 {
-							outputs.Add(1)
-						}
-						idx := e.Grouping.RouteInstance(value, seq[e], len(dsts))
-						seq[e]++
-						if idx < 0 {
-							for _, dr := range dsts {
-								if err := world.Send(rank, dr, 0, envelope{Port: e.ToPort, Value: value}); err != nil {
-									return err
-								}
-							}
-							continue
-						}
-						if err := world.Send(rank, dsts[idx], 0, envelope{Port: e.ToPort, Value: value}); err != nil {
-							return err
-						}
-					}
-					return nil
-				}
-				ctx := core.NewContext(n.Name, inst, host,
-					synth.NewRand(opts.Seed^int64(rank*6151)), emit)
-
-				sendEOS := func() {
-					for _, e := range g.OutEdges(n.Name) {
-						for _, dr := range ra.rankOf[e.To] {
-							if err := world.Send(rank, dr, tagEOS, nil); err != nil {
-								return
-							}
-						}
-					}
-				}
-
-				if ini, ok := pe.(core.Initializer); ok {
-					if err := ini.Init(ctx); err != nil {
-						fail(fmt.Errorf("mpi: init %s[%d]: %w", n.Name, inst, err))
-						return
-					}
-				}
-				if src, ok := pe.(core.Source); ok && len(g.InEdges(n.Name)) == 0 {
-					tasks.Add(1)
-					if err := src.Generate(ctx); err != nil {
-						fail(fmt.Errorf("mpi: source %s[%d]: %w", n.Name, inst, err))
-						return
-					}
-					if fin, ok := pe.(core.Finalizer); ok {
-						if err := fin.Final(ctx); err != nil {
-							fail(fmt.Errorf("mpi: source final %s[%d]: %w", n.Name, inst, err))
-							return
-						}
-					}
-					sendEOS()
-					return
-				}
-
-				// Expected EOS markers: one per upstream instance per in-edge.
-				expect := 0
-				for _, e := range g.InEdges(n.Name) {
-					expect += len(ra.rankOf[e.From])
-				}
-				for expect > 0 {
-					m, err := world.Recv(rank, AnySource, AnyTag)
-					if err != nil {
-						return // closed (failure elsewhere)
-					}
-					if m.Tag == tagEOS {
-						expect--
-						continue
-					}
-					env := m.Data.(envelope)
-					tasks.Add(1)
-					if err := pe.Process(ctx, env.Port, env.Value); err != nil {
-						fail(fmt.Errorf("mpi: PE %s[%d]: %w", n.Name, inst, err))
-						return
-					}
-				}
-				if fin, ok := pe.(core.Finalizer); ok {
-					if err := fin.Final(ctx); err != nil {
-						fail(fmt.Errorf("mpi: final %s[%d]: %w", n.Name, inst, err))
-						return
-					}
-				}
-				sendEOS()
-			}(n, inst, rank)
-		}
-	}
-	wg.Wait()
-	runtime := time.Since(start)
-
-	errMu.Lock()
-	err = firstErr
-	errMu.Unlock()
+	tr, err := runtime.NewRankTransport(world, plan)
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	return metrics.Report{
-		Workflow:    g.Name,
-		Mapping:     "mpi",
-		Platform:    opts.Platform.Name,
-		Processes:   opts.Processes,
-		Runtime:     runtime,
-		ProcessTime: host.TotalProcessTime(),
-		Tasks:       tasks.Load(),
-		Outputs:     outputs.Load(),
-	}, nil
+	return runtime.Execute(g, opts, runtime.Config{
+		Name:              "mpi",
+		Plan:              plan,
+		Transport:         tr,
+		Host:              platform.NewHost(opts.Platform),
+		NewStateBackend:   func() state.Backend { return state.NewMemoryBackend() },
+		PinnedIdleStandby: true,
+	})
 }

@@ -17,6 +17,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Wildcards for Recv/Probe matching.
@@ -111,6 +112,41 @@ func (w *World) Recv(me, source, tag int) (Message, error) {
 			return m, nil
 		}
 		w.cond.Wait()
+	}
+}
+
+// RecvDataTimeout removes and returns the payload of the next message
+// queued for rank me, waiting up to timeout when the mailbox is empty
+// (ok is false on timeout). It is the bounded-wait primitive the runtime's
+// rank transport drives: unlike Recv it cannot block a worker past its
+// termination-protocol poll interval, and unlike a polling loop it parks on
+// the world's condition variable between messages.
+func (w *World) RecvDataTimeout(me int, timeout time.Duration) (any, bool, error) {
+	if err := w.checkRank(me); err != nil {
+		return nil, false, err
+	}
+	deadline := time.Now().Add(timeout)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed {
+			return nil, false, ErrClosed
+		}
+		if i := w.match(me, AnySource, AnyTag); i >= 0 {
+			m := w.mailbox[me][i]
+			w.mailbox[me] = append(w.mailbox[me][:i], w.mailbox[me][i+1:]...)
+			return m.Data, true, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false, nil
+		}
+		// sync.Cond has no timed wait; a one-shot timer broadcasts so this
+		// waiter rechecks its deadline. Senders broadcast on delivery, so
+		// the common wake-up path is event-driven, not polled.
+		timer := time.AfterFunc(remaining, w.cond.Broadcast)
+		w.cond.Wait()
+		timer.Stop()
 	}
 }
 

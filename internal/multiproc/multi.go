@@ -1,30 +1,24 @@
 // Package multiproc implements the paper's baseline "multi" mapping: the
 // native static Multiprocessing enactment. Every PE instance is pinned to
-// its own simulated process (goroutine + platform.Process accounting) with a
-// private input channel; senders route values across destination instances
-// according to the edge grouping; termination uses the classic poison-pill
-// protocol ("the source PE would signal the end of its input to all
-// subsequent instances"), generalized to reference-counted end-of-stream
-// markers so diamond topologies and multi-instance PEs terminate correctly.
+// its own simulated process with a private bounded input channel; senders
+// route values across destination instances according to the edge grouping.
 //
-// Because each instance is a dedicated process holding its own PE value,
-// multi supports stateful PEs and every grouping out of the box — the
-// property that makes it the paper's baseline for the stateful comparison.
+// Since the unified worker runtime (package runtime) absorbed the worker
+// loop, this package is a planner: it resolves the instance allocation,
+// pins one worker per instance, and runs the plan on the in-process channel
+// transport. Because each instance is a dedicated process holding its own
+// PE value, multi supports stateful PEs and every grouping out of the box —
+// the property that makes it the paper's baseline for the stateful
+// comparison.
 package multiproc
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/runtime"
 	"repro/internal/state"
-	"repro/internal/synth"
 )
 
 // Multi is the static Multiprocessing mapping.
@@ -34,23 +28,6 @@ func init() { mapping.Register(Multi{}) }
 
 // Name implements mapping.Mapping.
 func (Multi) Name() string { return "multi" }
-
-// message is one unit on an instance's input channel.
-type message struct {
-	port  string
-	value any
-	eos   bool
-}
-
-// instance is one running PE copy.
-type instance struct {
-	node  *graph.Node
-	index int
-	in    chan message
-	// expectEOS is how many end-of-stream markers must arrive before this
-	// instance finalizes (one per upstream instance per in-edge).
-	expectEOS int
-}
 
 // Execute implements mapping.Mapping.
 func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
@@ -62,277 +39,13 @@ func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, erro
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	host := platform.NewHost(opts.Platform)
-
-	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend { return state.NewMemoryBackend() })
-	if err != nil {
-		return metrics.Report{}, err
-	}
-	success := false
-	defer func() { ms.Finish(g, success) }()
-
-	// Build all instances. Managed-state nodes get a finalization barrier:
-	// instance 0 runs the node's single Final only after every sibling has
-	// stopped mutating the shared store.
-	instances := make(map[string][]*instance, len(g.Nodes()))
-	barriers := make(map[string]*sync.WaitGroup, len(g.Nodes()))
-	for _, n := range g.Nodes() {
-		count := alloc[n.Name]
-		list := make([]*instance, count)
-		for i := 0; i < count; i++ {
-			list[i] = &instance{node: n, index: i, in: make(chan message, 256)}
-		}
-		instances[n.Name] = list
-		if n.HasManagedState() {
-			bar := &sync.WaitGroup{}
-			bar.Add(count - 1) // siblings of instance 0
-			barriers[n.Name] = bar
-		}
-	}
-	// Expected EOS per destination instance: one per (in-edge × upstream
-	// instance). Every upstream instance broadcasts EOS on each of its
-	// out-edges to all destination instances.
-	for _, e := range g.Edges() {
-		nSrc := len(instances[e.From])
-		for _, dst := range instances[e.To] {
-			dst.expectEOS += nSrc
-		}
-	}
-
-	var tasks, outputs atomic.Int64
-	abort := make(chan struct{})
-	var abortOnce sync.Once
-	var firstErr error
-	var errMu sync.Mutex
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		abortOnce.Do(func() { close(abort) })
-	}
-
-	// send delivers a message, abandoning on abort to avoid deadlock.
-	send := func(dst *instance, m message) bool {
-		select {
-		case dst.in <- m:
-			return true
-		case <-abort:
-			return false
-		}
-	}
-
-	// newEmit builds the routing closure for one sender instance.
-	newEmit := func(n *graph.Node) func(port string, value any) error {
-		seq := make(map[*graph.Edge]*uint64, 4)
-		for _, e := range g.OutEdges(n.Name) {
-			var c uint64
-			seq[e] = &c
-		}
-		return func(port string, value any) error {
-			for _, e := range g.OutEdges(n.Name) {
-				if e.FromPort != port {
-					continue
-				}
-				dsts := instances[e.To]
-				idx := e.Grouping.RouteInstance(value, atomic.AddUint64(seq[e], 1)-1, len(dsts))
-				if len(g.OutEdges(e.To)) == 0 {
-					outputs.Add(1)
-				}
-				if idx < 0 { // one-to-all broadcast
-					for _, dst := range dsts {
-						if !send(dst, message{port: e.ToPort, value: value}) {
-							return errAborted
-						}
-					}
-					continue
-				}
-				if !send(dsts[idx], message{port: e.ToPort, value: value}) {
-					return errAborted
-				}
-			}
-			return nil
-		}
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for _, n := range g.Nodes() {
-		for _, inst := range instances[n.Name] {
-			wg.Add(1)
-			go func(n *graph.Node, inst *instance) {
-				defer wg.Done()
-				proc := host.NewProcess(fmt.Sprintf("multi:%s:%d", n.Name, inst.index))
-				proc.Activate()
-				defer proc.Deactivate()
-				if err := runInstance(g, n, inst, instances, host, opts, ms, barriers[n.Name], newEmit(n), send, &tasks, abort); err != nil {
-					if err != errAborted {
-						fail(err)
-					}
-				}
-			}(n, inst)
-		}
-	}
-	wg.Wait()
-	runtime := time.Since(start)
-
-	errMu.Lock()
-	err = firstErr
-	errMu.Unlock()
-	if err != nil {
-		return metrics.Report{}, fmt.Errorf("multi: %w", err)
-	}
-	success = true
-	return metrics.Report{
-		Workflow:    g.Name,
-		Mapping:     "multi",
-		Platform:    opts.Platform.Name,
-		Processes:   opts.Processes,
-		Runtime:     runtime,
-		ProcessTime: host.TotalProcessTime(),
-		Tasks:       tasks.Load(),
-		Outputs:     outputs.Load(),
-		State:       ms.Ops(),
-	}, nil
-}
-
-// errAborted is an internal sentinel: another instance already failed.
-var errAborted = fmt.Errorf("multiproc: aborted")
-
-// runInstance executes one PE instance to completion.
-func runInstance(
-	g *graph.Graph,
-	n *graph.Node,
-	inst *instance,
-	instances map[string][]*instance,
-	host *platform.Host,
-	opts mapping.Options,
-	ms *mapping.ManagedState,
-	barrier *sync.WaitGroup,
-	emit func(port string, value any) error,
-	send func(dst *instance, m message) bool,
-	tasks *atomic.Int64,
-	abort <-chan struct{},
-) error {
-	pe := n.Factory()
-	rng := synth.NewRand(opts.Seed ^ int64(instSeed(n.Name, inst.index)))
-	ctx := core.NewContext(n.Name, inst.index, host, rng, emit)
-	if st := ms.Store(n.Name); st != nil {
-		ctx = ctx.WithStore(st)
-	}
-
-	// Sibling instances of a managed-state node must release the barrier on
-	// every exit path, or instance 0 would wait forever on an aborted run.
-	var barrierOnce sync.Once
-	barrierDone := func() {
-		if barrier != nil && inst.index != 0 {
-			barrierOnce.Do(barrier.Done)
-		}
-	}
-	defer barrierDone()
-
-	// sendEOS broadcasts end-of-stream on every out-edge.
-	sendEOS := func() {
-		for _, e := range g.OutEdges(n.Name) {
-			for _, dst := range instances[e.To] {
-				if !send(dst, message{eos: true}) {
-					return
-				}
-			}
-		}
-	}
-
-	if ini, ok := pe.(core.Initializer); ok {
-		if err := ini.Init(ctx); err != nil {
-			return fmt.Errorf("PE %s[%d] init: %w", n.Name, inst.index, err)
-		}
-	}
-
-	if src, ok := pe.(core.Source); ok && len(g.InEdges(n.Name)) == 0 {
-		tasks.Add(1)
-		if err := src.Generate(ctx); err != nil {
-			return fmt.Errorf("source %s[%d]: %w", n.Name, inst.index, err)
-		}
-		if fin, ok := pe.(core.Finalizer); ok {
-			if err := fin.Final(ctx); err != nil {
-				return fmt.Errorf("source %s[%d] final: %w", n.Name, inst.index, err)
-			}
-		}
-		sendEOS()
-		return nil
-	}
-
-	remaining := inst.expectEOS
-	for remaining > 0 {
-		select {
-		case m := <-inst.in:
-			if m.eos {
-				remaining--
-				continue
-			}
-			tasks.Add(1)
-			if err := pe.Process(ctx, m.port, m.value); err != nil {
-				return fmt.Errorf("PE %s[%d]: %w", n.Name, inst.index, err)
-			}
-		case <-abort:
-			return errAborted
-		}
-	}
-	if n.HasManagedState() {
-		// The engine's Final-once contract: siblings release the barrier and
-		// go straight to EOS; instance 0 waits for them (no more writes to
-		// the shared store) and runs the node's single Final over the whole
-		// namespace. Its own EOS follows the Final emissions, so downstream
-		// cannot terminate before seeing them.
-		if inst.index != 0 {
-			barrierDone()
-			sendEOS()
-			return nil
-		}
-		if !waitBarrier(barrier, abort) {
-			return errAborted
-		}
-		if fin, ok := pe.(core.Finalizer); ok {
-			if err := fin.Final(ctx); err != nil {
-				return fmt.Errorf("PE %s[%d] final: %w", n.Name, inst.index, err)
-			}
-		}
-		sendEOS()
-		return nil
-	}
-	if fin, ok := pe.(core.Finalizer); ok {
-		if err := fin.Final(ctx); err != nil {
-			return fmt.Errorf("PE %s[%d] final: %w", n.Name, inst.index, err)
-		}
-	}
-	sendEOS()
-	return nil
-}
-
-// waitBarrier waits for wg, abandoning on abort.
-func waitBarrier(wg *sync.WaitGroup, abort <-chan struct{}) bool {
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return true
-	case <-abort:
-		return false
-	}
-}
-
-// instSeed mixes a PE name and instance index into a seed component.
-func instSeed(name string, idx int) uint32 {
-	var h uint32 = 2166136261
-	for i := 0; i < len(name); i++ {
-		h ^= uint32(name[i])
-		h *= 16777619
-	}
-	h ^= uint32(idx)
-	h *= 16777619
-	return h
+	plan := runtime.PinnedPlan(g, alloc)
+	return runtime.Execute(g, opts, runtime.Config{
+		Name:              "multi",
+		Plan:              plan,
+		Transport:         runtime.NewChanTransport(plan, 256),
+		Host:              platform.NewHost(opts.Platform),
+		NewStateBackend:   func() state.Backend { return state.NewMemoryBackend() },
+		PinnedIdleStandby: true,
+	})
 }

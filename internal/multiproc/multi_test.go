@@ -11,19 +11,6 @@ import (
 	"repro/internal/platform"
 )
 
-func TestInstSeedStablePerInstance(t *testing.T) {
-	a := instSeed("getVOTable", 0)
-	b := instSeed("getVOTable", 0)
-	c := instSeed("getVOTable", 1)
-	d := instSeed("filterColumns", 0)
-	if a != b {
-		t.Error("seed not stable")
-	}
-	if a == c || a == d {
-		t.Error("seeds must differ across instances and PEs")
-	}
-}
-
 func TestNameAndRegistration(t *testing.T) {
 	if (Multi{}).Name() != "multi" {
 		t.Error("name")

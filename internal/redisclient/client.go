@@ -122,6 +122,46 @@ func (c *Client) Do(argv ...string) (resp.Value, error) {
 	return v, nil
 }
 
+// Pipeline writes all commands over one connection before reading any reply,
+// so the batch costs a single network round trip instead of one per command.
+// Replies come back in command order; the first server error reply is
+// returned as a ServerError (later replies are still drained so the
+// connection stays reusable).
+func (c *Client) Pipeline(cmds [][]string) ([]resp.Value, error) {
+	if len(cmds) == 0 {
+		return nil, nil
+	}
+	cn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	for _, argv := range cmds {
+		if err := cn.w.WriteCommandBuffered(argv...); err != nil {
+			c.putConn(cn, true)
+			return nil, fmt.Errorf("redisclient: pipeline write %s: %w", argv[0], err)
+		}
+	}
+	if err := cn.w.Flush(); err != nil {
+		c.putConn(cn, true)
+		return nil, fmt.Errorf("redisclient: pipeline flush: %w", err)
+	}
+	replies := make([]resp.Value, 0, len(cmds))
+	var firstErr error
+	for i := range cmds {
+		v, err := cn.r.ReadValue()
+		if err != nil {
+			c.putConn(cn, true)
+			return nil, fmt.Errorf("redisclient: pipeline read %s reply: %w", cmds[i][0], err)
+		}
+		if v.Type == resp.Error && firstErr == nil {
+			firstErr = ServerError(v.Str)
+		}
+		replies = append(replies, v)
+	}
+	c.putConn(cn, false)
+	return replies, firstErr
+}
+
 // DoInt runs a command expecting an integer reply.
 func (c *Client) DoInt(argv ...string) (int64, error) {
 	v, err := c.Do(argv...)

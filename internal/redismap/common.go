@@ -1,4 +1,4 @@
-// Package redismap implements the paper's three Redis-backed mappings:
+// Package redismap implements the paper's Redis-backed mappings:
 //
 //   - dyn_redis (Section 3.1.1): dynamic scheduling whose global queue is a
 //     Redis Stream consumed through a consumer group, replacing the
@@ -7,131 +7,25 @@
 //     auto-scaler driven by the consumer group's average idle time;
 //   - hybrid_redis (Section 3.1.2): stateful PE instances pinned to
 //     dedicated processes with private Redis list queues, while stateless
-//     PEs keep dynamic scheduling on the global stream. Outputs of any
-//     worker are routed either back to the global stream (stateless
-//     destination) or to the private queue selected by the edge grouping
-//     (stateful destination) — the design that gives dynamic optimization
-//     stateful and grouping support without global state synchronization.
+//     PEs keep dynamic scheduling on the global stream;
+//   - hybrid_auto_redis: hybrid_redis with the auto-scaler on its stateless
+//     pool.
 //
-// Tasks are gob-encoded (package codec) and shipped through a real TCP
-// connection to the Redis server (internal/miniredis in this repository, or
-// any RESP2-compatible server), so the cost structure of the Redis mappings
-// — heavier than in-process queues, as the paper observes — is physically
-// present rather than assumed.
+// The mappings are planners over runtime.RedisTransport: tasks are
+// gob-encoded (package codec) and shipped through a real TCP connection to
+// the Redis server (internal/miniredis in this repository, or any
+// RESP2-compatible server), so the cost structure of the Redis mappings —
+// heavier than in-process queues, as the paper observes — is physically
+// present rather than assumed. With Options.EmitBatch the transport
+// pipelines the XADD/RPUSH commands of a batch into one round trip.
 package redismap
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
 
-	"repro/internal/codec"
-	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/redisclient"
 )
-
-// runNonce disambiguates concurrent runs against one server.
-var runNonce atomic.Int64
-
-// runKeys holds the Redis key names of one execution.
-type runKeys struct {
-	prefix  string
-	queue   string // global stream
-	group   string // consumer group name
-	pending string // outstanding-task counter
-}
-
-func newRunKeys(g *graph.Graph, seed int64) runKeys {
-	prefix := fmt.Sprintf("d4p:%s:%d:%d", g.Name, seed, runNonce.Add(1))
-	return runKeys{
-		prefix:  prefix,
-		queue:   prefix + ":queue",
-		group:   "workers",
-		pending: prefix + ":pending",
-	}
-}
-
-// privKey is the private queue (Redis list) of one stateful PE instance.
-func (k runKeys) privKey(pe string, instance int) string {
-	return fmt.Sprintf("%s:priv:%s:%d", k.prefix, pe, instance)
-}
-
-// taskField is the stream entry field carrying the encoded task.
-const taskField = "task"
-
-// pushStream INCRs the pending counter and appends an encoded task to the
-// global stream. The counter is incremented first so that pending == 0
-// implies no queued or in-flight work anywhere.
-func pushStream(cl *redisclient.Client, k runKeys, t codec.Task) error {
-	payload, err := codec.Encode(t)
-	if err != nil {
-		return err
-	}
-	if !t.Poison {
-		if _, err := cl.Incr(k.pending); err != nil {
-			return err
-		}
-	}
-	_, err = cl.XAddValues(k.queue, taskField, payload)
-	return err
-}
-
-// pushPrivate INCRs pending and RPUSHes an encoded task onto a stateful
-// instance's private list.
-func pushPrivate(cl *redisclient.Client, k runKeys, pe string, instance int, t codec.Task) error {
-	payload, err := codec.Encode(t)
-	if err != nil {
-		return err
-	}
-	if !t.Poison {
-		if _, err := cl.Incr(k.pending); err != nil {
-			return err
-		}
-	}
-	_, err = cl.RPush(k.privKey(pe, instance), payload)
-	return err
-}
-
-// taskDone decrements the pending counter after a task is fully processed
-// (its children already pushed).
-func taskDone(cl *redisclient.Client, k runKeys) error {
-	_, err := cl.IncrBy(k.pending, -1)
-	return err
-}
-
-// pendingCount reads the outstanding-task counter.
-func pendingCount(cl *redisclient.Client, k runKeys) (int64, error) {
-	s, ok, err := cl.Get(k.pending)
-	if err != nil || !ok {
-		return 0, err
-	}
-	var n int64
-	_, err = fmt.Sscanf(s, "%d", &n)
-	return n, err
-}
-
-// cleanup removes the run's keys from the server.
-func cleanup(cl *redisclient.Client, k runKeys, g *graph.Graph) {
-	keys := []string{k.queue, k.pending}
-	for _, n := range g.Nodes() {
-		if n.Stateful {
-			for i := 0; i < statefulInstances(n); i++ {
-				keys = append(keys, k.privKey(n.Name, i))
-			}
-		}
-	}
-	_, _ = cl.Do(append([]string{"DEL"}, keys...)...)
-}
-
-// statefulInstances is the pinned instance count of a stateful node
-// (explicit Instances, defaulting to 1).
-func statefulInstances(n *graph.Node) int {
-	if n.Instances > 0 {
-		return n.Instances
-	}
-	return 1
-}
 
 // requireRedis validates the Redis address option.
 func requireRedis(opts mapping.Options, technique string) (*redisclient.Client, error) {
@@ -144,17 +38,4 @@ func requireRedis(opts mapping.Options, technique string) (*redisclient.Client, 
 		return nil, fmt.Errorf("%s: redis unreachable at %s: %w", technique, opts.RedisAddr, err)
 	}
 	return cl, nil
-}
-
-// popPrivate BLPOPs one encoded task from a private queue.
-func popPrivate(cl *redisclient.Client, key string, timeout time.Duration) (codec.Task, bool, error) {
-	_, payload, ok, err := cl.BLPop(timeout, key)
-	if err != nil || !ok {
-		return codec.Task{}, false, err
-	}
-	t, err := codec.Decode(payload)
-	if err != nil {
-		return codec.Task{}, false, err
-	}
-	return t, true, nil
 }

@@ -2,21 +2,15 @@ package redismap
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/autoscale"
-	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/redisclient"
+	"repro/internal/runtime"
 	"repro/internal/state"
-	"repro/internal/synth"
 )
 
 // DynRedis is the dyn_redis mapping.
@@ -51,21 +45,9 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}
-	if err := dynamic.ValidateDynamic(g, name); err != nil {
+	if err := runtime.ValidateDynamic(g, name); err != nil {
 		return metrics.Report{}, err
 	}
-	cl, err := requireRedis(opts, name)
-	if err != nil {
-		return metrics.Report{}, err
-	}
-	defer cl.Close()
-
-	keys := newRunKeys(g, opts.Seed)
-	defer cleanup(cl, keys, g)
-	if err := cl.XGroupCreate(keys.queue, keys.group, "0"); err != nil {
-		return metrics.Report{}, fmt.Errorf("%s: create consumer group: %w", name, err)
-	}
-
 	if g.HasManagedState() && opts.RecoverStale {
 		// XAUTOCLAIM replay re-runs Process (and possibly Finalize) for
 		// tasks whose worker stalled past the idle threshold; managed store
@@ -73,27 +55,19 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 		// ROADMAP), so the combination would silently double-apply state.
 		return metrics.Report{}, fmt.Errorf("%s: Options.RecoverStale is not supported with managed-state PEs (at-least-once replay would double-apply store mutations)", name)
 	}
-	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend {
-		return state.NewRedisBackend(cl, keys.prefix+":state")
-	})
+	cl, err := requireRedis(opts, name)
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	success := false
-	defer func() { ms.Finish(g, success) }()
-	// Managed-state graphs run in coordinated mode (see package dynamic):
-	// the coordinator drains the stream, flushes managed Finals once each,
-	// then poisons the pool; workers never self-terminate.
-	coordinated := g.HasManagedState()
+	defer cl.Close()
 
-	host := platform.NewHost(opts.Platform)
-	var tasks, outputs atomic.Int64
-
-	for _, src := range g.Sources() {
-		if err := pushStream(cl, keys, codec.Task{PE: src.Name, Instance: -1}); err != nil {
-			return metrics.Report{}, fmt.Errorf("%s: seed source: %w", name, err)
-		}
+	plan := runtime.PoolPlan(g, opts.Processes)
+	keys := runtime.NewRunKeys(g.Name, opts.Seed)
+	tr, err := runtime.NewRedisTransport(cl, keys, plan, opts.RecoverStale)
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
+	defer tr.Cleanup(g)
 
 	var ctrl *autoscale.Controller
 	if auto {
@@ -112,320 +86,44 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 		ctrl = autoscale.NewController(cfg, strategy, opts.Trace)
 		monCl := redisclient.Dial(opts.RedisAddr)
 		defer monCl.Close()
-		go ctrl.RunMonitor(func() float64 {
-			infos, err := monCl.XInfoConsumers(keys.queue, keys.group)
-			if err != nil || len(infos) == 0 {
-				return 0
-			}
-			active := ctrl.ActiveSize()
-			var sum float64
-			var n int
-			for _, info := range infos {
-				var w int
-				if _, err := fmt.Sscanf(info.Name, "w%d", &w); err != nil || w >= active {
-					continue
-				}
-				sum += float64(info.Inactive.Milliseconds())
-				n++
-			}
-			if n == 0 {
-				return 0
-			}
-			return sum / float64(n)
-		})
+		go ctrl.RunMonitor(consumerIdleMonitor(monCl, keys, ctrl))
 		defer ctrl.Terminate()
 	}
 
-	var firstErr error
-	var errMu sync.Mutex
-	var poisoned atomic.Bool
-	var failed atomic.Bool
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		failed.Store(true)
-		broadcastPills(cl, keys, opts.Processes, &poisoned)
-		if ctrl != nil {
-			ctrl.Terminate()
-		}
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Processes; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			runRedisWorker(g, host, opts, name, w, keys, ctrl, ms, coordinated, &tasks, &outputs, &poisoned, fail)
-		}(w)
-	}
-	if coordinated {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := runStreamCoordinator(g, cl, keys, opts, &failed); err != nil && !failed.Load() {
-				fail(err)
-				return
-			}
-			broadcastPills(cl, keys, opts.Processes, &poisoned)
-			if ctrl != nil {
-				ctrl.Terminate()
-			}
-		}()
-	}
-	wg.Wait()
-	runtime := time.Since(start)
-
-	errMu.Lock()
-	err = firstErr
-	errMu.Unlock()
-	if err != nil {
-		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
-	}
-	success = true
-	return metrics.Report{
-		Workflow:    g.Name,
-		Mapping:     name,
-		Platform:    opts.Platform.Name,
-		Processes:   opts.Processes,
-		Runtime:     runtime,
-		ProcessTime: host.TotalProcessTime(),
-		Tasks:       tasks.Load(),
-		Outputs:     outputs.Load(),
-		State:       ms.Ops(),
-	}, nil
+	return runtime.Execute(g, opts, runtime.Config{
+		Name:       name,
+		Plan:       plan,
+		Transport:  tr,
+		Host:       platform.NewHost(opts.Platform),
+		Controller: ctrl,
+		NewStateBackend: func() state.Backend {
+			return state.NewRedisBackend(cl, keys.Prefix+":state")
+		},
+	})
 }
 
-// runStreamCoordinator is the managed-state termination protocol of the
-// dynamic Redis mappings: drain the global stream, then push one Finalize
-// task per managed node carrying a Final hook (topological order, draining
-// between nodes so flushed values propagate through the pool).
-func runStreamCoordinator(g *graph.Graph, cl *redisclient.Client, keys runKeys, opts mapping.Options, failed *atomic.Bool) error {
-	// drain distinguishes "a worker already failed" (fail() owns the
-	// unwind; report nothing) from a real Redis error mid-drain, which must
-	// propagate or the run would report success with Finals never flushed.
-	drain := func() (aborted bool, err error) {
-		if err := awaitDrain(cl, keys, opts, failed); err != nil {
-			if failed.Load() {
-				return true, nil
-			}
-			return false, err
+// consumerIdleMonitor builds the dyn_auto_redis monitoring metric: the mean
+// Inactive time of the pool's active consumers in the run's consumer group.
+func consumerIdleMonitor(monCl *redisclient.Client, keys runtime.RedisKeys, ctrl *autoscale.Controller) func() float64 {
+	return func() float64 {
+		infos, err := monCl.XInfoConsumers(keys.Queue, keys.Group)
+		if err != nil || len(infos) == 0 {
+			return 0
 		}
-		return false, nil
-	}
-	if aborted, err := drain(); aborted || err != nil {
-		return err
-	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return err
-	}
-	for _, name := range order {
-		n := g.Node(name)
-		if !n.HasManagedState() {
-			continue
-		}
-		if _, ok := n.Prototype.(core.Finalizer); !ok {
-			continue
-		}
-		if err := pushStream(cl, keys, codec.Task{PE: n.Name, Instance: -1, Finalize: true}); err != nil {
-			return err
-		}
-		if aborted, err := drain(); aborted || err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// broadcastPills pushes one poison pill per worker, once.
-func broadcastPills(cl *redisclient.Client, keys runKeys, n int, poisoned *atomic.Bool) {
-	if poisoned.Swap(true) {
-		return
-	}
-	for i := 0; i < n; i++ {
-		_ = pushStream(cl, keys, codec.Task{Poison: true})
-	}
-}
-
-// runRedisWorker is one dynamic Redis process: a consumer in the group with
-// a private workflow copy and its own client connection (processes do not
-// share sockets).
-func runRedisWorker(
-	g *graph.Graph,
-	host *platform.Host,
-	opts mapping.Options,
-	technique string,
-	w int,
-	keys runKeys,
-	ctrl *autoscale.Controller,
-	ms *mapping.ManagedState,
-	coordinated bool,
-	tasks, outputs *atomic.Int64,
-	poisoned *atomic.Bool,
-	fail func(error),
-) {
-	cl := redisclient.Dial(opts.RedisAddr)
-	defer cl.Close()
-	proc := host.NewProcess(fmt.Sprintf("%s:w%d", technique, w))
-	proc.Activate()
-	defer proc.Deactivate()
-	consumer := fmt.Sprintf("w%d", w)
-
-	pes := make(map[string]core.PE, len(g.Nodes()))
-	ctxs := make(map[string]*core.Context, len(g.Nodes()))
-	for _, n := range g.Nodes() {
-		n := n
-		pes[n.Name] = n.Factory()
-		emit := func(port string, value any) error {
-			for _, e := range g.OutEdges(n.Name) {
-				if e.FromPort != port {
-					continue
-				}
-				if len(g.OutEdges(e.To)) == 0 {
-					outputs.Add(1)
-				}
-				if err := pushStream(cl, keys, codec.Task{PE: e.To, Port: e.ToPort, Value: value, Instance: -1}); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		ctx := core.NewContext(n.Name, w, host,
-			synth.NewRand(opts.Seed^int64(w*7919)^int64(nodeHash(n.Name))), emit)
-		if st := ms.Store(n.Name); st != nil {
-			ctx = ctx.WithStore(st)
-		}
-		ctxs[n.Name] = ctx
-	}
-	for name, pe := range pes {
-		if ini, ok := pe.(core.Initializer); ok {
-			if err := ini.Init(ctxs[name]); err != nil {
-				fail(fmt.Errorf("worker %d: init %s: %w", w, name, err))
-				return
-			}
-		}
-	}
-
-	retries := 0
-	for {
-		if ctrl != nil && ctrl.Idle(w) {
-			proc.Deactivate()
-			if !ctrl.Admit(w) {
-				return
-			}
-			proc.Activate()
-		}
-		entries, err := cl.XReadGroup(keys.group, consumer, 1, opts.PollTimeout, keys.queue)
-		if err != nil {
-			fail(fmt.Errorf("worker %d: read queue: %w", w, err))
-			return
-		}
-		if len(entries) == 0 {
-			retries++
-			if opts.RecoverStale {
-				// Reclaim tasks whose consumer stopped acknowledging them
-				// (crashed or descheduled). XAUTOCLAIM moves idle pending
-				// entries into this worker's PEL so the stream's
-				// at-least-once guarantee actually holds under failures.
-				_, claimed, err := cl.XAutoClaim(keys.queue, keys.group, consumer,
-					8*opts.PollTimeout, "0-0", 1)
-				if err == nil && len(claimed) > 0 {
-					entries = claimed
-					goto process
-				}
-			}
-			if !coordinated && retries > opts.Retries {
-				// In coordinated (managed-state) mode the coordinator owns
-				// termination; workers just keep polling until poisoned.
-				n, err := pendingCount(cl, keys)
-				if err != nil {
-					fail(fmt.Errorf("worker %d: pending count: %w", w, err))
-					return
-				}
-				if n == 0 {
-					broadcastPills(cl, keys, host.ProcessCount(), poisoned)
-					if ctrl != nil {
-						ctrl.Terminate()
-					}
-					return
-				}
-			}
-			continue
-		}
-	process:
-		retries = 0
-		for _, entry := range entries {
-			t, err := codec.Decode(entry.Fields[taskField])
-			if err != nil {
-				fail(fmt.Errorf("worker %d: %w", w, err))
-				return
-			}
-			if t.Poison {
-				_, _ = cl.XAck(keys.queue, keys.group, entry.ID)
-				return
-			}
-			if t.Finalize {
-				if fin, ok := pes[t.PE].(core.Finalizer); ok {
-					if err := fin.Final(ctxs[t.PE]); err != nil {
-						_ = taskDone(cl, keys)
-						fail(fmt.Errorf("worker %d: final %s: %w", w, t.PE, err))
-						return
-					}
-				}
-				if err := taskDone(cl, keys); err != nil {
-					fail(fmt.Errorf("worker %d: finalize done: %w", w, err))
-					return
-				}
-				if _, err := cl.XAck(keys.queue, keys.group, entry.ID); err != nil {
-					fail(fmt.Errorf("worker %d: ack: %w", w, err))
-					return
-				}
+		active := ctrl.ActiveSize()
+		var sum float64
+		var n int
+		for _, info := range infos {
+			var w int
+			if _, err := fmt.Sscanf(info.Name, "w%d", &w); err != nil || w >= active {
 				continue
 			}
-			tasks.Add(1)
-			if err := runRedisTask(g, pes, ctxs, t); err != nil {
-				_ = taskDone(cl, keys)
-				fail(fmt.Errorf("worker %d: %w", w, err))
-				return
-			}
-			if err := taskDone(cl, keys); err != nil {
-				fail(fmt.Errorf("worker %d: task done: %w", w, err))
-				return
-			}
-			if _, err := cl.XAck(keys.queue, keys.group, entry.ID); err != nil {
-				fail(fmt.Errorf("worker %d: ack: %w", w, err))
-				return
-			}
+			sum += float64(info.Inactive.Milliseconds())
+			n++
 		}
-	}
-}
-
-// runRedisTask executes one decoded task.
-func runRedisTask(g *graph.Graph, pes map[string]core.PE, ctxs map[string]*core.Context, t codec.Task) error {
-	pe, ok := pes[t.PE]
-	if !ok {
-		return fmt.Errorf("task for unknown PE %q", t.PE)
-	}
-	if t.Port == "" {
-		src, ok := pe.(core.Source)
-		if !ok {
-			return fmt.Errorf("generate task for non-source PE %q", t.PE)
+		if n == 0 {
+			return 0
 		}
-		return src.Generate(ctxs[t.PE])
+		return sum / float64(n)
 	}
-	return pe.Process(ctxs[t.PE], t.Port, t.Value)
-}
-
-// nodeHash gives a stable per-node seed component.
-func nodeHash(name string) uint32 {
-	var h uint32 = 2166136261
-	for i := 0; i < len(name); i++ {
-		h ^= uint32(name[i])
-		h *= 16777619
-	}
-	return h
 }

@@ -2,20 +2,16 @@ package redismap
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/autoscale"
-	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/redisclient"
+	"repro/internal/runtime"
 	"repro/internal/state"
-	"repro/internal/synth"
 )
 
 // Hybrid is the hybrid_redis mapping: stateful PE instances are pinned to
@@ -45,47 +41,55 @@ func (Hybrid) Name() string { return "hybrid_redis" }
 func (HybridAuto) Name() string { return "hybrid_auto_redis" }
 
 // Execute implements mapping.Mapping.
+func (Hybrid) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
+	return executeHybrid(g, opts, "hybrid_redis", false)
+}
+
+// Execute implements mapping.Mapping.
 func (HybridAuto) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
 	return executeHybrid(g, opts, "hybrid_auto_redis", true)
 }
 
-// hybridPlan is the process split: which (PE, instance) pairs get pinned
-// processes and how many dynamic stateless workers remain.
-type hybridPlan struct {
-	stateful  []pinned
-	stateless int
-}
-
-type pinned struct {
-	node     *graph.Node
-	instance int
-}
-
-// planHybrid computes the split, enforcing the paper's minimum (every
-// stateful instance needs a dedicated process, plus at least one stateless
-// worker: "stateless PE instances are assigned to the available processes
-// that are not dedicated to stateful tasks ... N − number of stateful PE
-// instances").
-func planHybrid(g *graph.Graph, processes int) (hybridPlan, error) {
-	var plan hybridPlan
+// planHybrid computes the process split as a runtime plan: every stateful
+// instance gets a pinned worker with a private queue, and the remaining
+// budget forms the dynamic stateless pool, enforcing the paper's minimum
+// ("stateless PE instances are assigned to the available processes that are
+// not dedicated to stateful tasks ... N − number of stateful PE instances").
+func planHybrid(g *graph.Graph, processes int) (runtime.Plan, error) {
+	var pinned []runtime.WorkerSpec
+	instances := make(map[string]int, len(g.Nodes()))
 	for _, n := range g.Nodes() {
 		if !n.Stateful {
+			instances[n.Name] = 0
 			continue
 		}
 		if n.IsSource() {
-			return plan, fmt.Errorf("hybrid_redis: source PE %s cannot be stateful", n.Name)
+			return runtime.Plan{}, fmt.Errorf("hybrid_redis: source PE %s cannot be stateful", n.Name)
 		}
-		for i := 0; i < statefulInstances(n); i++ {
-			plan.stateful = append(plan.stateful, pinned{node: n, instance: i})
+		count := statefulInstances(n)
+		instances[n.Name] = count
+		for i := 0; i < count; i++ {
+			pinned = append(pinned, runtime.WorkerSpec{PE: n.Name, Instance: i})
 		}
 	}
-	plan.stateless = processes - len(plan.stateful)
-	if plan.stateless < 1 {
-		return plan, fmt.Errorf(
+	stateless := processes - len(pinned)
+	if stateless < 1 {
+		return runtime.Plan{}, fmt.Errorf(
 			"hybrid_redis: workflow %s needs at least %d processes (%d stateful instances + 1 stateless worker), got %d",
-			g.Name, len(plan.stateful)+1, len(plan.stateful), processes)
+			g.Name, len(pinned)+1, len(pinned), processes)
 	}
-	return plan, nil
+	workers := make([]runtime.WorkerSpec, stateless)
+	workers = append(workers, pinned...)
+	return runtime.NewPlan(workers, instances), nil
+}
+
+// statefulInstances is the pinned instance count of a stateful node
+// (explicit Instances, defaulting to 1).
+func statefulInstances(n *graph.Node) int {
+	if n.Instances > 0 {
+		return n.Instances
+	}
+	return 1
 }
 
 // validateHybrid checks the stateless part of the graph against dynamic
@@ -109,11 +113,6 @@ func validateHybrid(g *graph.Graph) error {
 	return nil
 }
 
-// Execute implements mapping.Mapping.
-func (Hybrid) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
-	return executeHybrid(g, opts, "hybrid_redis", false)
-}
-
 func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool) (metrics.Report, error) {
 	opts = opts.WithDefaults()
 	if err := g.Validate(); err != nil {
@@ -132,27 +131,19 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 	}
 	defer cl.Close()
 
-	keys := newRunKeys(g, opts.Seed)
-	defer cleanup(cl, keys, g)
-	if err := cl.XGroupCreate(keys.queue, keys.group, "0"); err != nil {
-		return metrics.Report{}, fmt.Errorf("%s: create consumer group: %w", name, err)
-	}
-
-	ms, err := mapping.OpenManagedState(g, opts, func() state.Backend {
-		return state.NewRedisBackend(cl, keys.prefix+":state")
-	})
+	keys := runtime.NewRunKeys(g.Name, opts.Seed)
+	tr, err := runtime.NewRedisTransport(cl, keys, plan, false)
 	if err != nil {
-		return metrics.Report{}, err
+		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
-	runOK := false
-	defer func() { ms.Finish(g, runOK) }()
+	defer tr.Cleanup(g)
 
 	var ctrl *autoscale.Controller
-	if auto && plan.stateless > 1 {
-		cfg := autoscale.Config{MaxPoolSize: plan.stateless}
+	if auto && plan.Pool > 1 {
+		cfg := autoscale.Config{MaxPoolSize: plan.Pool}
 		if opts.AutoScale != nil {
 			cfg = *opts.AutoScale
-			cfg.MaxPoolSize = plan.stateless
+			cfg.MaxPoolSize = plan.Pool
 		}
 		strategy := opts.Strategy
 		if strategy == nil {
@@ -161,373 +152,18 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 		ctrl = autoscale.NewController(cfg, strategy, opts.Trace)
 		monCl := redisclient.Dial(opts.RedisAddr)
 		defer monCl.Close()
-		go ctrl.RunMonitor(func() float64 {
-			infos, err := monCl.XInfoConsumers(keys.queue, keys.group)
-			if err != nil || len(infos) == 0 {
-				return 0
-			}
-			active := ctrl.ActiveSize()
-			var sum float64
-			var n int
-			for _, info := range infos {
-				var w int
-				if _, err := fmt.Sscanf(info.Name, "w%d", &w); err != nil || w >= active {
-					continue
-				}
-				sum += float64(info.Inactive.Milliseconds())
-				n++
-			}
-			if n == 0 {
-				return 0
-			}
-			return sum / float64(n)
-		})
+		go ctrl.RunMonitor(consumerIdleMonitor(monCl, keys, ctrl))
 		defer ctrl.Terminate()
 	}
 
-	host := platform.NewHost(opts.Platform)
-	var tasks, outputs atomic.Int64
-	var failed atomic.Bool
-	var firstErr error
-	var errMu sync.Mutex
-	var poisoned atomic.Bool
-	poisonAll := func() {
-		if poisoned.Swap(true) {
-			return
-		}
-		for i := 0; i < plan.stateless; i++ {
-			_ = pushStream(cl, keys, codec.Task{Poison: true})
-		}
-		for _, p := range plan.stateful {
-			_ = pushPrivate(cl, keys, p.node.Name, p.instance, codec.Task{Poison: true})
-		}
-	}
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		failed.Store(true)
-		poisonAll()
-	}
-
-	for _, src := range g.Sources() {
-		if err := pushStream(cl, keys, codec.Task{PE: src.Name, Instance: -1}); err != nil {
-			return metrics.Report{}, fmt.Errorf("%s: seed source: %w", name, err)
-		}
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	// Stateless dynamic pool.
-	for w := 0; w < plan.stateless; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			runHybridStateless(g, host, opts, name, w, keys, ctrl, &tasks, &outputs, fail)
-		}(w)
-	}
-	// Pinned stateful processes.
-	for _, p := range plan.stateful {
-		wg.Add(1)
-		go func(p pinned) {
-			defer wg.Done()
-			runHybridStateful(g, host, opts, p, keys, ms, &tasks, &outputs, fail)
-		}(p)
-	}
-
-	// Coordinator: drain, then finalize stateful nodes in topological order,
-	// then terminate everyone with poison pills.
-	coordErr := func() error {
-		if err := awaitDrain(cl, keys, opts, &failed); err != nil {
-			return err
-		}
-		order, err := g.TopoSort()
-		if err != nil {
-			return err
-		}
-		for _, name := range order {
-			n := g.Node(name)
-			if !n.Stateful {
-				continue
-			}
-			if _, ok := n.Prototype.(core.Finalizer); !ok {
-				continue
-			}
-			// Managed-state nodes share one namespace across instances, so
-			// their Final runs exactly once (on instance 0); legacy
-			// field-state nodes flush every instance's private state.
-			finalizeInstances := statefulInstances(n)
-			if n.HasManagedState() {
-				finalizeInstances = 1
-			}
-			for i := 0; i < finalizeInstances; i++ {
-				if err := pushPrivate(cl, keys, n.Name, i, codec.Task{PE: n.Name, Instance: i, Finalize: true}); err != nil {
-					return err
-				}
-			}
-			if err := awaitDrain(cl, keys, opts, &failed); err != nil {
-				return err
-			}
-		}
-		return nil
-	}()
-	if coordErr != nil && !failed.Load() {
-		fail(coordErr)
-	}
-	poisonAll()
-	if ctrl != nil {
-		// Release workers parked in the idle state so they can observe
-		// their poison pills (or exit directly).
-		ctrl.Terminate()
-	}
-	wg.Wait()
-	runtime := time.Since(start)
-
-	errMu.Lock()
-	err = firstErr
-	errMu.Unlock()
-	if err != nil {
-		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
-	}
-	runOK = true
-	return metrics.Report{
-		Workflow:    g.Name,
-		Mapping:     name,
-		Platform:    opts.Platform.Name,
-		Processes:   opts.Processes,
-		Runtime:     runtime,
-		ProcessTime: host.TotalProcessTime(),
-		Tasks:       tasks.Load(),
-		Outputs:     outputs.Load(),
-		State:       ms.Ops(),
-	}, nil
-}
-
-// awaitDrain waits for the pending counter to stay zero across the retry
-// budget (the coordinator's version of the retry termination check).
-func awaitDrain(cl *redisclient.Client, keys runKeys, opts mapping.Options, failed *atomic.Bool) error {
-	zeros := 0
-	for {
-		if failed.Load() {
-			return fmt.Errorf("aborted")
-		}
-		n, err := pendingCount(cl, keys)
-		if err != nil {
-			return err
-		}
-		if n == 0 {
-			zeros++
-			if zeros > opts.Retries {
-				return nil
-			}
-		} else {
-			zeros = 0
-		}
-		time.Sleep(opts.PollTimeout)
-	}
-}
-
-// newHybridEmit builds the routing closure shared by both worker kinds:
-// stateless destinations go to the global stream, stateful destinations to
-// the private queue chosen by the edge grouping.
-func newHybridEmit(
-	g *graph.Graph,
-	cl *redisclient.Client,
-	keys runKeys,
-	node string,
-	outputs *atomic.Int64,
-) func(port string, value any) error {
-	seq := make(map[*graph.Edge]*uint64)
-	for _, e := range g.OutEdges(node) {
-		var c uint64
-		seq[e] = &c
-	}
-	return func(port string, value any) error {
-		for _, e := range g.OutEdges(node) {
-			if e.FromPort != port {
-				continue
-			}
-			if len(g.OutEdges(e.To)) == 0 {
-				outputs.Add(1)
-			}
-			dst := g.Node(e.To)
-			if !dst.Stateful {
-				if err := pushStream(cl, keys, codec.Task{PE: e.To, Port: e.ToPort, Value: value, Instance: -1}); err != nil {
-					return err
-				}
-				continue
-			}
-			nInst := statefulInstances(dst)
-			idx := e.Grouping.RouteInstance(value, atomic.AddUint64(seq[e], 1)-1, nInst)
-			if idx < 0 { // one-to-all
-				for i := 0; i < nInst; i++ {
-					if err := pushPrivate(cl, keys, e.To, i, codec.Task{PE: e.To, Port: e.ToPort, Value: value, Instance: i}); err != nil {
-						return err
-					}
-				}
-				continue
-			}
-			if err := pushPrivate(cl, keys, e.To, idx, codec.Task{PE: e.To, Port: e.ToPort, Value: value, Instance: idx}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-}
-
-// runHybridStateless is one worker of the dynamic stateless pool. Under
-// hybrid_auto_redis a controller gates it into the idle state when the
-// stateless pool shrinks.
-func runHybridStateless(
-	g *graph.Graph,
-	host *platform.Host,
-	opts mapping.Options,
-	technique string,
-	w int,
-	keys runKeys,
-	ctrl *autoscale.Controller,
-	tasks, outputs *atomic.Int64,
-	fail func(error),
-) {
-	cl := redisclient.Dial(opts.RedisAddr)
-	defer cl.Close()
-	proc := host.NewProcess(fmt.Sprintf("%s:w%d", technique, w))
-	proc.Activate()
-	defer proc.Deactivate()
-	consumer := fmt.Sprintf("w%d", w)
-
-	pes := make(map[string]core.PE)
-	ctxs := make(map[string]*core.Context)
-	for _, n := range g.Nodes() {
-		if n.Stateful {
-			continue
-		}
-		pes[n.Name] = n.Factory()
-		ctxs[n.Name] = core.NewContext(n.Name, w, host,
-			synth.NewRand(opts.Seed^int64(w*7919)^int64(nodeHash(n.Name))),
-			newHybridEmit(g, cl, keys, n.Name, outputs))
-	}
-	for name, pe := range pes {
-		if ini, ok := pe.(core.Initializer); ok {
-			if err := ini.Init(ctxs[name]); err != nil {
-				fail(fmt.Errorf("stateless worker %d: init %s: %w", w, name, err))
-				return
-			}
-		}
-	}
-
-	for {
-		if ctrl != nil && ctrl.Idle(w) {
-			proc.Deactivate()
-			if !ctrl.Admit(w) {
-				return
-			}
-			proc.Activate()
-		}
-		entries, err := cl.XReadGroup(keys.group, consumer, 1, opts.PollTimeout, keys.queue)
-		if err != nil {
-			fail(fmt.Errorf("stateless worker %d: read queue: %w", w, err))
-			return
-		}
-		for _, entry := range entries {
-			t, err := codec.Decode(entry.Fields[taskField])
-			if err != nil {
-				fail(fmt.Errorf("stateless worker %d: %w", w, err))
-				return
-			}
-			if t.Poison {
-				_, _ = cl.XAck(keys.queue, keys.group, entry.ID)
-				return
-			}
-			tasks.Add(1)
-			if err := runRedisTask(g, pes, ctxs, t); err != nil {
-				_ = taskDone(cl, keys)
-				fail(fmt.Errorf("stateless worker %d: %w", w, err))
-				return
-			}
-			if err := taskDone(cl, keys); err != nil {
-				fail(fmt.Errorf("stateless worker %d: task done: %w", w, err))
-				return
-			}
-			if _, err := cl.XAck(keys.queue, keys.group, entry.ID); err != nil {
-				fail(fmt.Errorf("stateless worker %d: ack: %w", w, err))
-				return
-			}
-		}
-	}
-}
-
-// runHybridStateful is one pinned stateful instance process: it consumes its
-// private queue only, keeping all state local ("eliminating the need for
-// continuous state synchronization").
-func runHybridStateful(
-	g *graph.Graph,
-	host *platform.Host,
-	opts mapping.Options,
-	p pinned,
-	keys runKeys,
-	ms *mapping.ManagedState,
-	tasks, outputs *atomic.Int64,
-	fail func(error),
-) {
-	cl := redisclient.Dial(opts.RedisAddr)
-	defer cl.Close()
-	proc := host.NewProcess(fmt.Sprintf("hybrid_redis:%s:%d", p.node.Name, p.instance))
-	proc.Activate()
-	defer proc.Deactivate()
-
-	pe := p.node.Factory()
-	ctx := core.NewContext(p.node.Name, p.instance, host,
-		synth.NewRand(opts.Seed^int64(p.instance*104729)^int64(nodeHash(p.node.Name))),
-		newHybridEmit(g, cl, keys, p.node.Name, outputs))
-	if st := ms.Store(p.node.Name); st != nil {
-		ctx = ctx.WithStore(st)
-	}
-	if ini, ok := pe.(core.Initializer); ok {
-		if err := ini.Init(ctx); err != nil {
-			fail(fmt.Errorf("stateful %s[%d]: init: %w", p.node.Name, p.instance, err))
-			return
-		}
-	}
-
-	privKey := keys.privKey(p.node.Name, p.instance)
-	for {
-		t, ok, err := popPrivate(cl, privKey, opts.PollTimeout)
-		if err != nil {
-			fail(fmt.Errorf("stateful %s[%d]: pop: %w", p.node.Name, p.instance, err))
-			return
-		}
-		if !ok {
-			continue // coordinator owns termination
-		}
-		if t.Poison {
-			return
-		}
-		if t.Finalize {
-			if fin, ok := pe.(core.Finalizer); ok {
-				if err := fin.Final(ctx); err != nil {
-					_ = taskDone(cl, keys)
-					fail(fmt.Errorf("stateful %s[%d]: final: %w", p.node.Name, p.instance, err))
-					return
-				}
-			}
-			if err := taskDone(cl, keys); err != nil {
-				fail(fmt.Errorf("stateful %s[%d]: finalize done: %w", p.node.Name, p.instance, err))
-				return
-			}
-			continue
-		}
-		tasks.Add(1)
-		if err := pe.Process(ctx, t.Port, t.Value); err != nil {
-			_ = taskDone(cl, keys)
-			fail(fmt.Errorf("stateful %s[%d]: %w", p.node.Name, p.instance, err))
-			return
-		}
-		if err := taskDone(cl, keys); err != nil {
-			fail(fmt.Errorf("stateful %s[%d]: done: %w", p.node.Name, p.instance, err))
-			return
-		}
-	}
+	return runtime.Execute(g, opts, runtime.Config{
+		Name:       name,
+		Plan:       plan,
+		Transport:  tr,
+		Host:       platform.NewHost(opts.Platform),
+		Controller: ctrl,
+		NewStateBackend: func() state.Backend {
+			return state.NewRedisBackend(cl, keys.Prefix+":state")
+		},
+	})
 }

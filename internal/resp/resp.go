@@ -340,6 +340,15 @@ func (w *Writer) WriteValue(v Value) error {
 
 // WriteCommand serializes argv as an array of bulk strings and flushes.
 func (w *Writer) WriteCommand(argv ...string) error {
+	if err := w.WriteCommandBuffered(argv...); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteCommandBuffered serializes argv without flushing, so several commands
+// can share one network write — the primitive behind client pipelining.
+func (w *Writer) WriteCommandBuffered(argv ...string) error {
 	if err := w.line('*', strconv.Itoa(len(argv))); err != nil {
 		return err
 	}
@@ -348,7 +357,7 @@ func (w *Writer) WriteCommand(argv ...string) error {
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
 // Flush pushes buffered output to the underlying writer.

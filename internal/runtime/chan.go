@@ -1,0 +1,107 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errTransportClosed reports an operation on a transport after Done. The
+// worker loop treats it as a shutdown signal, not a workflow failure.
+var errTransportClosed = errors.New("runtime: transport closed")
+
+// IsClosed reports whether err is the transport-shutdown sentinel.
+func IsClosed(err error) bool { return errors.Is(err, errTransportClosed) }
+
+// ChanTransport carries tasks over in-process channels: one bounded channel
+// per pinned worker (the multi mapping's per-instance input queue, with the
+// same backpressure) plus one shared channel for pool routing.
+type ChanTransport struct {
+	plan    Plan
+	boxes   []chan Task // per worker index; nil for pool workers
+	shared  chan Task
+	pending atomic.Int64
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewChanTransport builds channels for the plan. buffer is the per-channel
+// capacity (the classic 256-slot instance queue when 0).
+func NewChanTransport(plan Plan, buffer int) *ChanTransport {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	t := &ChanTransport{
+		plan:   plan,
+		boxes:  make([]chan Task, len(plan.Workers)),
+		shared: make(chan Task, buffer),
+		closed: make(chan struct{}),
+	}
+	for w, spec := range plan.Workers {
+		if spec.Pinned() {
+			t.boxes[w] = make(chan Task, buffer)
+		}
+	}
+	return t
+}
+
+// Push implements Transport. Sends block when the destination buffer is full
+// (backpressure) and abandon on shutdown to avoid deadlocking a failed run.
+func (t *ChanTransport) Push(tasks ...Task) error {
+	for _, task := range tasks {
+		dst := t.shared
+		if task.Instance >= 0 {
+			w, ok := t.plan.WorkerFor(task.PE, task.Instance)
+			if !ok {
+				return fmt.Errorf("runtime: no pinned worker for %s[%d]", task.PE, task.Instance)
+			}
+			dst = t.boxes[w]
+		}
+		if !task.Poison {
+			t.pending.Add(1)
+		}
+		select {
+		case dst <- task:
+		case <-t.closed:
+			return errTransportClosed
+		}
+	}
+	return nil
+}
+
+// Pull implements Transport.
+func (t *ChanTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
+	src := t.shared
+	if box := t.boxes[w]; box != nil {
+		src = box
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case task := <-src:
+		return Env{Task: task}, true, nil
+	case <-timer.C:
+		return Env{}, false, nil
+	case <-t.closed:
+		return Env{}, false, errTransportClosed
+	}
+}
+
+// Ack implements Transport.
+func (t *ChanTransport) Ack(w int, env Env) error {
+	if !env.Poison {
+		t.pending.Add(-1)
+	}
+	return nil
+}
+
+// Pending implements Transport.
+func (t *ChanTransport) Pending() (int64, error) { return t.pending.Load(), nil }
+
+// Done implements Transport.
+func (t *ChanTransport) Done() error {
+	t.once.Do(func() { close(t.closed) })
+	return nil
+}

@@ -1,0 +1,113 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// batcher buffers one worker's emitted tasks and hands them to the transport
+// in a single Push when the batch fills or ages out. It is single-goroutine
+// (one per worker), so it needs no locking.
+//
+// The worker loop flushes the batch before acknowledging the task that
+// emitted it, so a task's children are always counted as pending before the
+// task itself is released — buffering never creates a window in which the
+// coordinator could observe a spuriously drained transport.
+type batcher struct {
+	tr         Transport
+	max        int
+	flushEvery time.Duration
+	buf        []Task
+	firstAt    time.Time
+}
+
+// newBatcher sizes the buffer; max <= 1 passes tasks straight through.
+func newBatcher(tr Transport, max int, flushEvery time.Duration) *batcher {
+	if max < 1 {
+		max = 1
+	}
+	return &batcher{tr: tr, max: max, flushEvery: flushEvery, buf: make([]Task, 0, max)}
+}
+
+// push buffers one task, flushing on size or age.
+func (b *batcher) push(t Task) error {
+	if b.max <= 1 {
+		return b.tr.Push(t)
+	}
+	if len(b.buf) == 0 {
+		b.firstAt = time.Now()
+	}
+	b.buf = append(b.buf, t)
+	if len(b.buf) >= b.max || (b.flushEvery > 0 && time.Since(b.firstAt) >= b.flushEvery) {
+		return b.flush()
+	}
+	return nil
+}
+
+// flush pushes the buffered tasks, if any.
+func (b *batcher) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	tasks := b.buf
+	b.buf = b.buf[:0]
+	return b.tr.Push(tasks...)
+}
+
+// router turns PE emissions into transport tasks: for every out-edge
+// matching the emitted port it resolves the destination — a pinned instance
+// chosen by the edge grouping, or the shared pool — and counts workflow
+// outputs. It is the one copy of the routing logic formerly duplicated in
+// every mapping.
+type router struct {
+	g       *graph.Graph
+	plan    Plan
+	outputs *atomic.Int64
+	out     func(Task) error
+	seq     map[*graph.Edge]uint64
+}
+
+func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error) *router {
+	return &router{g: g, plan: plan, outputs: outputs, out: out, seq: map[*graph.Edge]uint64{}}
+}
+
+// emitFor builds the emit closure for one sending node. The closure is
+// single-goroutine (each worker owns its router).
+func (r *router) emitFor(node string) func(port string, value any) error {
+	edges := r.g.OutEdges(node)
+	return func(port string, value any) error {
+		for _, e := range edges {
+			if e.FromPort != port {
+				continue
+			}
+			if len(r.g.OutEdges(e.To)) == 0 {
+				// Delivery into a terminal PE counts as a workflow output.
+				r.outputs.Add(1)
+			}
+			nInst := r.plan.Instances[e.To]
+			if nInst == 0 {
+				// Pooled destination: any worker may process the task.
+				if err := r.out(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: -1}); err != nil {
+					return err
+				}
+				continue
+			}
+			idx := e.Grouping.RouteInstance(value, r.seq[e], nInst)
+			r.seq[e]++
+			if idx < 0 { // one-to-all broadcast
+				for i := 0; i < nInst; i++ {
+					if err := r.out(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: i}); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err := r.out(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: idx}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

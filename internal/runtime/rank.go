@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RankLink is the point-to-point substrate the rank transport drives. It is
+// implemented by internal/mpi.World; the indirection keeps this package free
+// of an mpi dependency so the mpi mapping can import runtime.
+type RankLink interface {
+	// Send delivers data to rank dest.
+	Send(from, dest, tag int, data any) error
+	// RecvDataTimeout removes and returns the next payload queued for rank
+	// me, waiting up to timeout when the mailbox is empty (ok false on
+	// timeout).
+	RecvDataTimeout(me int, timeout time.Duration) (any, bool, error)
+	// Close aborts the link: blocked and subsequent operations fail.
+	Close()
+}
+
+// RankTransport carries tasks between fixed ranks, one rank per pinned
+// worker — the MPI mapping's discipline. There is no shared pool: the
+// paper's point that "traditional MPI lacks support for a queue-based
+// system crucial for dynamic task assignments" is encoded in the transport
+// rejecting Instance < 0 routing.
+type RankTransport struct {
+	link    RankLink
+	plan    Plan
+	pending atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewRankTransport wraps a rank link. The plan must be fully pinned with one
+// worker per rank (worker index == rank).
+func NewRankTransport(link RankLink, plan Plan) (*RankTransport, error) {
+	if plan.Pool > 0 {
+		return nil, fmt.Errorf("runtime: rank transport supports pinned workers only (plan has %d pool workers)", plan.Pool)
+	}
+	return &RankTransport{link: link, plan: plan}, nil
+}
+
+// Push implements Transport.
+func (t *RankTransport) Push(tasks ...Task) error {
+	for _, task := range tasks {
+		if task.Instance < 0 {
+			return fmt.Errorf("runtime: rank transport has no shared pool to route %s to", task.PE)
+		}
+		rank, ok := t.plan.WorkerFor(task.PE, task.Instance)
+		if !ok {
+			return fmt.Errorf("runtime: no rank for %s[%d]", task.PE, task.Instance)
+		}
+		if !task.Poison {
+			t.pending.Add(1)
+		}
+		// The transport routes by destination only (Push carries no sender
+		// identity — the coordinator and run seeding have none), so the
+		// envelope is self-addressed: Message.Source is the receiving rank,
+		// and receivers must match with AnySource, as RecvDataTimeout does.
+		if err := t.link.Send(rank, rank, 0, task); err != nil {
+			return t.maybeClosed(err)
+		}
+	}
+	return nil
+}
+
+// Pull implements Transport: a bounded wait on the rank's mailbox.
+func (t *RankTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
+	data, ok, err := t.link.RecvDataTimeout(w, timeout)
+	if err != nil {
+		return Env{}, false, t.maybeClosed(err)
+	}
+	if !ok {
+		return Env{}, false, nil
+	}
+	task, isTask := data.(Task)
+	if !isTask {
+		return Env{}, false, fmt.Errorf("runtime: rank %d received non-task payload %T", w, data)
+	}
+	return Env{Task: task}, true, nil
+}
+
+// Ack implements Transport.
+func (t *RankTransport) Ack(w int, env Env) error {
+	if !env.Poison {
+		t.pending.Add(-1)
+	}
+	return nil
+}
+
+// Pending implements Transport.
+func (t *RankTransport) Pending() (int64, error) { return t.pending.Load(), nil }
+
+// Done implements Transport.
+func (t *RankTransport) Done() error {
+	if !t.closed.Swap(true) {
+		t.link.Close()
+	}
+	return nil
+}
+
+func (t *RankTransport) maybeClosed(err error) error {
+	if err != nil && t.closed.Load() {
+		return errTransportClosed
+	}
+	return err
+}

@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/graph"
+	"repro/internal/redisclient"
+)
+
+// runNonce disambiguates concurrent runs against one server.
+var runNonce atomic.Int64
+
+// RedisKeys holds the Redis key names of one execution.
+type RedisKeys struct {
+	// Prefix namespaces every key of the run.
+	Prefix string
+	// Queue is the global stream consumed through Group.
+	Queue string
+	// Group is the consumer group name.
+	Group string
+	// PendingKey is the outstanding-task counter.
+	PendingKey string
+}
+
+// NewRunKeys derives a fresh key namespace for one run.
+func NewRunKeys(workflow string, seed int64) RedisKeys {
+	prefix := fmt.Sprintf("d4p:%s:%d:%d", workflow, seed, runNonce.Add(1))
+	return RedisKeys{
+		Prefix:     prefix,
+		Queue:      prefix + ":queue",
+		Group:      "workers",
+		PendingKey: prefix + ":pending",
+	}
+}
+
+// PrivKey is the private queue (Redis list) of one pinned PE instance.
+func (k RedisKeys) PrivKey(pe string, instance int) string {
+	return fmt.Sprintf("%s:priv:%s:%d", k.Prefix, pe, instance)
+}
+
+// taskField is the stream entry field carrying the encoded task.
+const taskField = "task"
+
+// RedisTransport carries tasks through a Redis server: pool tasks on a
+// stream consumed by a consumer group (consumer "w<index>" per pool worker),
+// pinned tasks on per-instance private lists — the paper's dyn_redis and
+// hybrid_redis storage layout behind one Transport.
+//
+// Batched pushes are pipelined: one INCRBY for the pending counter plus all
+// XADD/RPUSH commands share a single network round trip, which is where
+// Options.EmitBatch buys its throughput on this transport.
+type RedisTransport struct {
+	cl           *redisclient.Client
+	keys         RedisKeys
+	plan         Plan
+	recoverStale bool
+	closed       atomic.Bool
+}
+
+// NewRedisTransport creates the consumer group and wraps the client. With
+// recoverStale, empty-handed pool pulls XAUTOCLAIM tasks whose consumer
+// stopped acknowledging them (at-least-once execution).
+func NewRedisTransport(cl *redisclient.Client, keys RedisKeys, plan Plan, recoverStale bool) (*RedisTransport, error) {
+	if err := cl.XGroupCreate(keys.Queue, keys.Group, "0"); err != nil {
+		return nil, fmt.Errorf("runtime: create consumer group: %w", err)
+	}
+	return &RedisTransport{cl: cl, keys: keys, plan: plan, recoverStale: recoverStale}, nil
+}
+
+// Push implements Transport. The pending counter is incremented before any
+// task becomes readable, preserving the pending == 0 ⇒ fully drained
+// invariant across the whole pipelined batch.
+func (t *RedisTransport) Push(tasks ...Task) error {
+	if t.closed.Load() {
+		return errTransportClosed
+	}
+	cmds := make([][]string, 0, len(tasks)+1)
+	counted := 0
+	for _, task := range tasks {
+		if !task.Poison {
+			counted++
+		}
+	}
+	if counted > 0 {
+		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(counted)})
+	}
+	for _, task := range tasks {
+		payload, err := codec.Encode(task)
+		if err != nil {
+			return err
+		}
+		if task.Instance >= 0 {
+			cmds = append(cmds, []string{"RPUSH", t.keys.PrivKey(task.PE, task.Instance), payload})
+		} else {
+			cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, payload})
+		}
+	}
+	_, err := t.cl.Pipeline(cmds)
+	return err
+}
+
+// Pull implements Transport.
+func (t *RedisTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
+	if t.closed.Load() {
+		return Env{}, false, errTransportClosed
+	}
+	spec := t.plan.Workers[w]
+	if spec.Pinned() {
+		_, payload, ok, err := t.cl.BLPop(timeout, t.keys.PrivKey(spec.PE, spec.Instance))
+		if err != nil || !ok {
+			return Env{}, false, t.maybeClosed(err)
+		}
+		task, err := codec.Decode(payload)
+		if err != nil {
+			return Env{}, false, err
+		}
+		return Env{Task: task}, true, nil
+	}
+	consumer := fmt.Sprintf("w%d", w)
+	entries, err := t.cl.XReadGroup(t.keys.Group, consumer, 1, timeout, t.keys.Queue)
+	if err != nil {
+		return Env{}, false, t.maybeClosed(err)
+	}
+	if len(entries) == 0 && t.recoverStale {
+		// Reclaim tasks whose consumer stopped acknowledging them (crashed
+		// or descheduled). XAUTOCLAIM moves idle pending entries into this
+		// worker's PEL so the stream's at-least-once guarantee actually
+		// holds under failures.
+		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, 8*timeout, "0-0", 1)
+		if err == nil && len(claimed) > 0 {
+			entries = claimed
+		}
+	}
+	if len(entries) == 0 {
+		return Env{}, false, nil
+	}
+	task, err := codec.Decode(entries[0].Fields[taskField])
+	if err != nil {
+		return Env{}, false, err
+	}
+	return Env{Task: task, AckID: entries[0].ID}, true, nil
+}
+
+// Ack implements Transport: XACK for stream deliveries, and a pending
+// decrement for every non-poison task.
+func (t *RedisTransport) Ack(w int, env Env) error {
+	if env.AckID != "" {
+		if _, err := t.cl.XAck(t.keys.Queue, t.keys.Group, env.AckID); err != nil {
+			return t.maybeClosed(err)
+		}
+	}
+	if env.Poison {
+		return nil
+	}
+	_, err := t.cl.IncrBy(t.keys.PendingKey, -1)
+	return t.maybeClosed(err)
+}
+
+// Pending implements Transport.
+func (t *RedisTransport) Pending() (int64, error) {
+	s, ok, err := t.cl.Get(t.keys.PendingKey)
+	if err != nil || !ok {
+		return 0, t.maybeClosed(err)
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Done implements Transport. The client itself stays open — the planner owns
+// it and still needs it for cleanup.
+func (t *RedisTransport) Done() error {
+	t.closed.Store(true)
+	return nil
+}
+
+// Cleanup removes the run's queue, counter and private-list keys.
+func (t *RedisTransport) Cleanup(g *graph.Graph) {
+	keys := []string{t.keys.Queue, t.keys.PendingKey}
+	for _, spec := range t.plan.Workers {
+		if spec.Pinned() {
+			keys = append(keys, t.keys.PrivKey(spec.PE, spec.Instance))
+		}
+	}
+	_, _ = t.cl.Del(keys...)
+}
+
+// maybeClosed maps client errors after shutdown onto the closed sentinel so
+// the worker loop unwinds silently instead of reporting a spurious failure.
+func (t *RedisTransport) maybeClosed(err error) error {
+	if err != nil && t.closed.Load() {
+		return errTransportClosed
+	}
+	return err
+}

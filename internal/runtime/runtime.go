@@ -1,0 +1,206 @@
+// Package runtime is the shared execution core every parallel mapping runs
+// on. It owns the one worker loop (task pull → PE process → batched emit →
+// finalize → acknowledge) and the one termination protocol (a coordinator
+// that drains the transport, flushes Final hooks in topological order, then
+// poisons the workers), while the mappings shrink to planners: they decide
+// how many workers exist, which are pinned to PE instances and which form a
+// dynamic pool, and which Transport carries the tasks.
+//
+// Four transports implement the same contract:
+//
+//	ChanTransport   in-process channels, one per pinned instance (multi)
+//	QueueTransport  the shared in-process global queue (dyn_multi)
+//	RedisTransport  a Redis stream consumer group for the pool plus private
+//	                lists for pinned instances (dyn_redis, hybrid_redis)
+//	RankTransport   MPI-style per-rank mailboxes (mpi)
+//
+// Because termination and finalization are decided by one coordinator
+// watching the transport's pending-task count, properties that previously
+// had to be rebuilt per mapping — managed-state Final-once, no worker exits
+// while tasks are in flight — hold uniformly. In particular the mpi mapping
+// supports managed keyed state through exactly the same barrier as everyone
+// else.
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Task is one schedulable unit on a transport. It is the codec task type, so
+// every transport — in-process or Redis — ships the same shape.
+type Task = codec.Task
+
+// Env is one delivered task plus its transport acknowledgement handle.
+type Env struct {
+	Task
+	// AckID identifies the delivery for transports with explicit
+	// acknowledgement (the Redis stream entry ID); empty elsewhere.
+	AckID string
+}
+
+// Transport moves tasks between workers. Implementations must be safe for
+// concurrent use by all workers plus the coordinator.
+//
+// The pending-count contract is what the termination protocol rests on:
+// Push counts every non-poison task as pending *before* it becomes visible
+// to any consumer, and Ack releases it only after the worker has pushed the
+// task's children. Pending() == 0 therefore implies no queued or in-flight
+// work anywhere.
+type Transport interface {
+	// Push enqueues tasks for their destinations: Instance >= 0 addresses a
+	// pinned (PE, instance) worker, Instance < 0 the shared pool. Batched
+	// callers pass several tasks at once so implementations can amortize
+	// synchronization (one lock hold, one pipelined round trip).
+	Push(tasks ...Task) error
+	// Pull blocks up to timeout for the next task addressed to worker w.
+	// ok is false on timeout.
+	Pull(w int, timeout time.Duration) (env Env, ok bool, err error)
+	// Ack releases a pulled task after it is fully processed (children
+	// already pushed).
+	Ack(w int, env Env) error
+	// Pending reports the queued + in-flight task count.
+	Pending() (int64, error)
+	// Done shuts the transport down: blocked Push/Pull calls unblock and
+	// subsequent operations may fail. It must be idempotent.
+	Done() error
+}
+
+// WorkerSpec describes one worker slot of a plan. The zero value is a pool
+// worker; a non-empty PE pins the worker to that single (PE, instance).
+type WorkerSpec struct {
+	PE       string
+	Instance int
+}
+
+// Pinned reports whether the worker runs a single dedicated PE instance.
+func (s WorkerSpec) Pinned() bool { return s.PE != "" }
+
+// Plan is a mapping's placement decision: the worker slots and the per-node
+// instance discipline the router follows.
+type Plan struct {
+	// Workers lists the worker slots. Pool workers must precede pinned ones
+	// so pool indices align with autoscale controller slots.
+	Workers []WorkerSpec
+	// Pool is the number of pool workers (the prefix of Workers).
+	Pool int
+	// Instances maps each node to its pinned instance count; 0 means the
+	// node runs on the shared pool (any worker, Instance -1 routing).
+	Instances map[string]int
+
+	// workerOf resolves a pinned (PE, instance) to its worker index.
+	workerOf map[string][]int
+}
+
+// NewPlan assembles a plan from worker specs (pool workers first) and the
+// per-node instance map, wiring the pinned-worker index. It panics when a
+// pool worker follows a pinned one: pool indices must be 0..Pool-1 to align
+// with autoscale controller slots and Redis consumer names, so a violating
+// plan is a planner programming error caught at composition time.
+func NewPlan(workers []WorkerSpec, instances map[string]int) Plan {
+	p := Plan{Workers: workers, Instances: instances, workerOf: map[string][]int{}}
+	for w, spec := range p.Workers {
+		if !spec.Pinned() {
+			if w != p.Pool {
+				panic(fmt.Sprintf("runtime: plan has pool worker at slot %d after pinned workers; pool workers must come first", w))
+			}
+			p.Pool++
+			continue
+		}
+		ranks := p.workerOf[spec.PE]
+		for len(ranks) <= spec.Instance {
+			ranks = append(ranks, -1)
+		}
+		ranks[spec.Instance] = w
+		p.workerOf[spec.PE] = ranks
+	}
+	return p
+}
+
+// WorkerFor resolves the worker index of a pinned (PE, instance).
+func (p Plan) WorkerFor(pe string, instance int) (int, bool) {
+	ranks := p.workerOf[pe]
+	if instance < 0 || instance >= len(ranks) || ranks[instance] < 0 {
+		return 0, false
+	}
+	return ranks[instance], true
+}
+
+// PinnedPlan places every PE instance of the allocation on its own dedicated
+// worker — the static disciplines (multi, mpi).
+func PinnedPlan(g *graph.Graph, alloc map[string]int) Plan {
+	var workers []WorkerSpec
+	instances := make(map[string]int, len(alloc))
+	for _, n := range g.Nodes() {
+		count := alloc[n.Name]
+		instances[n.Name] = count
+		for i := 0; i < count; i++ {
+			workers = append(workers, WorkerSpec{PE: n.Name, Instance: i})
+		}
+	}
+	return NewPlan(workers, instances)
+}
+
+// PoolPlan places every node on a shared pool of n workers — the dynamic
+// disciplines (dyn_multi, dyn_redis and their auto variants).
+func PoolPlan(g *graph.Graph, n int) Plan {
+	instances := make(map[string]int, len(g.Nodes()))
+	for _, node := range g.Nodes() {
+		instances[node.Name] = 0
+	}
+	return NewPlan(make([]WorkerSpec, n), instances)
+}
+
+// NodeHash gives a stable per-node seed component. It is the single home of
+// the FNV mix formerly copy-pasted across the mapping packages.
+func NodeHash(name string) uint32 { return graph.Hash32(name) }
+
+// InstanceSeed mixes a PE name and instance index into a seed component, so
+// pinned instances of one PE draw distinct deterministic random streams.
+func InstanceSeed(name string, idx int) uint32 {
+	const prime = 16777619
+	h := graph.Hash32(name)
+	h ^= uint32(idx)
+	h *= prime
+	return h
+}
+
+// ValidateDynamic rejects workflow features plain pool scheduling cannot
+// honor, mirroring the paper's limitation statement ("dynamic scheduling
+// exclusively manages stateless PEs and lacks support for grouping") — with
+// one extension beyond the paper: nodes whose state is *managed* (package
+// state) are accepted, because their state lives in a shared atomic store
+// rather than in worker-local PE fields, so any worker may process any task
+// and the coordinator flushes each managed node's Final exactly once.
+func ValidateDynamic(g *graph.Graph, technique string) error {
+	if g.HasUnmanagedStateful() {
+		return fmt.Errorf("%s: workflow %s has stateful PEs with unmanaged field state; dynamic scheduling supports only stateless or managed-state PEs (declare SetKeyedState/SetSingletonState, or use hybrid_redis or multi)", technique, g.Name)
+	}
+	for _, e := range g.Edges() {
+		if e.Grouping.Kind == graph.Shuffle {
+			continue
+		}
+		dst := g.Node(e.To)
+		if e.Grouping.Kind == graph.OneToAll {
+			// Broadcast needs per-instance delivery, which a dynamic pool
+			// cannot express regardless of how the state is managed.
+			return fmt.Errorf("%s: edge %s→%s uses one-to-all grouping; dynamic scheduling has no instance identity to broadcast to (use hybrid_redis or multi)", technique, e.From, e.To)
+		}
+		if dst.HasManagedState() {
+			// Routing affinity is unnecessary: keyed/global semantics come
+			// from the shared store, not from which worker runs the task.
+			continue
+		}
+		return fmt.Errorf("%s: edge %s→%s uses %s grouping into a PE without managed state; dynamic scheduling supports only the default shuffle grouping (use hybrid_redis or multi)", technique, e.From, e.To, e.Grouping.Kind)
+	}
+	for _, n := range g.Nodes() {
+		if _, ok := n.Prototype.(core.Finalizer); ok && !n.HasManagedState() {
+			return fmt.Errorf("%s: PE %s implements Final without managed state; per-instance finalization requires a stateful mapping (hybrid_redis or multi)", technique, n.Name)
+		}
+	}
+	return nil
+}

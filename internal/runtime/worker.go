@@ -1,0 +1,428 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/state"
+	"repro/internal/synth"
+)
+
+// Config is a planner's placement decision handed to Execute: the worker
+// plan, the transport carrying tasks, and the run-scoped services.
+type Config struct {
+	// Name is the technique label used in reports, errors and process names.
+	Name string
+	// Plan assigns worker slots and per-node instance counts.
+	Plan Plan
+	// Transport moves tasks between the workers.
+	Transport Transport
+	// Host is the simulated platform host accruing process time.
+	Host *platform.Host
+	// Controller optionally gates pool workers in and out of the idle state
+	// (the auto-scaling mappings). Pinned workers are never gated.
+	Controller *autoscale.Controller
+	// NewStateBackend supplies the default managed-state backend when the
+	// graph declares managed state and Options.StateBackend is nil.
+	NewStateBackend func() state.Backend
+	// PinnedIdleStandby makes pinned workers deactivate (stop accruing
+	// process time) while their queue is empty. The static mappings (multi,
+	// mpi) enable it: their pre-runtime instances exited outright once
+	// their input stream drained, so idle standby reproduces that
+	// process-time accounting under coordinator-owned termination. Hybrid
+	// leaves it off — its pinned stateful processes are dedicated and stay
+	// hot for the whole run, the inefficiency hybrid_auto_redis attacks.
+	PinnedIdleStandby bool
+}
+
+// Execute runs a workflow on the shared worker runtime: it seeds one
+// generate task per source, starts one worker goroutine per plan slot, and
+// runs the termination coordinator that drains the transport, flushes Final
+// hooks exactly once each (topological order, draining between nodes so
+// flushed values propagate), and finally poisons the workers.
+func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, error) {
+	opts = opts.WithDefaults()
+	ms, err := mapping.OpenManagedState(g, opts, cfg.NewStateBackend)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	success := false
+	defer func() { ms.Finish(g, success) }()
+
+	r := &run{g: g, opts: opts, cfg: cfg, ms: ms, abort: make(chan struct{})}
+
+	// Seed one generate task per source instance (pinned plans) or per
+	// source (pool plans) before any worker starts, so the pending counter
+	// is non-zero from the coordinator's first drain check.
+	for _, src := range g.Sources() {
+		count := cfg.Plan.Instances[src.Name]
+		if count == 0 {
+			if err := cfg.Transport.Push(Task{PE: src.Name, Instance: -1}); err != nil {
+				return metrics.Report{}, fmt.Errorf("%s: seed source %s: %w", cfg.Name, src.Name, err)
+			}
+			continue
+		}
+		for i := 0; i < count; i++ {
+			if err := cfg.Transport.Push(Task{PE: src.Name, Instance: i}); err != nil {
+				return metrics.Report{}, fmt.Errorf("%s: seed source %s: %w", cfg.Name, src.Name, err)
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := range cfg.Plan.Workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.runWorker(w)
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.coordinate()
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r.errMu.Lock()
+	err = r.firstErr
+	r.errMu.Unlock()
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	success = true
+	return metrics.Report{
+		Workflow:    g.Name,
+		Mapping:     cfg.Name,
+		Platform:    opts.Platform.Name,
+		Processes:   opts.Processes,
+		Runtime:     elapsed,
+		ProcessTime: cfg.Host.TotalProcessTime(),
+		Tasks:       r.tasks.Load(),
+		Outputs:     r.outputs.Load(),
+		State:       ms.Ops(),
+	}, nil
+}
+
+// run is the shared state of one Execute call.
+type run struct {
+	g    *graph.Graph
+	opts mapping.Options
+	cfg  Config
+	ms   *mapping.ManagedState
+
+	tasks   atomic.Int64
+	outputs atomic.Int64
+
+	abort     chan struct{}
+	abortOnce sync.Once
+	failed    atomic.Bool
+	poisoned  atomic.Bool
+	errMu     sync.Mutex
+	firstErr  error
+}
+
+// fail records the first error and unwinds the run: the transport shuts
+// down (unblocking workers), the controller releases idle workers, and the
+// abort channel stops loops that are between transport operations.
+func (r *run) fail(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+	r.failed.Store(true)
+	r.abortOnce.Do(func() { close(r.abort) })
+	_ = r.cfg.Transport.Done()
+	if r.cfg.Controller != nil {
+		r.cfg.Controller.Terminate()
+	}
+}
+
+func (r *run) aborted() bool {
+	select {
+	case <-r.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// workerFail reports a worker-side error unless the run is already
+// unwinding (transport shutdown errors are the unwind, not a new failure).
+func (r *run) workerFail(err error) {
+	if IsClosed(err) || r.aborted() {
+		return
+	}
+	r.fail(err)
+}
+
+// runWorker is the one worker loop of the engine. A pinned worker owns a
+// single PE instance; a pool worker owns a private copy of every pooled PE
+// (the paper's cp_graph ← DeepCopy(graph)).
+func (r *run) runWorker(w int) {
+	spec := r.cfg.Plan.Workers[w]
+	var procName string
+	if spec.Pinned() {
+		procName = fmt.Sprintf("%s:%s:%d", r.cfg.Name, spec.PE, spec.Instance)
+	} else {
+		procName = fmt.Sprintf("%s:w%d", r.cfg.Name, w)
+	}
+	proc := r.cfg.Host.NewProcess(procName)
+	proc.Activate()
+	defer proc.Deactivate()
+
+	b := newBatcher(r.cfg.Transport, r.opts.EmitBatch, r.opts.EmitFlushEvery)
+	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push)
+
+	// Build this worker's PE copies and contexts.
+	pes := map[string]core.PE{}
+	ctxs := map[string]*core.Context{}
+	build := func(n *graph.Node, instance int, seed int64) {
+		pes[n.Name] = n.Factory()
+		ctx := core.NewContext(n.Name, instance, r.cfg.Host, synth.NewRand(seed), rt.emitFor(n.Name))
+		if st := r.ms.Store(n.Name); st != nil {
+			ctx = ctx.WithStore(st)
+		}
+		ctxs[n.Name] = ctx
+	}
+	if spec.Pinned() {
+		n := r.g.Node(spec.PE)
+		build(n, spec.Instance, r.opts.Seed^int64(InstanceSeed(n.Name, spec.Instance)))
+	} else {
+		for _, n := range r.g.Nodes() {
+			if r.cfg.Plan.Instances[n.Name] != 0 {
+				continue // pinned elsewhere
+			}
+			build(n, w, r.opts.Seed^int64(w*7919)^int64(NodeHash(n.Name)))
+		}
+	}
+	for name, pe := range pes {
+		if ini, ok := pe.(core.Initializer); ok {
+			if err := ini.Init(ctxs[name]); err != nil {
+				r.workerFail(fmt.Errorf("worker %s: init %s: %w", procName, name, err))
+				return
+			}
+		}
+	}
+	// Anything emitted from Init hooks must reach the transport before the
+	// worker starts pulling: a batch held here would be invisible to the
+	// pending count and silently dropped at termination.
+	if err := b.flush(); err != nil {
+		r.workerFail(fmt.Errorf("worker %s: flush init emissions: %w", procName, err))
+		return
+	}
+
+	ctrl := r.cfg.Controller
+	// Pool workers accrue process time while polling an empty queue — the
+	// always-active cost auto-scaling exists to cut. Pinned workers under
+	// PinnedIdleStandby instead deactivate across empty polls (see Config).
+	standby := r.cfg.PinnedIdleStandby && spec.Pinned()
+	active := true
+	for {
+		if r.aborted() {
+			return
+		}
+		if ctrl != nil && !spec.Pinned() && ctrl.Idle(w) {
+			// Idle state: stop accruing process time until readmitted.
+			proc.Deactivate()
+			if !ctrl.Admit(w) {
+				return
+			}
+			proc.Activate()
+		}
+		env, ok, err := r.cfg.Transport.Pull(w, r.opts.PollTimeout)
+		if err != nil {
+			r.workerFail(fmt.Errorf("worker %s: pull: %w", procName, err))
+			return
+		}
+		if !ok {
+			if standby && active {
+				proc.Deactivate()
+				active = false
+			}
+			continue // the coordinator owns termination
+		}
+		if !active {
+			proc.Activate()
+			active = true
+		}
+		if env.Poison {
+			_ = r.cfg.Transport.Ack(w, env)
+			return
+		}
+		if err := r.runTask(w, procName, pes, ctxs, b, env); err != nil {
+			r.workerFail(err)
+			return
+		}
+	}
+}
+
+// runTask executes one delivered task: generate, process, or finalize. The
+// emit batch is flushed before the acknowledgement so the task's children
+// are pending before the task itself is released.
+func (r *run) runTask(w int, procName string, pes map[string]core.PE, ctxs map[string]*core.Context, b *batcher, env Env) error {
+	pe, ok := pes[env.PE]
+	if !ok {
+		return fmt.Errorf("worker %s: task for unknown PE %q", procName, env.PE)
+	}
+	var err error
+	switch {
+	case env.Finalize:
+		if fin, isFin := pe.(core.Finalizer); isFin {
+			err = fin.Final(ctxs[env.PE])
+		}
+	case env.Port == "":
+		src, isSrc := pe.(core.Source)
+		if !isSrc {
+			err = fmt.Errorf("generate task for non-source PE %q", env.PE)
+			break
+		}
+		r.tasks.Add(1)
+		err = src.Generate(ctxs[env.PE])
+	default:
+		r.tasks.Add(1)
+		err = pe.Process(ctxs[env.PE], env.Port, env.Value)
+	}
+	if err == nil {
+		err = b.flush()
+	}
+	if err != nil {
+		// Release the delivery so a failed run does not hang on a counter
+		// that can never drain, then surface the PE error.
+		_ = r.cfg.Transport.Ack(w, env)
+		if IsClosed(err) {
+			return err
+		}
+		return fmt.Errorf("worker %s: PE %s: %w", procName, env.PE, err)
+	}
+	if err := r.cfg.Transport.Ack(w, env); err != nil {
+		return fmt.Errorf("worker %s: ack %s: %w", procName, env.PE, err)
+	}
+	return nil
+}
+
+// coordinate owns termination: wait for the drain, flush Finals, poison.
+func (r *run) coordinate() {
+	err := r.drainAndFinalize()
+	if err != nil && !errors.Is(err, errRunAborted) && !r.failed.Load() {
+		r.fail(err)
+		return
+	}
+	if r.failed.Load() {
+		return
+	}
+	r.poisonAll()
+	if r.cfg.Controller != nil {
+		// Release workers parked in the idle state so they can observe
+		// their poison pills (or exit directly).
+		r.cfg.Controller.Terminate()
+	}
+}
+
+// drainAndFinalize implements the unified finalization protocol that
+// replaced the per-mapping drain variants: after the stream drains, each
+// Finalizer node gets its Final flushed — once per pinned instance for
+// field-state nodes, exactly once (instance 0, or any pool worker) for
+// managed-state nodes, whose shared store is quiescent once the transport
+// is drained.
+func (r *run) drainAndFinalize() error {
+	if err := r.awaitDrain(); err != nil {
+		return err
+	}
+	order, err := r.g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		n := r.g.Node(name)
+		if _, ok := n.Prototype.(core.Finalizer); !ok {
+			continue
+		}
+		count := r.cfg.Plan.Instances[name]
+		var finals []Task
+		switch {
+		case count == 0:
+			// Pooled node: validation guarantees it is managed-state, so a
+			// single Final on any worker flushes the shared namespace.
+			finals = []Task{{PE: name, Instance: -1, Finalize: true}}
+		case n.HasManagedState():
+			// One namespace shared by all instances ⇒ Final runs once.
+			finals = []Task{{PE: name, Instance: 0, Finalize: true}}
+		default:
+			for i := 0; i < count; i++ {
+				finals = append(finals, Task{PE: name, Instance: i, Finalize: true})
+			}
+		}
+		if err := r.cfg.Transport.Push(finals...); err != nil {
+			return err
+		}
+		if err := r.awaitDrain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errRunAborted signals that a worker failed first; fail() owns the unwind.
+var errRunAborted = errors.New("runtime: run aborted")
+
+func (r *run) awaitDrain() error {
+	return AwaitDrain(r.cfg.Transport, r.opts.PollTimeout, r.opts.Retries, &r.failed)
+}
+
+// AwaitDrain blocks until the transport's pending count stays zero across
+// the retry budget — the engine-wide version of the paper's Section 3.2.3
+// retry termination check. A non-nil failed flag aborts the wait when set.
+func AwaitDrain(tr Transport, pollTimeout time.Duration, retries int, failed *atomic.Bool) error {
+	zeros := 0
+	for {
+		if failed != nil && failed.Load() {
+			return errRunAborted
+		}
+		n, err := tr.Pending()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			zeros++
+			if zeros > retries {
+				return nil
+			}
+		} else {
+			zeros = 0
+		}
+		time.Sleep(pollTimeout)
+	}
+}
+
+// poisonAll pushes one pill per worker, once: pool pills on the shared
+// route, addressed pills to every pinned instance.
+func (r *run) poisonAll() {
+	if r.poisoned.Swap(true) {
+		return
+	}
+	var pills []Task
+	for i := 0; i < r.cfg.Plan.Pool; i++ {
+		pills = append(pills, Task{Poison: true, Instance: -1})
+	}
+	for _, spec := range r.cfg.Plan.Workers {
+		if spec.Pinned() {
+			pills = append(pills, Task{Poison: true, PE: spec.PE, Instance: spec.Instance})
+		}
+	}
+	if len(pills) > 0 {
+		_ = r.cfg.Transport.Push(pills...)
+	}
+}

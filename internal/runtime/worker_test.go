@@ -1,0 +1,85 @@
+package runtime_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	_ "repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	_ "repro/internal/multiproc"
+	"repro/internal/platform"
+)
+
+// initEmitPE emits values from its Init hook and nothing else.
+type initEmitPE struct {
+	core.Base
+	n int
+}
+
+func (p *initEmitPE) Init(ctx *core.Context) error {
+	for i := 0; i < p.n; i++ {
+		if err := ctx.EmitDefault(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *initEmitPE) Process(ctx *core.Context, port string, v any) error { return nil }
+
+// TestInitEmissionsSurviveBatching pins the batcher contract for Init
+// hooks: emissions buffered during Init must be flushed before the worker
+// starts pulling, or a small batch would be invisible to the pending count
+// and silently dropped at termination.
+func TestInitEmissionsSurviveBatching(t *testing.T) {
+	for _, name := range []string{"multi", "dyn_multi"} {
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			got := 0
+			g := graph.New("initemit")
+			g.Add(func() core.PE {
+				return core.NewSource("gen", func(ctx *core.Context) error { return nil })
+			})
+			g.Add(func() core.PE {
+				return &initEmitPE{Base: core.NewBase("mid", core.In(), core.Out()), n: 3}
+			})
+			g.Add(func() core.PE {
+				return core.NewSink("sink", func(ctx *core.Context, v any) error {
+					mu.Lock()
+					got++
+					mu.Unlock()
+					return nil
+				})
+			})
+			g.Pipe("gen", "mid")
+			g.Pipe("mid", "sink")
+
+			m, err := mapping.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers := 3
+			if _, err := m.Execute(g, mapping.Options{
+				Processes: workers,
+				Platform:  platform.Platform{Name: "test", Cores: 4},
+				Seed:      1,
+				EmitBatch: 64, // far larger than the Init emissions
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// multi runs one mid instance; dyn_multi runs Init once per
+			// worker copy. Either way every Init emission must arrive.
+			want := 3
+			if name == "dyn_multi" {
+				want = 3 * workers
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if got != want {
+				t.Fatalf("sink saw %d init emissions, want %d (batch dropped)", got, want)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	_ "repro/internal/dynamic"
 	"repro/internal/mapping"
 	"repro/internal/miniredis"
 	_ "repro/internal/mpi"

@@ -8,6 +8,8 @@
 //	d4pbench -fig 8           # only Figure 8
 //	d4pbench -table 1         # only Table 1 (runs the figures it needs)
 //	d4pbench -out results     # output directory (default "results")
+//	d4pbench -sweep           # batching sweep (batch sizes 1, 8, 64, auto),
+//	                          # writes BENCH_batching.json
 package main
 
 import (
@@ -36,13 +38,59 @@ func main() {
 		reps    = flag.Int("reps", 1, "repetitions per point (averaged)")
 		opDelay = flag.Duration("redis-op-delay", 0, "extra per-command service delay in the embedded Redis")
 		jsonOut = flag.Bool("json", false, "additionally write BENCH_<name>.json result files (machine-readable perf trajectory)")
+		sweep   = flag.Bool("sweep", false, "run the batching sweep (batch sizes 1, 8, 64, auto) and write BENCH_batching.json instead of the figure suite")
 	)
 	flag.Parse()
 
+	if *sweep {
+		if err := runSweep(*quick, *outDir, *reps, *opDelay); err != nil {
+			fmt.Fprintln(os.Stderr, "d4pbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "d4pbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSweep executes the batched emit+consume sweep and writes its txt/csv
+// renderings plus BENCH_batching.json, the machine-readable point of the
+// perf trajectory CI tracks across PRs.
+func runSweep(quick bool, outDir string, reps int, opDelay time.Duration) error {
+	scale := harness.FullScale()
+	if quick {
+		scale = harness.QuickScale()
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay}
+	defer runner.Close()
+
+	var all []metrics.Series
+	for _, e := range harness.SweepBatching(scale) {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		series, err := runner.RunExperiment(e)
+		if err != nil {
+			return err
+		}
+		// One series per (technique, window): fold the experiment's window
+		// label into the series label so the sweep reads as one grid.
+		window := strings.TrimPrefix(e.ID, "batching-")
+		for j := range series {
+			series[j].Label = series[j].Label + " " + window
+		}
+		all = append(all, series...)
+	}
+	if err := writeFile(outDir, "batching.txt", metrics.RenderSeries("Batched emit+consume sweep (galaxy, server)", all)); err != nil {
+		return err
+	}
+	if err := writeFile(outDir, "batching.csv", metrics.CSV(all)); err != nil {
+		return err
+	}
+	return writeBenchJSON(outDir, "batching", all)
 }
 
 func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool) error {

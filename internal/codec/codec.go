@@ -70,3 +70,50 @@ func Decode(s string) (Task, error) {
 	}
 	return t, nil
 }
+
+// batchMagic prefixes multi-task frames. A gob stream starts with a
+// length-prefixed message whose count is at least 1, and gob's uint encoding
+// makes that first byte either the count itself (1..127) or a marker
+// >= 0x80 — never 0x00 — so the byte unambiguously separates batch frames
+// from single-task frames on the wire.
+const batchMagic = 0x00
+
+// EncodeBatch serializes several tasks into one frame with a single encoder
+// and buffer: the gob type descriptors are transmitted once per frame
+// instead of once per task, which is the (de)serialization half of the
+// batched transport path. A one-task batch degrades to the plain Encode
+// frame, so anything EncodeBatch writes stays readable by old-style readers
+// whenever it could have been written by them.
+func EncodeBatch(ts []Task) (string, error) {
+	if len(ts) == 0 {
+		return "", fmt.Errorf("codec: encode empty batch")
+	}
+	if len(ts) == 1 {
+		return Encode(ts[0])
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(batchMagic)
+	if err := gob.NewEncoder(&buf).Encode(ts); err != nil {
+		return "", fmt.Errorf("codec: encode batch of %d tasks: %w", len(ts), err)
+	}
+	return buf.String(), nil
+}
+
+// DecodeBatch deserializes a frame produced by EncodeBatch or Encode: batch
+// frames decode with one decoder setup for all tasks, single-task frames
+// (including every frame written before batching existed) come back as a
+// one-element slice.
+func DecodeBatch(s string) ([]Task, error) {
+	if len(s) == 0 || s[0] != batchMagic {
+		t, err := Decode(s)
+		if err != nil {
+			return nil, err
+		}
+		return []Task{t}, nil
+	}
+	var ts []Task
+	if err := gob.NewDecoder(bytes.NewReader([]byte(s[1:]))).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("codec: decode batch: %w", err)
+	}
+	return ts, nil
+}

@@ -82,6 +82,77 @@ func TestRegisterIdempotent(t *testing.T) {
 	Register(samplePayload{})
 }
 
+func TestBatchRoundTrip(t *testing.T) {
+	in := []Task{
+		{PE: "getVOTable", Port: "in", Value: samplePayload{Name: "g1", Values: []float64{1.5}}, Instance: -1},
+		{PE: "filterColumns", Port: "in", Value: "row", Instance: 2},
+		{PE: "agg", Instance: 0, Finalize: true},
+	}
+	s, err := EncodeBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d tasks, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].PE != in[i].PE || out[i].Port != in[i].Port || out[i].Instance != in[i].Instance || out[i].Finalize != in[i].Finalize {
+			t.Errorf("task %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+	if p, ok := out[0].Value.(samplePayload); !ok || p.Name != "g1" {
+		t.Errorf("payload 0: %#v", out[0].Value)
+	}
+}
+
+func TestBatchWireCompatibility(t *testing.T) {
+	// A single-task frame written by Encode must decode through DecodeBatch,
+	// and a one-task EncodeBatch must stay readable by plain Decode — the two
+	// directions of wire compatibility with pre-batching frames.
+	single, err := Encode(Task{PE: "pe", Port: "in", Value: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single[0] == batchMagic {
+		t.Fatal("gob single frame starts with the batch magic byte; framing is ambiguous")
+	}
+	got, err := DecodeBatch(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].PE != "pe" || got[0].Value != "v" {
+		t.Errorf("single frame through DecodeBatch: %+v", got)
+	}
+
+	one, err := EncodeBatch([]Task{{PE: "pe", Port: "in", Value: "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := Decode(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.PE != "pe" || task.Value != "v" {
+		t.Errorf("one-task batch through Decode: %+v", task)
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Error("empty batch must not encode")
+	}
+	if _, err := DecodeBatch(""); err == nil {
+		t.Error("empty string must not decode")
+	}
+	if _, err := DecodeBatch(string([]byte{batchMagic}) + "garbage"); err == nil {
+		t.Error("garbage batch frame must not decode")
+	}
+}
+
 func TestQuickRoundTripStrings(t *testing.T) {
 	f := func(pe, port string, inst int) bool {
 		in := Task{PE: pe, Port: port, Value: pe + port, Instance: inst}

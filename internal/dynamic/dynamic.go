@@ -52,7 +52,11 @@ func (DynAuto) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, er
 }
 
 func execute(g *graph.Graph, opts mapping.Options, name string, auto bool) (metrics.Report, error) {
-	opts = opts.WithDefaults()
+	// Batching stays off by default: the per-op queue synchronization cost
+	// IS the multiprocessing overhead the paper's dyn_multi curves measure,
+	// so amortizing it silently would change the reproduced baselines. Opt
+	// in with Options.EmitBatch/PullBatch (AutoBatch sizes adaptively).
+	opts = opts.ResolveBatching(1, 1).WithDefaults()
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/workflows/galaxy"
@@ -222,6 +223,52 @@ func Fig13(s Scale) []TraceExperiment {
 			MakeGraph: s.seismicGraph(), Seed: 136,
 		},
 	}
+}
+
+// BatchWindow is one point of the batching sweep grid.
+type BatchWindow struct {
+	// Label names the point in series labels and file names.
+	Label string
+	// Size is the EmitBatch/PullBatch value (mapping.AutoBatch for auto).
+	Size int
+}
+
+// BatchWindows is the d4pbench -sweep grid: unbatched, two fixed windows,
+// and the adaptive sizer.
+func BatchWindows() []BatchWindow {
+	return []BatchWindow{
+		{Label: "batch=1", Size: 1},
+		{Label: "batch=8", Size: 8},
+		{Label: "batch=64", Size: 64},
+		{Label: "auto", Size: mapping.AutoBatch},
+	}
+}
+
+// SweepBatching builds the batched emit+consume sweep: the galaxy workload
+// at every batch window, over one Redis-backed and one in-process dynamic
+// mapping, at the scale's largest server process count. Each experiment
+// pins both EmitBatch and PullBatch to its window; the caller distinguishes
+// the resulting series by the window's Label.
+func SweepBatching(s Scale) []Experiment {
+	procs := s.ServerProcs[len(s.ServerProcs)-1]
+	out := make([]Experiment, 0, len(BatchWindows()))
+	for _, w := range BatchWindows() {
+		size := w.Size
+		out = append(out, Experiment{
+			ID:         "batching-" + w.Label,
+			Title:      "Batched emit+consume, " + w.Label + " (galaxy, server)",
+			Platform:   platform.Server,
+			Techniques: []string{"dyn_multi", "dyn_redis"},
+			Processes:  []int{procs},
+			MakeGraph:  s.galaxyGraph(1, false),
+			Seed:       701,
+			Configure: func(o *mapping.Options) {
+				o.EmitBatch = size
+				o.PullBatch = size
+			},
+		})
+	}
+	return out
 }
 
 // TablePair is one A/B comparison of the ratio tables.

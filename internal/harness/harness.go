@@ -35,6 +35,9 @@ type Experiment struct {
 	MakeGraph func() *graph.Graph
 	// Seed drives run determinism.
 	Seed int64
+	// Configure, when non-nil, adjusts the options of every run — the hook
+	// the batching sweep uses to pin EmitBatch/PullBatch per experiment.
+	Configure func(*mapping.Options)
 }
 
 // Runner executes experiments. It owns an embedded mini-Redis server,
@@ -122,6 +125,9 @@ func (r *Runner) RunExperiment(e Experiment) ([]metrics.Series, error) {
 						return nil, fmt.Errorf("harness %s: start redis: %w", e.ID, err)
 					}
 					opts.RedisAddr = addr
+				}
+				if e.Configure != nil {
+					e.Configure(&opts)
 				}
 				rep, err := m.Execute(e.MakeGraph(), opts)
 				if err != nil {

@@ -29,6 +29,15 @@ import (
 	"repro/internal/state"
 )
 
+// AutoBatch, assigned to EmitBatch or PullBatch, sizes that batch window
+// adaptively at run time: each worker tracks the transport's observed
+// per-operation round-trip cost with an EWMA and grows its window while the
+// amortized per-task share of a round trip stays above the budget (shrinking
+// again when deliveries underfill the window). Heavyweight transports
+// (Redis) converge on large windows, cheap in-process transports stay small,
+// without a compile-time constant picking sides.
+const AutoBatch = -1
+
 // Options configures one workflow execution.
 type Options struct {
 	// Processes is the worker process budget.
@@ -77,16 +86,31 @@ type Options struct {
 	// EmitBatch buffers up to this many emitted tasks per worker and hands
 	// them to the transport in one batched push: Redis transports pipeline
 	// the XADD/RPUSH commands into a single round trip, in-process
-	// transports pay one synchronization cost per batch. 0 or 1 disables
-	// batching. A batch is always flushed before the task that emitted it
-	// is acknowledged, so termination accounting is unaffected.
+	// transports pay one synchronization cost per batch. 1 disables
+	// batching; 0 picks the mapping's default (AutoBatch on the Redis
+	// mappings, unbatched elsewhere); AutoBatch sizes the window adaptively.
+	// A worker's batch is always flushed before any task that emitted into
+	// it is released, so termination accounting is unaffected.
 	EmitBatch int
+	// PullBatch caps how many tasks a worker takes from the transport per
+	// consume round trip, holding the surplus in a worker-local prefetch
+	// buffer: the Redis transport reads XREADGROUP COUNT n (LPOP count on
+	// private lists), the in-process queue dequeues the window under one
+	// lock hold. Acknowledgements are batched symmetrically — one pipelined
+	// release per pulled batch, flushed before the buffer refills — and
+	// prefetched tasks stay pending until acknowledged, so the coordinator's
+	// drain never unblocks early. 1 disables batching; 0 picks the mapping's
+	// default (AutoBatch on the Redis mappings, unbatched elsewhere);
+	// AutoBatch sizes the window adaptively.
+	PullBatch int
 	// EmitFlushEvery bounds how long a partially-filled emit batch may age
 	// before being flushed. The age is checked at each emission (and the
-	// batch always flushes when the emitting task finishes), so the bound
+	// batch always flushes before the worker's prefetch buffer refills, so
+	// with single-task pulls it flushes at every task end), so the bound
 	// kicks in for sources that keep emitting across a long Generate; a PE
 	// that emits once and then only computes holds its batch until the
-	// task-end flush. Zero defaults to 2ms when EmitBatch enables batching.
+	// refill-time flush. Zero defaults to 2ms when EmitBatch enables
+	// batching.
 	EmitFlushEvery time.Duration
 }
 
@@ -104,10 +128,36 @@ func (o Options) WithDefaults() Options {
 	if o.Retries <= 0 {
 		o.Retries = 5
 	}
-	if o.EmitBatch > 1 && o.EmitFlushEvery <= 0 {
+	if (o.EmitBatch > 1 || o.EmitBatch == AutoBatch) && o.EmitFlushEvery <= 0 {
 		o.EmitFlushEvery = 2 * time.Millisecond
 	}
 	return o
+}
+
+// ResolveBatching fills zero-valued batch knobs with a mapping's defaults
+// (planners call it before handing options to the runtime), leaving explicit
+// settings — including an explicit 1 = "off" — untouched.
+func (o Options) ResolveBatching(defaultEmit, defaultPull int) Options {
+	if o.EmitBatch == 0 {
+		o.EmitBatch = defaultEmit
+	}
+	if o.PullBatch == 0 {
+		o.PullBatch = defaultPull
+	}
+	return o
+}
+
+// ValidateBatching rejects batch knob values outside {AutoBatch, 0, 1, n>1}.
+// The runtime calls it once per execution so a typo'd negative size fails
+// loudly instead of silently disabling batching.
+func (o Options) ValidateBatching() error {
+	if o.EmitBatch < AutoBatch {
+		return fmt.Errorf("mapping: Options.EmitBatch = %d is invalid (want AutoBatch, 0, or a positive size)", o.EmitBatch)
+	}
+	if o.PullBatch < AutoBatch {
+		return fmt.Errorf("mapping: Options.PullBatch = %d is invalid (want AutoBatch, 0, or a positive size)", o.PullBatch)
+	}
+	return nil
 }
 
 // Mapping executes abstract workflows on a concrete engine.

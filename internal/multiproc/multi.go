@@ -31,7 +31,9 @@ func (Multi) Name() string { return "multi" }
 
 // Execute implements mapping.Mapping.
 func (Multi) Execute(g *graph.Graph, opts mapping.Options) (metrics.Report, error) {
-	opts = opts.WithDefaults()
+	// Channel sends are cheap, so batching defaults off to preserve the
+	// paper's per-instance queue behaviour; the knobs remain available.
+	opts = opts.ResolveBatching(1, 1).WithDefaults()
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}

@@ -225,6 +225,24 @@ func (c *Client) LPop(key string) (string, bool, error) {
 	return c.DoString("LPOP", key)
 }
 
+// LPopCount pops up to count elements from the head in one round trip
+// (LPOP key count); an empty or missing list returns a nil slice. It is the
+// non-blocking refill of the batched private-queue consume path.
+func (c *Client) LPopCount(key string, count int) ([]string, error) {
+	v, err := c.Do("LPOP", key, strconv.Itoa(count))
+	if err != nil {
+		return nil, err
+	}
+	if v.IsNull() {
+		return nil, nil
+	}
+	out := make([]string, 0, len(v.Array))
+	for _, e := range v.Array {
+		out = append(out, e.Str)
+	}
+	return out, nil
+}
+
 // BLPop blocks until one of keys has an element or the timeout elapses.
 // It returns the key and value; ok=false on timeout.
 func (c *Client) BLPop(timeout time.Duration, keys ...string) (key, value string, ok bool, err error) {

@@ -132,6 +132,69 @@ func TestStreamHelpers(t *testing.T) {
 	}
 }
 
+func TestXAckBatchedIDs(t *testing.T) {
+	// One XACK command releases several deliveries at once — the pipelined
+	// ack path of the batched consume loop relies on this being a single
+	// round trip rather than one command per entry.
+	cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		id, err := cl.XAddValues("st", "f", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	entries, err := cl.XReadGroup("g", "c1", 5, 0, "st")
+	if err != nil || len(entries) != 5 {
+		t.Fatalf("XReadGroup: %d entries, %v", len(entries), err)
+	}
+	if n, err := cl.XAck("st", "g", ids...); err != nil || n != 5 {
+		t.Fatalf("batched XAck: %d %v, want 5", n, err)
+	}
+	sum, err := cl.XPendingSummary("st", "g")
+	if err != nil || sum.Count != 0 {
+		t.Fatalf("PEL after batched ack: %+v %v", sum, err)
+	}
+	// Already-acked and never-delivered IDs count zero, mixed with a live one.
+	id, err := cl.XAddValues("st", "f", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.XReadGroup("g", "c1", 1, 0, "st"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.XAck("st", "g", ids[0], id, "99999-0"); err != nil || n != 1 {
+		t.Fatalf("mixed XAck: %d %v, want 1", n, err)
+	}
+}
+
+func TestLPopCount(t *testing.T) {
+	cl := newPair(t)
+	if _, err := cl.RPush("q", "a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.LPopCount("q", 2)
+	if err != nil || len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("LPopCount(2): %v %v", got, err)
+	}
+	// Count past the remaining length drains the list.
+	got, err = cl.LPopCount("q", 10)
+	if err != nil || len(got) != 1 || got[0] != "c" {
+		t.Fatalf("LPopCount(10): %v %v", got, err)
+	}
+	// Empty and missing lists return nil, not an error.
+	if got, err := cl.LPopCount("q", 4); err != nil || len(got) != 0 {
+		t.Fatalf("LPopCount empty: %v %v", got, err)
+	}
+	if got, err := cl.LPopCount("nosuch", 4); err != nil || len(got) != 0 {
+		t.Fatalf("LPopCount missing: %v %v", got, err)
+	}
+}
+
 func TestConcurrentPoolUse(t *testing.T) {
 	cl := newPair(t)
 	var wg sync.WaitGroup

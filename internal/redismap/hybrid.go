@@ -114,7 +114,9 @@ func validateHybrid(g *graph.Graph) error {
 }
 
 func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool) (metrics.Report, error) {
-	opts = opts.WithDefaults()
+	// Redis round trips dominate this mapping's per-task cost, so batching
+	// defaults on, adaptively sized (pass an explicit 1 to disable).
+	opts = opts.ResolveBatching(mapping.AutoBatch, mapping.AutoBatch).WithDefaults()
 	if err := g.Validate(); err != nil {
 		return metrics.Report{}, err
 	}

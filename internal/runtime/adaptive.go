@@ -1,0 +1,73 @@
+package runtime
+
+import "time"
+
+// Bounds and amortization budget of the adaptive batch sizer.
+const (
+	autoBatchMin = 1
+	// autoBatchMax bounds the window: past it the fixed round-trip cost is
+	// amortized into noise on every transport here while per-task costs
+	// (decode, PEL bookkeeping) keep growing linearly, so larger windows
+	// only add latency and memory.
+	autoBatchMax = 128
+	// autoBatchBudget is the per-task share of one transport round trip the
+	// sizer is willing to pay: the window grows while an average round trip
+	// costs more than budget × window, i.e. until the fixed per-op cost is
+	// amortized below the budget. 50ns lands the in-process queue (≈2µs per
+	// op) near a 64-task window and drives the Redis transport (≈100µs per
+	// round trip) to the window cap.
+	autoBatchBudget = 50 * time.Nanosecond
+	// autoBatchAlpha is the EWMA smoothing factor of the round-trip cost.
+	autoBatchAlpha = 0.25
+)
+
+// BatchSizer adaptively sizes one worker's batch window (emit or pull) from
+// the transport's observed per-operation round-trip cost, the runtime's
+// implementation of Options.EmitBatch/PullBatch = mapping.AutoBatch. It
+// keeps an EWMA of the round-trip duration and applies two rules after each
+// operation:
+//
+//   - grow (double, up to the cap) while the window comes back full and the
+//     amortized per-task share of a round trip is still above the budget —
+//     full windows mean more work is waiting, so a larger window converts
+//     round trips into throughput;
+//   - shrink (halve, down to 1) when an operation moves at most a quarter of
+//     the window — sparse traffic gets small windows and low latency, and a
+//     transport whose round trips are cheap never grows far.
+//
+// On transports whose operation cost is linear in the batch size (in-process
+// channels) the EWMA grows with the window and the sizer drifts toward the
+// cap; that is benign — the amortized per-task cost is flat there, and the
+// shrink rule still pulls the window down when traffic thins. The sizer is
+// owned by a single worker goroutine and needs no locking.
+type BatchSizer struct {
+	size int
+	ewma float64 // smoothed round-trip duration, ns
+}
+
+// NewBatchSizer starts a sizer at the minimum window.
+func NewBatchSizer() *BatchSizer {
+	return &BatchSizer{size: autoBatchMin}
+}
+
+// Next is the window to request for the next operation.
+func (s *BatchSizer) Next() int { return s.size }
+
+// Observe feeds one transport operation that moved n tasks in d. Operations
+// that moved nothing (timeouts) carry no cost signal and are ignored.
+func (s *BatchSizer) Observe(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	if s.ewma == 0 {
+		s.ewma = float64(d)
+	} else {
+		s.ewma += autoBatchAlpha * (float64(d) - s.ewma)
+	}
+	switch {
+	case n >= s.size && s.ewma > float64(s.size)*float64(autoBatchBudget):
+		s.size = min(s.size*2, autoBatchMax)
+	case n <= s.size/4:
+		s.size = max(s.size/2, autoBatchMin)
+	}
+}

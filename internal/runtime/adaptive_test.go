@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBatchSizerGrowsOnExpensiveOps: a Redis-like transport (≈100µs per
+// round trip) with full windows drives the window to the cap.
+func TestBatchSizerGrowsOnExpensiveOps(t *testing.T) {
+	s := NewBatchSizer()
+	for i := 0; i < 20; i++ {
+		s.Observe(100*time.Microsecond, s.Next())
+	}
+	if s.Next() != autoBatchMax {
+		t.Fatalf("window = %d after sustained expensive full deliveries, want cap %d", s.Next(), autoBatchMax)
+	}
+}
+
+// TestBatchSizerStopsAtAmortizedBudget: a queue-like transport (≈2.2µs per
+// op, the modeled synchronization cost) settles where the per-task share of
+// a round trip drops below the budget — 64 for these constants — instead of
+// growing to the cap.
+func TestBatchSizerStopsAtAmortizedBudget(t *testing.T) {
+	s := NewBatchSizer()
+	for i := 0; i < 30; i++ {
+		s.Observe(2200*time.Nanosecond, s.Next())
+	}
+	if s.Next() != 64 {
+		t.Fatalf("window = %d for a 2.2µs op under a %v budget, want 64", s.Next(), autoBatchBudget)
+	}
+}
+
+// TestBatchSizerShrinksWhenUnderfull: sparse traffic (single-task
+// deliveries against a grown window) pulls the window back down, restoring
+// low latency when the stream thins.
+func TestBatchSizerShrinksWhenUnderfull(t *testing.T) {
+	s := NewBatchSizer()
+	for i := 0; i < 20; i++ {
+		s.Observe(100*time.Microsecond, s.Next())
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(2*time.Millisecond, 1) // mostly poll wait, one task
+	}
+	if s.Next() > 4 {
+		t.Fatalf("window = %d after sustained underfull deliveries, want near minimum", s.Next())
+	}
+}
+
+// TestBatchSizerBounds: the window never leaves [min, cap] and timeouts
+// (zero-task observations) are ignored.
+func TestBatchSizerBounds(t *testing.T) {
+	s := NewBatchSizer()
+	if s.Next() != autoBatchMin {
+		t.Fatalf("initial window = %d, want %d", s.Next(), autoBatchMin)
+	}
+	s.Observe(time.Second, 0) // timeout: no signal
+	if s.Next() != autoBatchMin || s.ewma != 0 {
+		t.Fatalf("zero-task observation moved the sizer: window=%d ewma=%v", s.Next(), s.ewma)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Second, s.Next())
+	}
+	if s.Next() > autoBatchMax {
+		t.Fatalf("window %d exceeded cap", s.Next())
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Nanosecond, 1)
+	}
+	if s.Next() < autoBatchMin {
+		t.Fatalf("window %d below minimum", s.Next())
+	}
+}

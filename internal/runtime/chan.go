@@ -71,28 +71,56 @@ func (t *ChanTransport) Push(tasks ...Task) error {
 	return nil
 }
 
-// Pull implements Transport.
-func (t *ChanTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
+// PullBatch implements Transport: a blocking wait for the first task, then
+// buffered draining — whatever is already queued joins the batch without
+// further blocking. A poison pill ends its batch so sibling pool workers
+// keep their pills visible.
+func (t *ChanTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, error) {
+	if max < 1 {
+		max = 1
+	}
 	src := t.shared
 	if box := t.boxes[w]; box != nil {
 		src = box
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
+	var envs []Env
 	select {
 	case task := <-src:
-		return Env{Task: task}, true, nil
+		envs = append(envs, Env{Task: task})
+		if task.Poison {
+			return envs, nil
+		}
 	case <-timer.C:
-		return Env{}, false, nil
+		return nil, nil
 	case <-t.closed:
-		return Env{}, false, errTransportClosed
+		return nil, errTransportClosed
 	}
+	for len(envs) < max {
+		select {
+		case task := <-src:
+			envs = append(envs, Env{Task: task})
+			if task.Poison {
+				return envs, nil
+			}
+		default:
+			return envs, nil
+		}
+	}
+	return envs, nil
 }
 
 // Ack implements Transport.
-func (t *ChanTransport) Ack(w int, env Env) error {
-	if !env.Poison {
-		t.pending.Add(-1)
+func (t *ChanTransport) Ack(w int, envs ...Env) error {
+	var n int64
+	for _, env := range envs {
+		if !env.Poison {
+			n++
+		}
+	}
+	if n > 0 {
+		t.pending.Add(-n)
 	}
 	return nil
 }

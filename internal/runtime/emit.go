@@ -5,55 +5,110 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/mapping"
 )
 
 // batcher buffers one worker's emitted tasks and hands them to the transport
 // in a single Push when the batch fills or ages out. It is single-goroutine
 // (one per worker), so it needs no locking.
 //
-// The worker loop flushes the batch before acknowledging the task that
-// emitted it, so a task's children are always counted as pending before the
-// task itself is released — buffering never creates a window in which the
-// coordinator could observe a spuriously drained transport.
+// The worker loop flushes the batch before releasing any task that emitted
+// into it (the refill-time emits-then-acks ordering), so a task's children
+// are always counted as pending before the task itself is released —
+// buffering never creates a window in which the coordinator could observe a
+// spuriously drained transport.
 type batcher struct {
 	tr         Transport
-	max        int
+	max        int         // fixed window; ignored when sizer is set
+	sizer      *BatchSizer // adaptive window (Options.EmitBatch = AutoBatch)
 	flushEvery time.Duration
 	buf        []Task
 	firstAt    time.Time
 }
 
-// newBatcher sizes the buffer; max <= 1 passes tasks straight through.
-func newBatcher(tr Transport, max int, flushEvery time.Duration) *batcher {
-	if max < 1 {
-		max = 1
+// newBatcher sizes the buffer from the EmitBatch knob: <= 1 passes tasks
+// straight through, mapping.AutoBatch attaches an adaptive sizer fed by the
+// observed Push round-trip cost.
+func newBatcher(tr Transport, batch int, flushEvery time.Duration) *batcher {
+	b := &batcher{tr: tr, flushEvery: flushEvery}
+	if batch == mapping.AutoBatch {
+		b.sizer = NewBatchSizer()
+		return b
 	}
-	return &batcher{tr: tr, max: max, flushEvery: flushEvery, buf: make([]Task, 0, max)}
+	if batch < 1 {
+		batch = 1
+	}
+	b.max = batch
+	b.buf = make([]Task, 0, batch)
+	return b
+}
+
+// window is the current flush threshold.
+func (b *batcher) window() int {
+	if b.sizer != nil {
+		return b.sizer.Next()
+	}
+	return b.max
 }
 
 // push buffers one task, flushing on size or age.
 func (b *batcher) push(t Task) error {
-	if b.max <= 1 {
+	if b.sizer == nil && b.max <= 1 {
 		return b.tr.Push(t)
 	}
 	if len(b.buf) == 0 {
 		b.firstAt = time.Now()
 	}
 	b.buf = append(b.buf, t)
-	if len(b.buf) >= b.max || (b.flushEvery > 0 && time.Since(b.firstAt) >= b.flushEvery) {
+	if len(b.buf) >= b.window() || (b.flushEvery > 0 && time.Since(b.firstAt) >= b.flushEvery) {
 		return b.flush()
 	}
 	return nil
 }
 
-// flush pushes the buffered tasks, if any.
+// flush pushes the buffered tasks, if any, feeding the adaptive sizer with
+// the round trip's cost.
 func (b *batcher) flush() error {
 	if len(b.buf) == 0 {
 		return nil
 	}
 	tasks := b.buf
 	b.buf = b.buf[:0]
-	return b.tr.Push(tasks...)
+	if b.sizer == nil {
+		return b.tr.Push(tasks...)
+	}
+	start := time.Now()
+	err := b.tr.Push(tasks...)
+	b.sizer.Observe(time.Since(start), len(tasks))
+	return err
+}
+
+// ackBatch buffers one worker's acknowledgements so a pulled batch is
+// released in one amortized transport operation (a single pipelined
+// XACK + decrement on Redis). It is single-goroutine, like the batcher.
+//
+// Deferring an ack only ever keeps the pending count high, never low, so
+// the termination invariant is untouched; what matters is that the batch is
+// flushed — after the emit batch, so children land first — before the
+// worker's prefetch buffer refills, before it parks idle, and before it
+// exits, all of which the worker loop owns.
+type ackBatch struct {
+	tr  Transport
+	w   int
+	buf []Env
+}
+
+// add buffers one processed delivery for the next flush.
+func (a *ackBatch) add(env Env) { a.buf = append(a.buf, env) }
+
+// flush releases the buffered deliveries, if any.
+func (a *ackBatch) flush() error {
+	if len(a.buf) == 0 {
+		return nil
+	}
+	envs := a.buf
+	a.buf = a.buf[:0]
+	return a.tr.Ack(a.w, envs...)
 }
 
 // router turns PE emissions into transport tasks: for every out-edge

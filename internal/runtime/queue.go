@@ -81,6 +81,49 @@ func (q *Queue) Pop(timeout time.Duration) (t Task, ok bool) {
 	return t, true
 }
 
+// PopN removes up to max head tasks under one lock hold and one
+// synchronization cost — the single-lock multi-dequeue that mirrors PushAll
+// on the consume path. Like Pop it blocks up to timeout for the first task
+// and never waits for more; a poison pill ends its batch (the pill is the
+// last element returned) so sibling pool workers keep their pills visible.
+func (q *Queue) PopN(max int, timeout time.Duration) []Task {
+	if max < 1 {
+		max = 1
+	}
+	deadline := time.Now().Add(timeout)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil
+		}
+		// Same empty-queue poll slices as Pop (see there for why no condvar).
+		q.mu.Unlock()
+		slice := remaining
+		if slice > time.Millisecond {
+			slice = time.Millisecond
+		}
+		time.Sleep(slice)
+		q.mu.Lock()
+	}
+	platform.SpinWait(q.syncCost)
+	n := max
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := make([]Task, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, q.items[i])
+		if q.items[i].Poison {
+			break
+		}
+	}
+	q.items = q.items[len(out):]
+	q.pops += int64(len(out))
+	return out
+}
+
 // Len returns the current queue length (the dyn_auto_multi monitor metric).
 func (q *Queue) Len() int {
 	q.mu.Lock()
@@ -124,22 +167,33 @@ func (t *QueueTransport) Push(tasks ...Task) error {
 	return nil
 }
 
-// Pull implements Transport.
-func (t *QueueTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
+// PullBatch implements Transport: one multi-dequeue pays one lock hold and
+// one modeled synchronization cost for the whole window.
+func (t *QueueTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, error) {
 	if t.closed.Load() {
-		return Env{}, false, errTransportClosed
+		return nil, errTransportClosed
 	}
-	task, ok := t.q.Pop(timeout)
-	if !ok {
-		return Env{}, false, nil
+	tasks := t.q.PopN(max, timeout)
+	if len(tasks) == 0 {
+		return nil, nil
 	}
-	return Env{Task: task}, true, nil
+	envs := make([]Env, len(tasks))
+	for i, task := range tasks {
+		envs[i] = Env{Task: task}
+	}
+	return envs, nil
 }
 
 // Ack implements Transport.
-func (t *QueueTransport) Ack(w int, env Env) error {
-	if !env.Poison {
-		t.pending.Add(-1)
+func (t *QueueTransport) Ack(w int, envs ...Env) error {
+	var n int64
+	for _, env := range envs {
+		if !env.Poison {
+			n++
+		}
+	}
+	if n > 0 {
+		t.pending.Add(-n)
 	}
 	return nil
 }

@@ -65,26 +65,47 @@ func (t *RankTransport) Push(tasks ...Task) error {
 	return nil
 }
 
-// Pull implements Transport: a bounded wait on the rank's mailbox.
-func (t *RankTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
-	data, ok, err := t.link.RecvDataTimeout(w, timeout)
-	if err != nil {
-		return Env{}, false, t.maybeClosed(err)
+// PullBatch implements Transport: a bounded wait on the rank's mailbox for
+// the first message, then zero-timeout drains of whatever is already queued
+// — the buffered-draining consume path for per-rank mailboxes. A poison
+// pill ends its batch.
+func (t *RankTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, error) {
+	if max < 1 {
+		max = 1
 	}
-	if !ok {
-		return Env{}, false, nil
+	var envs []Env
+	wait := timeout
+	for len(envs) < max {
+		data, ok, err := t.link.RecvDataTimeout(w, wait)
+		if err != nil {
+			return nil, t.maybeClosed(err)
+		}
+		if !ok {
+			break
+		}
+		task, isTask := data.(Task)
+		if !isTask {
+			return nil, fmt.Errorf("runtime: rank %d received non-task payload %T", w, data)
+		}
+		envs = append(envs, Env{Task: task})
+		if task.Poison {
+			break
+		}
+		wait = 0 // only the first receive blocks
 	}
-	task, isTask := data.(Task)
-	if !isTask {
-		return Env{}, false, fmt.Errorf("runtime: rank %d received non-task payload %T", w, data)
-	}
-	return Env{Task: task}, true, nil
+	return envs, nil
 }
 
 // Ack implements Transport.
-func (t *RankTransport) Ack(w int, env Env) error {
-	if !env.Poison {
-		t.pending.Add(-1)
+func (t *RankTransport) Ack(w int, envs ...Env) error {
+	var n int64
+	for _, env := range envs {
+		if !env.Poison {
+			n++
+		}
+	}
+	if n > 0 {
+		t.pending.Add(-n)
 	}
 	return nil
 }

@@ -73,7 +73,11 @@ func NewRedisTransport(cl *redisclient.Client, keys RedisKeys, plan Plan, recove
 
 // Push implements Transport. The pending counter is incremented before any
 // task becomes readable, preserving the pending == 0 ⇒ fully drained
-// invariant across the whole pipelined batch.
+// invariant across the whole pipelined batch. Pool tasks become one stream
+// entry each (the consumer group acknowledges per entry); tasks sharing a
+// private list ship as a single batch frame in one RPUSH element, so a
+// batched emit pays one list element and one (de)serialization setup per
+// destination instead of one per task.
 func (t *RedisTransport) Push(tasks ...Task) error {
 	if t.closed.Load() {
 		return errTransportClosed
@@ -88,75 +92,131 @@ func (t *RedisTransport) Push(tasks ...Task) error {
 	if counted > 0 {
 		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(counted)})
 	}
+	var priv map[string][]Task
 	for _, task := range tasks {
+		if task.Instance >= 0 {
+			key := t.keys.PrivKey(task.PE, task.Instance)
+			if priv == nil {
+				priv = map[string][]Task{}
+			}
+			priv[key] = append(priv[key], task)
+			continue
+		}
 		payload, err := codec.Encode(task)
 		if err != nil {
 			return err
 		}
-		if task.Instance >= 0 {
-			cmds = append(cmds, []string{"RPUSH", t.keys.PrivKey(task.PE, task.Instance), payload})
-		} else {
-			cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, payload})
+		cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, payload})
+	}
+	for key, group := range priv {
+		payload, err := codec.EncodeBatch(group)
+		if err != nil {
+			return err
 		}
+		cmds = append(cmds, []string{"RPUSH", key, payload})
 	}
 	_, err := t.cl.Pipeline(cmds)
 	return err
 }
 
-// Pull implements Transport.
-func (t *RedisTransport) Pull(w int, timeout time.Duration) (Env, bool, error) {
+// PullBatch implements Transport. Pool workers read XREADGROUP COUNT max;
+// pinned workers block on their private list and top the window up with one
+// non-blocking LPOP count round trip (each popped element may itself be a
+// batch frame, so the returned batch can exceed max — max is advisory).
+// Because stream deliveries are irreversible (entries enter this consumer's
+// PEL), a batch read off the stream may carry several poison pills; the
+// worker loop re-routes any surplus to its siblings.
+func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, error) {
 	if t.closed.Load() {
-		return Env{}, false, errTransportClosed
+		return nil, errTransportClosed
+	}
+	if max < 1 {
+		max = 1
 	}
 	spec := t.plan.Workers[w]
 	if spec.Pinned() {
-		_, payload, ok, err := t.cl.BLPop(timeout, t.keys.PrivKey(spec.PE, spec.Instance))
+		key := t.keys.PrivKey(spec.PE, spec.Instance)
+		_, payload, ok, err := t.cl.BLPop(timeout, key)
 		if err != nil || !ok {
-			return Env{}, false, t.maybeClosed(err)
+			return nil, t.maybeClosed(err)
 		}
-		task, err := codec.Decode(payload)
+		tasks, err := codec.DecodeBatch(payload)
 		if err != nil {
-			return Env{}, false, err
+			return nil, err
 		}
-		return Env{Task: task}, true, nil
+		if len(tasks) < max {
+			frames, err := t.cl.LPopCount(key, max-len(tasks))
+			if err != nil {
+				return nil, t.maybeClosed(err)
+			}
+			for _, f := range frames {
+				more, err := codec.DecodeBatch(f)
+				if err != nil {
+					return nil, err
+				}
+				tasks = append(tasks, more...)
+			}
+		}
+		envs := make([]Env, len(tasks))
+		for i, task := range tasks {
+			envs[i] = Env{Task: task}
+		}
+		return envs, nil
 	}
 	consumer := fmt.Sprintf("w%d", w)
-	entries, err := t.cl.XReadGroup(t.keys.Group, consumer, 1, timeout, t.keys.Queue)
+	entries, err := t.cl.XReadGroup(t.keys.Group, consumer, max, timeout, t.keys.Queue)
 	if err != nil {
-		return Env{}, false, t.maybeClosed(err)
+		return nil, t.maybeClosed(err)
 	}
 	if len(entries) == 0 && t.recoverStale {
 		// Reclaim tasks whose consumer stopped acknowledging them (crashed
 		// or descheduled). XAUTOCLAIM moves idle pending entries into this
 		// worker's PEL so the stream's at-least-once guarantee actually
 		// holds under failures.
-		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, 8*timeout, "0-0", 1)
+		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, 8*timeout, "0-0", max)
 		if err == nil && len(claimed) > 0 {
 			entries = claimed
 		}
 	}
 	if len(entries) == 0 {
-		return Env{}, false, nil
+		return nil, nil
 	}
-	task, err := codec.Decode(entries[0].Fields[taskField])
-	if err != nil {
-		return Env{}, false, err
+	envs := make([]Env, 0, len(entries))
+	for _, e := range entries {
+		task, err := codec.Decode(e.Fields[taskField])
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, Env{Task: task, AckID: e.ID})
 	}
-	return Env{Task: task, AckID: entries[0].ID}, true, nil
+	return envs, nil
 }
 
-// Ack implements Transport: XACK for stream deliveries, and a pending
-// decrement for every non-poison task.
-func (t *RedisTransport) Ack(w int, env Env) error {
-	if env.AckID != "" {
-		if _, err := t.cl.XAck(t.keys.Queue, t.keys.Group, env.AckID); err != nil {
-			return t.maybeClosed(err)
+// Ack implements Transport: one pipelined round trip releases the whole
+// batch — a single multi-ID XACK for the stream deliveries plus a single
+// pending-counter decrement for every non-poison task.
+func (t *RedisTransport) Ack(w int, envs ...Env) error {
+	var ids []string
+	counted := 0
+	for _, env := range envs {
+		if env.AckID != "" {
+			ids = append(ids, env.AckID)
+		}
+		if !env.Poison {
+			counted++
 		}
 	}
-	if env.Poison {
+	cmds := make([][]string, 0, 2)
+	if len(ids) > 0 {
+		cmds = append(cmds, append([]string{"XACK", t.keys.Queue, t.keys.Group}, ids...))
+	}
+	if counted > 0 {
+		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(-counted)})
+	}
+	if len(cmds) == 0 {
 		return nil
 	}
-	_, err := t.cl.IncrBy(t.keys.PendingKey, -1)
+	_, err := t.cl.Pipeline(cmds)
 	return t.maybeClosed(err)
 }
 

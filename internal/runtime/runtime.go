@@ -50,19 +50,30 @@ type Env struct {
 // Push counts every non-poison task as pending *before* it becomes visible
 // to any consumer, and Ack releases it only after the worker has pushed the
 // task's children. Pending() == 0 therefore implies no queued or in-flight
-// work anywhere.
+// work anywhere. Pulled-but-unacknowledged tasks — including everything
+// sitting in a worker's prefetch buffer — therefore still count as pending,
+// which is what keeps the coordinator's drain honest under batched consumes.
 type Transport interface {
 	// Push enqueues tasks for their destinations: Instance >= 0 addresses a
 	// pinned (PE, instance) worker, Instance < 0 the shared pool. Batched
 	// callers pass several tasks at once so implementations can amortize
 	// synchronization (one lock hold, one pipelined round trip).
 	Push(tasks ...Task) error
-	// Pull blocks up to timeout for the next task addressed to worker w.
-	// ok is false on timeout.
-	Pull(w int, timeout time.Duration) (env Env, ok bool, err error)
-	// Ack releases a pulled task after it is fully processed (children
-	// already pushed).
-	Ack(w int, env Env) error
+	// PullBatch blocks up to timeout for the first task addressed to worker
+	// w, then returns it together with whatever is already queued, up to max
+	// tasks, without further waiting (nil on timeout). max is advisory: a
+	// transport whose wire format packs several tasks into one frame may
+	// return more. Where the dequeue is reversible (in-process channels,
+	// queue, rank mailboxes) a batch never extends past a poison pill — the
+	// pill ends its batch — so one worker cannot swallow siblings' pills;
+	// the Redis stream, whose deliveries are irreversible, may return
+	// several pills at once and the worker loop re-routes the surplus.
+	PullBatch(w, max int, timeout time.Duration) ([]Env, error)
+	// Ack releases pulled tasks after they are fully processed (children
+	// already pushed). A multi-task batch is released in one amortized
+	// operation: a single pipelined round trip on Redis, one atomic
+	// adjustment in process.
+	Ack(w int, envs ...Env) error
 	// Pending reports the queued + in-flight task count.
 	Pending() (int64, error)
 	// Done shuts the transport down: blocked Push/Pull calls unblock and

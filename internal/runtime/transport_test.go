@@ -88,18 +88,18 @@ func TestTransportsHoldTerminationUntilDrained(t *testing.T) {
 			var processed atomic.Int64
 			go func() {
 				for {
-					env, ok, err := tr.Pull(0, 2*time.Millisecond)
+					envs, err := tr.PullBatch(0, 1, 2*time.Millisecond)
 					if err != nil {
 						return
 					}
-					if !ok {
+					if len(envs) == 0 {
 						continue
 					}
 					// Slow consumer: the task stays in flight long enough
 					// for many drain polls to observe it.
 					time.Sleep(3 * time.Millisecond)
-					processed.Add(1)
-					if err := tr.Ack(0, env); err != nil {
+					processed.Add(int64(len(envs)))
+					if err := tr.Ack(0, envs...); err != nil {
 						return
 					}
 					if processed.Load() == n {
@@ -122,6 +122,71 @@ func TestTransportsHoldTerminationUntilDrained(t *testing.T) {
 	}
 }
 
+// TestTransportsHoldTerminationWithPrefetch extends the conformance
+// property to the batched consume path: a slow consumer that pulls windows
+// of several tasks and parks them in a non-empty prefetch buffer — acking
+// the whole batch only after the last task is processed — must never let
+// the coordinator's drain pass early, on all four transports. This is the
+// invariant that makes prefetching safe: pulled-but-unacknowledged tasks
+// still count as pending.
+func TestTransportsHoldTerminationWithPrefetch(t *testing.T) {
+	const n = 24
+	const window = 8
+	for _, fx := range transportFixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			tr, addr := fx.make(t)
+
+			tasks := make([]runtime.Task, n)
+			for i := range tasks {
+				task := addr
+				task.Value = i
+				tasks[i] = task
+			}
+			if err := tr.Push(tasks...); err != nil {
+				t.Fatal(err)
+			}
+
+			var acked atomic.Int64
+			go func() {
+				for acked.Load() < n {
+					// max is advisory: a batch-framed transport may return
+					// more than window tasks; hold however many arrived.
+					envs, err := tr.PullBatch(0, window, 2*time.Millisecond)
+					if err != nil {
+						return
+					}
+					if len(envs) == 0 {
+						continue
+					}
+					// The whole batch sits in the prefetch buffer while each
+					// task is slowly processed; many drain polls observe the
+					// buffer non-empty with the queue itself already short.
+					for range envs {
+						time.Sleep(time.Millisecond)
+					}
+					if err := tr.Ack(0, envs...); err != nil {
+						return
+					}
+					acked.Add(int64(len(envs)))
+				}
+			}()
+
+			if err := runtime.AwaitDrain(tr, time.Millisecond, 3, nil); err != nil {
+				t.Fatal(err)
+			}
+			if got := acked.Load(); got != n {
+				t.Fatalf("drain passed with %d of %d tasks acknowledged — a prefetch buffer would be dropped at termination", got, n)
+			}
+			if p, err := tr.Pending(); err != nil || p != 0 {
+				t.Fatalf("pending after drain: %d (%v)", p, err)
+			}
+			_ = tr.Done()
+		})
+	}
+}
+
 // TestTransportsCountInFlightTasks pins the finer-grained half of the
 // contract: a task that has been pulled but not acknowledged is still
 // pending, even though the queue itself is empty.
@@ -134,15 +199,15 @@ func TestTransportsCountInFlightTasks(t *testing.T) {
 			if err := tr.Push(addr); err != nil {
 				t.Fatal(err)
 			}
-			env, ok, err := tr.Pull(0, 50*time.Millisecond)
-			if err != nil || !ok {
-				t.Fatalf("pull: ok=%v err=%v", ok, err)
+			envs, err := tr.PullBatch(0, 1, 50*time.Millisecond)
+			if err != nil || len(envs) != 1 {
+				t.Fatalf("pull: envs=%v err=%v", envs, err)
 			}
 			// Queue empty, task in flight: must still count as pending.
 			if p, err := tr.Pending(); err != nil || p != 1 {
 				t.Fatalf("in-flight pending = %d (%v), want 1", p, err)
 			}
-			if err := tr.Ack(0, env); err != nil {
+			if err := tr.Ack(0, envs[0]); err != nil {
 				t.Fatal(err)
 			}
 			if p, err := tr.Pending(); err != nil || p != 0 {

@@ -51,6 +51,9 @@ type Config struct {
 // flushed values propagate), and finally poisons the workers.
 func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, error) {
 	opts = opts.WithDefaults()
+	if err := opts.ValidateBatching(); err != nil {
+		return metrics.Report{}, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
 	ms, err := mapping.OpenManagedState(g, opts, cfg.NewStateBackend)
 	if err != nil {
 		return metrics.Report{}, err
@@ -224,55 +227,120 @@ func (r *run) runWorker(w int) {
 		return
 	}
 
+	// Per-loop invariants are hoisted out of the hot loop: the poll timeout
+	// and batch windows are read from Options once here, not chased on every
+	// pull iteration.
+	tr := r.cfg.Transport
+	pollTimeout := r.opts.PollTimeout
+	pullWindow := r.opts.PullBatch
+	var pullSizer *BatchSizer
+	if pullWindow == mapping.AutoBatch {
+		pullSizer = NewBatchSizer()
+	} else if pullWindow < 1 {
+		pullWindow = 1
+	}
+	acks := &ackBatch{tr: tr, w: w}
+
 	ctrl := r.cfg.Controller
 	// Pool workers accrue process time while polling an empty queue — the
 	// always-active cost auto-scaling exists to cut. Pinned workers under
 	// PinnedIdleStandby instead deactivate across empty polls (see Config).
 	standby := r.cfg.PinnedIdleStandby && spec.Pinned()
 	active := true
+	var buf []Env // worker-local prefetch buffer
+	next := 0
 	for {
 		if r.aborted() {
 			return
 		}
-		if ctrl != nil && !spec.Pinned() && ctrl.Idle(w) {
-			// Idle state: stop accruing process time until readmitted.
-			proc.Deactivate()
-			if !ctrl.Admit(w) {
+		if next >= len(buf) {
+			// Refill. Order matters: buffered emissions reach the transport
+			// first (children become pending), then the processed deliveries
+			// are released in one batched ack, and only then may the worker
+			// block — on the idle gate or on the pull itself.
+			if err := b.flush(); err != nil {
+				r.workerFail(fmt.Errorf("worker %s: flush emissions: %w", procName, err))
 				return
 			}
-			proc.Activate()
-		}
-		env, ok, err := r.cfg.Transport.Pull(w, r.opts.PollTimeout)
-		if err != nil {
-			r.workerFail(fmt.Errorf("worker %s: pull: %w", procName, err))
-			return
-		}
-		if !ok {
-			if standby && active {
-				proc.Deactivate()
-				active = false
+			if err := acks.flush(); err != nil {
+				r.workerFail(fmt.Errorf("worker %s: ack batch: %w", procName, err))
+				return
 			}
-			continue // the coordinator owns termination
+			if ctrl != nil && !spec.Pinned() && ctrl.Idle(w) {
+				// Idle state: stop accruing process time until readmitted.
+				proc.Deactivate()
+				if !ctrl.Admit(w) {
+					return
+				}
+				proc.Activate()
+			}
+			window := pullWindow
+			if pullSizer != nil {
+				window = pullSizer.Next()
+			}
+			start := time.Now()
+			envs, err := tr.PullBatch(w, window, pollTimeout)
+			if err != nil {
+				r.workerFail(fmt.Errorf("worker %s: pull: %w", procName, err))
+				return
+			}
+			if len(envs) == 0 {
+				if standby && active {
+					proc.Deactivate()
+					active = false
+				}
+				continue // the coordinator owns termination
+			}
+			if pullSizer != nil {
+				pullSizer.Observe(time.Since(start), len(envs))
+			}
+			buf, next = envs, 0
 		}
 		if !active {
 			proc.Activate()
 			active = true
 		}
+		env := buf[next]
+		next++
 		if env.Poison {
-			_ = r.cfg.Transport.Ack(w, env)
+			r.retirePoison(env, buf[next:], b, acks)
 			return
 		}
-		if err := r.runTask(w, procName, pes, ctxs, b, env); err != nil {
+		if err := r.runTask(procName, pes, ctxs, b, acks, env); err != nil {
 			r.workerFail(err)
 			return
 		}
 	}
 }
 
+// retirePoison winds a worker down on its pill. A batch read off the Redis
+// stream can deliver several pool pills to one consumer (stream deliveries
+// are irreversible, so the transport cannot put them back); whatever was
+// delivered behind this worker's pill is re-pushed for the workers it was
+// meant for before the deliveries are released — push before ack, so even a
+// non-poison straggler never dips the pending count. Errors are ignored:
+// this path races transport shutdown by design.
+func (r *run) retirePoison(pill Env, rest []Env, b *batcher, acks *ackBatch) {
+	if len(rest) > 0 {
+		tasks := make([]Task, len(rest))
+		for i, env := range rest {
+			tasks[i] = env.Task
+		}
+		_ = r.cfg.Transport.Push(tasks...)
+	}
+	_ = b.flush()
+	acks.add(pill)
+	for _, env := range rest {
+		acks.add(env)
+	}
+	_ = acks.flush()
+}
+
 // runTask executes one delivered task: generate, process, or finalize. The
-// emit batch is flushed before the acknowledgement so the task's children
-// are pending before the task itself is released.
-func (r *run) runTask(w int, procName string, pes map[string]core.PE, ctxs map[string]*core.Context, b *batcher, env Env) error {
+// acknowledgement is deferred into the worker's ack batch; because the ack
+// batch is only ever flushed after the emit batch, the task's children are
+// pending before the task itself is released.
+func (r *run) runTask(procName string, pes map[string]core.PE, ctxs map[string]*core.Context, b *batcher, acks *ackBatch, env Env) error {
 	pe, ok := pes[env.PE]
 	if !ok {
 		return fmt.Errorf("worker %s: task for unknown PE %q", procName, env.PE)
@@ -295,21 +363,17 @@ func (r *run) runTask(w int, procName string, pes map[string]core.PE, ctxs map[s
 		r.tasks.Add(1)
 		err = pe.Process(ctxs[env.PE], env.Port, env.Value)
 	}
-	if err == nil {
-		err = b.flush()
-	}
 	if err != nil {
-		// Release the delivery so a failed run does not hang on a counter
+		// Release the deliveries so a failed run does not hang on a counter
 		// that can never drain, then surface the PE error.
-		_ = r.cfg.Transport.Ack(w, env)
+		acks.add(env)
+		_ = acks.flush()
 		if IsClosed(err) {
 			return err
 		}
 		return fmt.Errorf("worker %s: PE %s: %w", procName, env.PE, err)
 	}
-	if err := r.cfg.Transport.Ack(w, env); err != nil {
-		return fmt.Errorf("worker %s: ack %s: %w", procName, env.PE, err)
-	}
+	acks.add(env)
 	return nil
 }
 

@@ -10,6 +10,8 @@
 //	d4pbench -out results     # output directory (default "results")
 //	d4pbench -sweep           # batching sweep (batch sizes 1, 8, 64, auto),
 //	                          # writes BENCH_batching.json
+//	d4pbench -recovery        # exactly-once recovery overhead (fenced vs
+//	                          # unfenced managed state), writes BENCH_recovery.json
 package main
 
 import (
@@ -31,19 +33,27 @@ import (
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run the seconds-scale smoke configuration")
-		fig     = flag.Int("fig", 0, "run only this figure (8-13); 0 means all")
-		table   = flag.Int("table", 0, "run only this table (1-3); 0 means all")
-		outDir  = flag.String("out", "results", "output directory")
-		reps    = flag.Int("reps", 1, "repetitions per point (averaged)")
-		opDelay = flag.Duration("redis-op-delay", 0, "extra per-command service delay in the embedded Redis")
-		jsonOut = flag.Bool("json", false, "additionally write BENCH_<name>.json result files (machine-readable perf trajectory)")
-		sweep   = flag.Bool("sweep", false, "run the batching sweep (batch sizes 1, 8, 64, auto) and write BENCH_batching.json instead of the figure suite")
+		quick    = flag.Bool("quick", false, "run the seconds-scale smoke configuration")
+		fig      = flag.Int("fig", 0, "run only this figure (8-13); 0 means all")
+		table    = flag.Int("table", 0, "run only this table (1-3); 0 means all")
+		outDir   = flag.String("out", "results", "output directory")
+		reps     = flag.Int("reps", 1, "repetitions per point (averaged)")
+		opDelay  = flag.Duration("redis-op-delay", 0, "extra per-command service delay in the embedded Redis")
+		jsonOut  = flag.Bool("json", false, "additionally write BENCH_<name>.json result files (machine-readable perf trajectory)")
+		sweep    = flag.Bool("sweep", false, "run the batching sweep (batch sizes 1, 8, 64, auto) and write BENCH_batching.json instead of the figure suite")
+		recovery = flag.Bool("recovery", false, "run the exactly-once recovery scenario (fenced vs unfenced managed state on the batched Redis path) and write BENCH_recovery.json")
 	)
 	flag.Parse()
 
 	if *sweep {
 		if err := runSweep(*quick, *outDir, *reps, *opDelay); err != nil {
+			fmt.Fprintln(os.Stderr, "d4pbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *recovery {
+		if err := runRecovery(*quick, *outDir, *reps, *opDelay); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
@@ -91,6 +101,51 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration) error 
 		return err
 	}
 	return writeBenchJSON(outDir, "batching", all)
+}
+
+// runRecovery executes the exactly-once recovery scenario — the managed-
+// state sentiment workload on the batched dyn_redis path, with replay
+// recovery (and therefore sequence fencing) off versus on — and writes its
+// txt/csv renderings plus BENCH_recovery.json, recording what exactly-once-
+// effect recovery costs on a healthy run.
+func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration) error {
+	scale := harness.FullScale()
+	if quick {
+		scale = harness.QuickScale()
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay}
+	defer runner.Close()
+
+	var all []metrics.Series
+	for _, e := range harness.SweepRecovery(scale) {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		series, err := runner.RunExperiment(e)
+		if err != nil {
+			return err
+		}
+		// One series per variant: fold the experiment's fencing label into
+		// the series label so the pair reads as one comparison.
+		label := strings.TrimPrefix(e.ID, "recovery-")
+		for j := range series {
+			series[j].Label = series[j].Label + " " + label
+		}
+		all = append(all, series...)
+	}
+	if len(all) == 2 && len(all[0].Points) == 1 && len(all[1].Points) == 1 {
+		base, fenced := all[0].Points[0].Runtime, all[1].Points[0].Runtime
+		fmt.Printf("fencing overhead: %+.2f%% (unfenced %v → fenced %v)\n",
+			100*(fenced.Seconds()-base.Seconds())/base.Seconds(), base, fenced)
+	}
+	if err := writeFile(outDir, "recovery.txt", metrics.RenderSeries("Exactly-once recovery overhead (sentiment managed, dyn_redis, server)", all)); err != nil {
+		return err
+	}
+	if err := writeFile(outDir, "recovery.csv", metrics.CSV(all)); err != nil {
+		return err
+	}
+	return writeBenchJSON(outDir, "recovery", all)
 }
 
 func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool) error {

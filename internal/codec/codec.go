@@ -47,6 +47,17 @@ type Task struct {
 	// Finalize asks a stateful instance to run its Final hook (hybrid
 	// mapping's coordinated flush phase).
 	Finalize bool
+	// Src and Seq identify the task for exactly-once fencing under
+	// at-least-once replay: Src names the task's provenance (a hash mixing
+	// the parent task's identity with the emitting edge, or a seed/finalize
+	// constant), Seq is the per-(provenance) sequence number. The pair is
+	// deterministic — a replayed parent re-emits children with identical
+	// identities — which is what lets the managed-state fence drop updates
+	// whose sequence was already applied. Both zero means the task is
+	// unstamped (fencing off); gob omits zero fields, so unstamped tasks pay
+	// nothing on the wire.
+	Src uint64
+	Seq uint64
 }
 
 func init() {

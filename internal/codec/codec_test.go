@@ -22,6 +22,8 @@ func TestTaskRoundTrip(t *testing.T) {
 		Port:     "in",
 		Value:    samplePayload{Name: "g1", Values: []float64{1.5, -2.25}, Nested: map[string]int{"a": 1}},
 		Instance: 3,
+		Src:      0xdead_beef_cafe,
+		Seq:      41,
 	}
 	s, err := Encode(in)
 	if err != nil {
@@ -33,6 +35,9 @@ func TestTaskRoundTrip(t *testing.T) {
 	}
 	if out.PE != in.PE || out.Port != in.Port || out.Instance != 3 || out.Poison || out.Finalize {
 		t.Errorf("header: %+v", out)
+	}
+	if out.Src != in.Src || out.Seq != in.Seq {
+		t.Errorf("fencing identity lost: Src=%x Seq=%d", out.Src, out.Seq)
 	}
 	p, ok := out.Value.(samplePayload)
 	if !ok {

@@ -271,6 +271,41 @@ func SweepBatching(s Scale) []Experiment {
 	return out
 }
 
+// SweepRecovery builds the exactly-once-recovery overhead scenario: the
+// managed-state sentiment workload on the batched dyn_redis path, once with
+// replay recovery off (the baseline) and once with Options.RecoverStale on —
+// which implies ExactlyOnceState, i.e. task identity stamping, the
+// applied-ledger fence on every managed store write, and consumer-fenced
+// acknowledgements. The gap between the two series is the price of
+// exactly-once-effect recovery on a healthy run (target: < 5%).
+func SweepRecovery(s Scale) []Experiment {
+	procs := s.ServerProcs[len(s.ServerProcs)-1]
+	mk := func() *graph.Graph {
+		return sentiment.New(sentiment.Config{Articles: s.Articles, ManagedState: true})
+	}
+	base := Experiment{
+		ID:         "recovery-unfenced",
+		Title:      "Managed-state sentiment, recovery off (dyn_redis, server)",
+		Platform:   platform.Server,
+		Techniques: []string{"dyn_redis"},
+		Processes:  []int{procs},
+		MakeGraph:  mk,
+		Seed:       801,
+	}
+	fenced := base
+	fenced.ID = "recovery-fenced"
+	fenced.Title = "Managed-state sentiment, exactly-once recovery (dyn_redis, server)"
+	fenced.Configure = func(o *mapping.Options) {
+		o.RecoverStale = true
+		// RecoverIdle above the worst-case residency of a prefetched batch:
+		// on a healthy run nothing is reclaimed, so the measured gap is the
+		// fencing machinery itself (stamping, applied-ledger writes, fenced
+		// acks), not duplicate executions from over-eager XAUTOCLAIM.
+		o.RecoverIdle = 2 * time.Second
+	}
+	return []Experiment{base, fenced}
+}
+
 // TablePair is one A/B comparison of the ratio tables.
 type TablePair struct{ A, B string }
 

@@ -66,8 +66,28 @@ type Options struct {
 	// RecoverStale enables XAUTOCLAIM-based recovery of pending tasks
 	// whose consumer stopped acknowledging them (Redis mappings only).
 	// Execution becomes at-least-once: a task abandoned mid-flight may be
-	// re-run by another worker.
+	// re-run by another worker — possibly while the original worker is
+	// still alive, so both executions race. With managed-state PEs this
+	// implies ExactlyOnceState, so the race cannot double-apply store
+	// mutations.
 	RecoverStale bool
+	// RecoverIdle is the minimum idle time before RecoverStale reclaims a
+	// pending delivery from its consumer. Zero means 8× PollTimeout — the
+	// aggressive setting failure-injection tests want. Production-shaped
+	// runs should set it above the worst-case residency of a prefetched
+	// batch (PullBatch window × per-task service time): a too-small value
+	// does not break correctness (the exactly-once fence absorbs the
+	// resulting duplicate executions) but re-runs work that was never lost.
+	RecoverIdle time.Duration
+	// ExactlyOnceState fences managed-state writes against duplicate task
+	// executions: every task is stamped with a deterministic provenance +
+	// sequence identity, and each store records an applied ledger (persisted
+	// with the namespace, so checkpoints and StateResume keep the fence)
+	// that drops mutations whose identity was already applied. It is
+	// implied by RecoverStale on workflows with managed state; set it
+	// explicitly to fence against duplicate deliveries from other sources.
+	// Emissions to PEs without managed state remain at-least-once.
+	ExactlyOnceState bool
 	// StateBackend overrides the managed-state backend. nil means a private
 	// per-run backend (in-memory for the in-process mappings, a run-prefixed
 	// Redis backend for the Redis mappings). Supplying an external backend

@@ -1,0 +1,292 @@
+package mapping_test
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/miniredis"
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/redisclient"
+	"repro/internal/runtime"
+	"repro/internal/state"
+)
+
+// chaosDupAckID tags wrapper-injected duplicate deliveries on transports
+// without per-delivery acknowledgement state (chan, queue, rank), so their
+// acks are swallowed by the wrapper instead of double-decrementing the
+// pending counter. The Redis transport keeps the real entry ID: its fenced
+// ack path is exactly what must absorb the duplicate.
+const chaosDupAckID = "chaos:dup"
+
+// chaosTransport wraps a real transport and injects duplicate deliveries:
+// selected tasks are delivered a second time, preferably to a different
+// worker, while the original delivery proceeds normally — the observable
+// behaviour of an at-least-once replay racing the still-alive original
+// (XAUTOCLAIM after a worker stalls, a killed worker's batch re-claimed
+// mid-flight). With exactly-once fencing the duplicates must be invisible
+// to managed state and to termination accounting.
+type chaosTransport struct {
+	inner runtime.Transport
+	// eligible selects envelopes to duplicate.
+	eligible func(runtime.Env) bool
+	// target picks the worker a duplicate is delivered to.
+	target func(env runtime.Env, from, workers int) int
+	// stripDupAcks marks in-process transports whose duplicate acks the
+	// wrapper must swallow.
+	stripDupAcks bool
+	workers      int
+	budget       int
+
+	mu     sync.Mutex
+	seen   map[[2]uint64]bool
+	stash  map[int][]runtime.Env
+	issued int
+}
+
+func newChaosTransport(inner runtime.Transport, workers, budget int, stripDupAcks bool,
+	eligible func(runtime.Env) bool, target func(env runtime.Env, from, workers int) int) *chaosTransport {
+	return &chaosTransport{
+		inner: inner, eligible: eligible, target: target, stripDupAcks: stripDupAcks,
+		workers: workers, budget: budget,
+		seen: map[[2]uint64]bool{}, stash: map[int][]runtime.Env{},
+	}
+}
+
+// Push implements runtime.Transport.
+func (c *chaosTransport) Push(tasks ...runtime.Task) error { return c.inner.Push(tasks...) }
+
+// PullBatch implements runtime.Transport: duplicates stashed for this worker
+// are prepended to whatever the real transport delivers, and fresh eligible
+// deliveries are copied into the stash of their duplicate's target worker.
+func (c *chaosTransport) PullBatch(w, max int, timeout time.Duration) ([]runtime.Env, error) {
+	envs, err := c.inner.PullBatch(w, max, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, env := range envs {
+		if c.issued >= c.budget || env.Poison || !c.eligible(env) {
+			continue
+		}
+		key := [2]uint64{env.Src, env.Seq}
+		if env.Src == 0 || c.seen[key] {
+			continue
+		}
+		c.seen[key] = true
+		c.issued++
+		dup := env
+		if c.stripDupAcks {
+			dup.AckID = chaosDupAckID
+		}
+		c.stash[c.target(env, w, c.workers)] = append(c.stash[c.target(env, w, c.workers)], dup)
+	}
+	if dups := c.stash[w]; len(dups) > 0 {
+		delete(c.stash, w)
+		return append(dups, envs...), nil
+	}
+	return envs, nil
+}
+
+// Ack implements runtime.Transport, swallowing wrapper-tagged duplicates.
+func (c *chaosTransport) Ack(w int, envs ...runtime.Env) error {
+	if c.stripDupAcks {
+		kept := envs[:0]
+		for _, env := range envs {
+			if env.AckID != chaosDupAckID {
+				kept = append(kept, env)
+			}
+		}
+		envs = kept
+	}
+	if len(envs) == 0 {
+		return nil
+	}
+	return c.inner.Ack(w, envs...)
+}
+
+// Pending implements runtime.Transport.
+func (c *chaosTransport) Pending() (int64, error) { return c.inner.Pending() }
+
+// Done implements runtime.Transport.
+func (c *chaosTransport) Done() error { return c.inner.Done() }
+
+// Issued reports how many duplicates were injected.
+func (c *chaosTransport) Issued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.issued
+}
+
+// TestKillAndReplayExactlyOnceAcrossTransports is the kill-and-replay chaos
+// property of the keyed-state conformance suite: on every transport, a
+// managed keyed aggregation whose deliveries are replayed mid-run — source
+// generates, keyed updates, even the Finalize flush, each executed twice
+// with both executions racing — must produce final aggregates byte-identical
+// to an undisturbed sequential run. This is what Options.ExactlyOnceState
+// (implied by RecoverStale) guarantees: duplicate executions re-stamp
+// identical child identities, the store's applied ledger drops re-applied
+// updates, the Final gate admits one flush, and duplicate acknowledgements
+// never unbalance drain-based termination.
+func TestKillAndReplayExactlyOnceAcrossTransports(t *testing.T) {
+	items := keyedAggItems(60)
+
+	reference := func(t *testing.T) []string {
+		var got []string
+		g := keyedAggGraph(items, 1, func(s string) { got = append(got, s) })
+		m, _ := mapping.Get("simple")
+		if _, err := m.Execute(g, testOpts(1)); err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got)
+		return got
+	}
+	want := reference(t)
+
+	// Duplicate the fence-relevant deliveries: source generates (their
+	// re-emitted children must dedup downstream), keyed-state updates, and
+	// the managed node's Finalize. Sink deliveries are left alone — the
+	// collector is a side effect outside managed state.
+	eligible := func(env runtime.Env) bool { return env.PE == "gen" || env.PE == "count" }
+
+	// The fixtures drive the shared runtime directly: the mappings construct
+	// their transports internally, so chaos injection needs this seam.
+	type fixture struct {
+		name string
+		run  func(t *testing.T, collect func(string)) *chaosTransport
+	}
+
+	// pinnedTarget redirects a duplicate to another worker owning the same
+	// PE when one exists (another count instance), else back to the origin.
+	pinnedTarget := func(plan runtime.Plan) func(env runtime.Env, from, workers int) int {
+		return func(env runtime.Env, from, workers int) int {
+			for w, spec := range plan.Workers {
+				if w != from && spec.PE == env.PE {
+					return w
+				}
+			}
+			return from
+		}
+	}
+	// poolTarget: any other pool worker holds every pooled PE.
+	poolTarget := func(env runtime.Env, from, workers int) int { return (from + 1) % workers }
+
+	fixtures := []fixture{
+		{name: "chan", run: func(t *testing.T, collect func(string)) *chaosTransport {
+			g := keyedAggGraph(items, 2, collect)
+			plan := runtime.PinnedPlan(g, map[string]int{"gen": 1, "count": 2, "sink": 1})
+			chaos := newChaosTransport(runtime.NewChanTransport(plan, 0), len(plan.Workers), 16, true, eligible, pinnedTarget(plan))
+			opts := testOpts(len(plan.Workers))
+			opts.ExactlyOnceState = true
+			opts.Retries = 20
+			if _, err := runtime.Execute(g, opts, runtime.Config{
+				Name: "chaos-chan", Plan: plan, Transport: chaos,
+				Host:            platform.NewHost(opts.Platform),
+				NewStateBackend: func() state.Backend { return state.NewMemoryBackend() },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return chaos
+		}},
+		{name: "queue", run: func(t *testing.T, collect func(string)) *chaosTransport {
+			g := keyedAggGraph(items, 0, collect)
+			plan := runtime.PoolPlan(g, 3)
+			chaos := newChaosTransport(runtime.NewQueueTransport(runtime.NewQueue(0)), 3, 16, true, eligible, poolTarget)
+			opts := testOpts(3)
+			opts.ExactlyOnceState = true
+			opts.Retries = 20
+			if _, err := runtime.Execute(g, opts, runtime.Config{
+				Name: "chaos-queue", Plan: plan, Transport: chaos,
+				Host:            platform.NewHost(opts.Platform),
+				NewStateBackend: func() state.Backend { return state.NewMemoryBackend() },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return chaos
+		}},
+		{name: "redis", run: func(t *testing.T, collect func(string)) *chaosTransport {
+			srv, err := miniredis.StartTestServer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			cl := redisclient.Dial(srv.Addr())
+			t.Cleanup(func() { cl.Close() })
+			g := keyedAggGraph(items, 0, collect)
+			plan := runtime.PoolPlan(g, 3)
+			keys := runtime.NewRunKeys(g.Name, 5)
+			// recoverStale on: duplicate acks of real entry IDs must be
+			// absorbed by the transport's consumer-fenced ack path.
+			tr, err := runtime.NewRedisTransport(cl, keys, plan, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { tr.Cleanup(g) })
+			chaos := newChaosTransport(tr, 3, 16, false, eligible, poolTarget)
+			opts := testOpts(3)
+			opts.ExactlyOnceState = true
+			opts.Retries = 20
+			if _, err := runtime.Execute(g, opts, runtime.Config{
+				Name: "chaos-redis", Plan: plan, Transport: chaos,
+				Host:            platform.NewHost(opts.Platform),
+				NewStateBackend: func() state.Backend { return state.NewRedisBackend(cl, keys.Prefix+":state") },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return chaos
+		}},
+		{name: "rank", run: func(t *testing.T, collect func(string)) *chaosTransport {
+			g := keyedAggGraph(items, 2, collect)
+			plan := runtime.PinnedPlan(g, map[string]int{"gen": 1, "count": 2, "sink": 1})
+			world, err := mpi.NewWorld(len(plan.Workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(world.Close)
+			tr, err := runtime.NewRankTransport(world, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaos := newChaosTransport(tr, len(plan.Workers), 16, true, eligible, pinnedTarget(plan))
+			opts := testOpts(len(plan.Workers))
+			opts.ExactlyOnceState = true
+			opts.Retries = 20
+			if _, err := runtime.Execute(g, opts, runtime.Config{
+				Name: "chaos-rank", Plan: plan, Transport: chaos,
+				Host:            platform.NewHost(opts.Platform),
+				NewStateBackend: func() state.Backend { return state.NewMemoryBackend() },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return chaos
+		}},
+	}
+
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			var mu sync.Mutex
+			var got []string
+			chaos := fx.run(t, func(s string) {
+				mu.Lock()
+				got = append(got, s)
+				mu.Unlock()
+			})
+			mu.Lock()
+			sort.Strings(got)
+			joined := strings.Join(got, ",")
+			mu.Unlock()
+			if joined != strings.Join(want, ",") {
+				t.Errorf("aggregates diverge under replay:\n got %v\nwant %v", got, want)
+			}
+			if chaos.Issued() == 0 {
+				t.Error("chaos transport injected no duplicates; the test exercised nothing")
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ type ManagedState struct {
 	backend state.Backend
 	owned   bool
 	stores  map[string]state.Store
+	fenced  map[string]*state.FencedStore
 	nodes   []*graph.Node
 	opsBase metrics.StateOps
 }
@@ -29,7 +30,7 @@ type ManagedState struct {
 // that Finish disposes of. For graphs without managed state it returns an
 // inert handle (all methods are no-ops) without calling newDefault.
 func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Backend) (*ManagedState, error) {
-	ms := &ManagedState{stores: map[string]state.Store{}}
+	ms := &ManagedState{stores: map[string]state.Store{}, fenced: map[string]*state.FencedStore{}}
 	ms.nodes = g.ManagedStateNodes()
 	if len(ms.nodes) == 0 {
 		return ms, nil
@@ -68,10 +69,18 @@ func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Back
 				return nil, fmt.Errorf("state: resume PE %s: %w", n.Name, err)
 			}
 		}
+		chain := st
 		if opts.StateCheckpointEvery > 0 {
-			ms.stores[n.Name] = state.NewCheckpointStore(st, ms.backend, opts.StateCheckpointEvery)
-		} else {
-			ms.stores[n.Name] = st
+			chain = state.NewCheckpointStore(st, ms.backend, opts.StateCheckpointEvery)
+		}
+		ms.stores[n.Name] = chain
+		if opts.ExactlyOnceState || opts.RecoverStale {
+			// Fence the namespace against duplicate task executions. The
+			// fence wraps the checkpointing chain, so its applied ledger is
+			// written (and checkpointed) like workflow data, while the raw
+			// backend store underneath still serves the single-round-trip
+			// fenced-increment fast path when no checkpointing intervenes.
+			ms.fenced[n.Name] = state.NewFencedStore(chain)
 		}
 	}
 	return ms, nil
@@ -80,6 +89,16 @@ func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Back
 // Store returns the managed store of a node, or nil when the node declared
 // no managed state.
 func (ms *ManagedState) Store(nodeName string) state.Store { return ms.stores[nodeName] }
+
+// Fenced returns the node's fenced store when exactly-once fencing is on
+// (Options.ExactlyOnceState, implied by RecoverStale), nil otherwise. The
+// runtime binds one FenceScope per worker onto it and routes task contexts
+// through the scope instead of the bare store.
+func (ms *ManagedState) Fenced(nodeName string) *state.FencedStore { return ms.fenced[nodeName] }
+
+// ExactlyOnce reports whether any namespace of this run is fenced — the
+// signal for the runtime to stamp tasks with fencing identities.
+func (ms *ManagedState) ExactlyOnce() bool { return len(ms.fenced) > 0 }
 
 // Ops reports the store operations performed during this run.
 func (ms *ManagedState) Ops() metrics.StateOps {

@@ -457,6 +457,24 @@ func (c *Client) XPendingSummary(key, group string) (PendingSummary, error) {
 	return sum, nil
 }
 
+// XPendingIDs lists up to count entry IDs currently pending for one
+// consumer (the XPENDING extended form with a consumer filter). The fenced
+// acknowledgement path uses it to verify the acker still owns its
+// deliveries after an XAUTOCLAIM may have moved them to another consumer.
+func (c *Client) XPendingIDs(key, group, consumer string, count int) ([]string, error) {
+	v, err := c.Do("XPENDING", key, group, "-", "+", strconv.Itoa(count), consumer)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(v.Array))
+	for _, row := range v.Array {
+		if len(row.Array) >= 1 {
+			out = append(out, row.Array[0].Str)
+		}
+	}
+	return out, nil
+}
+
 // ConsumerInfo is one row of XINFO CONSUMERS.
 type ConsumerInfo struct {
 	Name    string

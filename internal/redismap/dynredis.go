@@ -50,13 +50,12 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	if err := runtime.ValidateDynamic(g, name); err != nil {
 		return metrics.Report{}, err
 	}
-	if g.HasManagedState() && opts.RecoverStale {
-		// XAUTOCLAIM replay re-runs Process (and possibly Finalize) for
-		// tasks whose worker stalled past the idle threshold; managed store
-		// mutations are not yet idempotent (no sequence-number fencing, see
-		// ROADMAP), so the combination would silently double-apply state.
-		return metrics.Report{}, fmt.Errorf("%s: Options.RecoverStale is not supported with managed-state PEs (at-least-once replay would double-apply store mutations)", name)
-	}
+	// RecoverStale + managed state is safe since the exactly-once fence:
+	// OpenManagedState (inside runtime.Execute) implies ExactlyOnceState,
+	// which stamps every task with a deterministic identity and drops
+	// store mutations a replayed execution already applied, while the
+	// transport's fenced acknowledgements keep the pending counter exact
+	// when a claimed-away consumer's late XACK lands.
 	cl, err := requireRedis(opts, name)
 	if err != nil {
 		return metrics.Report{}, err
@@ -69,6 +68,7 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
+	tr.RecoverIdle = opts.RecoverIdle
 	defer tr.Cleanup(g)
 
 	var ctrl *autoscale.Controller

@@ -133,11 +133,17 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 	}
 	defer cl.Close()
 
+	// RecoverStale covers the stream-scheduled pool half of the hybrid:
+	// stale pool deliveries are reclaimed via XAUTOCLAIM (with fenced acks
+	// and, for managed-state PEs, fenced store writes). Pinned private
+	// lists have no pending-entry list to reclaim from — a killed pinned
+	// worker's pulled tasks are lost with it (see ROADMAP).
 	keys := runtime.NewRunKeys(g.Name, opts.Seed)
-	tr, err := runtime.NewRedisTransport(cl, keys, plan, false)
+	tr, err := runtime.NewRedisTransport(cl, keys, plan, opts.RecoverStale)
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
+	tr.RecoverIdle = opts.RecoverIdle
 	defer tr.Cleanup(g)
 
 	var ctrl *autoscale.Controller

@@ -1,15 +1,20 @@
 package redismap_test
 
 import (
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/miniredis"
 	"repro/internal/platform"
 	"repro/internal/redisclient"
+	"repro/internal/state"
 )
 
 // TestDynRedisRecoversAbandonedTask injects a failure: a rogue consumer
@@ -146,4 +151,129 @@ func TestDynRedisWithoutRecoveryDocumentsTheGap(t *testing.T) {
 
 func platformForTest() platform.Platform {
 	return platform.Platform{Name: "test", Cores: 4}
+}
+
+// replayItem is the keyed payload of the exactly-once replay tests.
+type replayItem struct {
+	Key string
+	Val int64
+}
+
+func init() { codec.Register(replayItem{}) }
+
+// slowKeyedCountPE is a managed keyed aggregator that dawdles on every
+// update, so its deliveries sit unacknowledged long enough for XAUTOCLAIM
+// to hand them to a second worker while the first is still processing.
+type slowKeyedCountPE struct {
+	core.Base
+	delay time.Duration
+}
+
+func (p *slowKeyedCountPE) Process(ctx *core.Context, port string, v any) error {
+	it := v.(replayItem)
+	time.Sleep(p.delay)
+	_, err := ctx.State().AddInt(it.Key, it.Val)
+	return err
+}
+
+func (p *slowKeyedCountPE) Final(ctx *core.Context) error {
+	entries, err := state.SortedEntries(ctx.State())
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := ctx.EmitDefault(e.Key + "=" + e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayAggGraph builds gen → slow keyed count (managed) → sink.
+func replayAggGraph(items []replayItem, delay time.Duration, collect func(string)) *graph.Graph {
+	g := graph.New("replayagg")
+	g.Add(func() core.PE {
+		return core.NewSource("gen", func(ctx *core.Context) error {
+			for _, it := range items {
+				if err := ctx.EmitDefault(it); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	g.Add(func() core.PE {
+		return &slowKeyedCountPE{Base: core.NewBase("count", core.In(), core.Out()), delay: delay}
+	}).SetKeyedState()
+	g.Add(func() core.PE {
+		return core.NewSink("sink", func(ctx *core.Context, v any) error {
+			collect(v.(string))
+			return nil
+		})
+	})
+	g.Pipe("gen", "count").SetGrouping(graph.GroupByKey(func(v any) string { return v.(replayItem).Key }))
+	g.Pipe("count", "sink")
+	return g
+}
+
+// TestDynRedisExactlyOnceStateUnderLiveReplay runs a managed keyed
+// aggregation through the real dyn_redis mapping with RecoverStale on and a
+// poll timeout small enough that the XAUTOCLAIM idle threshold (8× the
+// timeout) expires while a live worker is still chewing through its pulled
+// batch: pending entries are genuinely claimed to other workers and both
+// executions race — the seed's rejected combination, now the fenced path.
+// The final aggregates must be byte-identical to an undisturbed sequential
+// run: no double-applied updates, no lost updates, no early termination.
+func TestDynRedisExactlyOnceStateUnderLiveReplay(t *testing.T) {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	items := make([]replayItem, 0, 40)
+	for i := 0; i < 40; i++ {
+		items = append(items, replayItem{Key: keys[i%len(keys)], Val: int64(i + 1)})
+	}
+
+	run := func(name string, opts mapping.Options, delay time.Duration) []string {
+		var mu sync.Mutex
+		var got []string
+		g := replayAggGraph(items, delay, func(s string) {
+			mu.Lock()
+			got = append(got, s)
+			mu.Unlock()
+		})
+		m, err := mapping.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Execute(g, opts); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		sort.Strings(got)
+		return got
+	}
+
+	want := run("simple", mapping.Options{Processes: 1, Platform: platformForTest(), Seed: 31}, 0)
+	if len(want) != len(keys) {
+		t.Fatalf("reference flush: %v", want)
+	}
+
+	opts := mapping.Options{
+		Processes:    3,
+		Platform:     platformForTest(),
+		Seed:         31,
+		RedisAddr:    srv.Addr(),
+		RecoverStale: true, // implies ExactlyOnceState for the managed PE
+		PollTimeout:  time.Millisecond,
+		Retries:      60,
+	}
+	got := run("dyn_redis", opts, 4*time.Millisecond)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("aggregates diverge under live replay:\n got %v\nwant %v", got, want)
+	}
 }

@@ -48,15 +48,15 @@ func TestBatchSizerShrinksWhenUnderfull(t *testing.T) {
 }
 
 // TestBatchSizerBounds: the window never leaves [min, cap] and timeouts
-// (zero-task observations) are ignored.
+// (zero-task observations) never pollute the cost model.
 func TestBatchSizerBounds(t *testing.T) {
 	s := NewBatchSizer()
 	if s.Next() != autoBatchMin {
 		t.Fatalf("initial window = %d, want %d", s.Next(), autoBatchMin)
 	}
-	s.Observe(time.Second, 0) // timeout: no signal
-	if s.Next() != autoBatchMin || s.ewma != 0 {
-		t.Fatalf("zero-task observation moved the sizer: window=%d ewma=%v", s.Next(), s.ewma)
+	s.Observe(time.Second, 0) // timeout: shrink signal only, already at min
+	if s.Next() != autoBatchMin || s.FixedCost() != 0 {
+		t.Fatalf("zero-task observation moved the sizer: window=%d fixed=%v", s.Next(), s.FixedCost())
 	}
 	for i := 0; i < 100; i++ {
 		s.Observe(time.Second, s.Next())
@@ -69,5 +69,71 @@ func TestBatchSizerBounds(t *testing.T) {
 	}
 	if s.Next() < autoBatchMin {
 		t.Fatalf("window %d below minimum", s.Next())
+	}
+}
+
+// TestBatchSizerStopsAtLinearCostKnee pins the two-term estimator: on a
+// transport whose operation cost is dominated by a per-task term (1µs fixed
+// + 2µs per task, a channel-like shape), the window must stop growing at the
+// fixed-cost amortization knee (1µs / 50ns = 20 → first power of two whose
+// budget share covers the fixed cost is 32) instead of drifting to the
+// backstop cap the way the old single-EWMA cost model did.
+func TestBatchSizerStopsAtLinearCostKnee(t *testing.T) {
+	s := NewBatchSizer()
+	cost := func(n int) time.Duration {
+		return time.Microsecond + time.Duration(n)*2*time.Microsecond
+	}
+	for i := 0; i < 40; i++ {
+		s.Observe(cost(s.Next()), s.Next())
+	}
+	if s.Next() != 32 {
+		t.Fatalf("window = %d for a 1µs-fixed + 2µs-per-task transport, want 32 (the amortization knee)", s.Next())
+	}
+	// Steady state: with the window stable, n stops varying and the moments
+	// collapse onto one point — the fit must stay frozen rather than
+	// re-attribute the linear cost to the fixed term and resume growing.
+	for i := 0; i < 500; i++ {
+		s.Observe(cost(s.Next()), s.Next())
+	}
+	if s.Next() != 32 {
+		t.Fatalf("window drifted to %d under steady full-window traffic, want to stay at the knee (32)", s.Next())
+	}
+	if f := s.FixedCost(); f < 500*time.Nanosecond || f > 2*time.Microsecond {
+		t.Errorf("fixed-cost estimate %v strayed from the true 1µs", f)
+	}
+	if m := s.MarginalCost(); m < time.Microsecond || m > 4*time.Microsecond {
+		t.Errorf("marginal-cost estimate %v strayed from the true 2µs", m)
+	}
+}
+
+// TestBatchSizerAccountsIdlePolls pins the bursty-traffic fix: between
+// bursts every poll times out empty, and those polls must drive the shrink
+// rule — without them the window would stay pinned at burst size, paying
+// burst-sized latency and memory through every idle gap — while staying out
+// of the cost moments, whose durations would otherwise be swamped by the
+// blocking wait.
+func TestBatchSizerAccountsIdlePolls(t *testing.T) {
+	s := NewBatchSizer()
+	for i := 0; i < 20; i++ {
+		s.Observe(100*time.Microsecond, s.Next()) // burst: grow to the cap
+	}
+	if s.Next() != autoBatchMax {
+		t.Fatalf("burst did not grow the window: %d", s.Next())
+	}
+	fixedBefore := s.FixedCost()
+	for i := 0; i < 6; i++ {
+		s.Observe(2*time.Millisecond, 0) // idle gap: timeouts only
+	}
+	if s.Next() > autoBatchMax/32 {
+		t.Fatalf("window = %d after an idle gap, want shrunk (idle polls starved the shrink rule)", s.Next())
+	}
+	if s.FixedCost() != fixedBefore {
+		t.Fatalf("idle polls polluted the cost estimate: %v → %v", fixedBefore, s.FixedCost())
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(100*time.Microsecond, s.Next()) // next burst: regrow
+	}
+	if s.Next() < 32 {
+		t.Fatalf("window = %d after the next burst, want regrown", s.Next())
 	}
 }

@@ -122,18 +122,65 @@ type router struct {
 	outputs *atomic.Int64
 	out     func(Task) error
 	seq     map[*graph.Edge]uint64
+
+	// Exactly-once fencing state: with fencing on, every emitted task is
+	// stamped with a provenance derived from the task being executed (cur)
+	// and the emitting edge, plus a per-(execution, edge) sequence. gen
+	// versions the current execution so the per-edge counters of each emit
+	// closure reset lazily at the first emission of a new task.
+	fencing bool
+	cur     Task
+	gen     uint64
 }
 
-func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error) *router {
-	return &router{g: g, plan: plan, outputs: outputs, out: out, seq: map[*graph.Edge]uint64{}}
+func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error, fencing bool) *router {
+	return &router{g: g, plan: plan, outputs: outputs, out: out, seq: map[*graph.Edge]uint64{}, fencing: fencing}
+}
+
+// begin marks the start of one task execution: subsequent emissions derive
+// their fencing identity from this task. A replayed execution of the same
+// task therefore re-stamps identical children, wherever it runs.
+func (r *router) begin(t Task) {
+	if !r.fencing {
+		return
+	}
+	r.cur = t
+	r.gen++
 }
 
 // emitFor builds the emit closure for one sending node. The closure is
 // single-goroutine (each worker owns its router).
 func (r *router) emitFor(node string) func(port string, value any) error {
 	edges := r.g.OutEdges(node)
+	// Per-closure fencing state: a stable salt per out-edge and one child
+	// sequence per out-edge, reset when the router moves to the next task
+	// execution.
+	var childSeq, salts []uint64
+	var seqGen uint64
+	if r.fencing {
+		childSeq = make([]uint64, len(edges))
+		salts = make([]uint64, len(edges))
+		for i, e := range edges {
+			salts[i] = edgeSalt(e.From, e.FromPort, e.To, e.ToPort)
+		}
+	}
+	stamp := func(t Task, edgeIdx int) Task {
+		if !r.fencing {
+			return t
+		}
+		if seqGen != r.gen {
+			seqGen = r.gen
+			for i := range childSeq {
+				childSeq[i] = 0
+			}
+		}
+		t.Src = childSrc(r.cur.Src, r.cur.Seq, salts[edgeIdx])
+		t.Seq = childSeq[edgeIdx]
+		childSeq[edgeIdx]++
+		return t
+	}
 	return func(port string, value any) error {
-		for _, e := range edges {
+		for ei, e := range edges {
 			if e.FromPort != port {
 				continue
 			}
@@ -144,7 +191,7 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 			nInst := r.plan.Instances[e.To]
 			if nInst == 0 {
 				// Pooled destination: any worker may process the task.
-				if err := r.out(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: -1}); err != nil {
+				if err := r.out(stamp(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: -1}, ei)); err != nil {
 					return err
 				}
 				continue
@@ -153,13 +200,13 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 			r.seq[e]++
 			if idx < 0 { // one-to-all broadcast
 				for i := 0; i < nInst; i++ {
-					if err := r.out(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: i}); err != nil {
+					if err := r.out(stamp(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: i}, ei)); err != nil {
 						return err
 					}
 				}
 				continue
 			}
-			if err := r.out(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: idx}); err != nil {
+			if err := r.out(stamp(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: idx}, ei)); err != nil {
 				return err
 			}
 		}

@@ -59,6 +59,14 @@ type RedisTransport struct {
 	plan         Plan
 	recoverStale bool
 	closed       atomic.Bool
+
+	// RecoverIdle is the minimum idle time before an empty-handed pull
+	// reclaims another consumer's pending entry (recoverStale only). Zero
+	// means 8× the pull timeout. Entries sitting in a healthy worker's
+	// prefetch buffer look idle to XAUTOCLAIM, so values below a batch's
+	// worst-case residency trade duplicate executions (safe under the
+	// exactly-once fence, but wasted work) for faster failure recovery.
+	RecoverIdle time.Duration
 }
 
 // NewRedisTransport creates the consumer group and wraps the client. With
@@ -173,7 +181,11 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 		// or descheduled). XAUTOCLAIM moves idle pending entries into this
 		// worker's PEL so the stream's at-least-once guarantee actually
 		// holds under failures.
-		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, 8*timeout, "0-0", max)
+		minIdle := t.RecoverIdle
+		if minIdle <= 0 {
+			minIdle = 8 * timeout
+		}
+		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, minIdle, "0-0", max)
 		if err == nil && len(claimed) > 0 {
 			entries = claimed
 		}
@@ -195,6 +207,15 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 // Ack implements Transport: one pipelined round trip releases the whole
 // batch — a single multi-ID XACK for the stream deliveries plus a single
 // pending-counter decrement for every non-poison task.
+//
+// With recoverStale on, stream acknowledgements are fenced by consumer: an
+// XAUTOCLAIM may have moved a delivery to another consumer while this
+// worker was still processing it, and the original's late XACK + decrement
+// landing anyway would under-count the shared pending counter — the
+// coordinator would observe a drained transport while the claimed task is
+// still in flight and start terminating early. See fencedAck for the two
+// properties (exact decrements unconditionally; late releases narrowed to
+// a one-round-trip window) and their limits.
 func (t *RedisTransport) Ack(w int, envs ...Env) error {
 	var ids []string
 	counted := 0
@@ -205,6 +226,9 @@ func (t *RedisTransport) Ack(w int, envs ...Env) error {
 		if !env.Poison {
 			counted++
 		}
+	}
+	if t.recoverStale && len(ids) > 0 {
+		return t.maybeClosed(t.fencedAck(w, envs, counted))
 	}
 	cmds := make([][]string, 0, 2)
 	if len(ids) > 0 {
@@ -218,6 +242,78 @@ func (t *RedisTransport) Ack(w int, envs ...Env) error {
 	}
 	_, err := t.cl.Pipeline(cmds)
 	return t.maybeClosed(err)
+}
+
+// fencedAck releases a batch under at-least-once replay. Two properties
+// address the two halves of the late-ack hazard:
+//
+//   - no double decrement, unconditionally: every counter decrement is
+//     backed by the server-confirmed XACK removal count — XACK removal is
+//     atomic, so however checks and claims interleave, exactly one acker's
+//     XACK removes each entry and exactly one decrement lands;
+//   - no late release, up to one round trip: only entries this consumer
+//     still owns per a fresh PEL read are acknowledged, so a delivery
+//     claimed away while this worker was processing (the seconds-wide
+//     window the hazard lives in) stays pending until its new owner
+//     releases it. XACK itself carries no consumer condition, so a claim
+//     landing between the PEL read and the XACK still releases the entry
+//     early — the owned-filter narrows that window from the whole
+//     processing time to one round trip; duplicates executing past a drain
+//     are then absorbed by the state fence, not by the counter.
+//
+// counted is the batch's non-poison task count including non-stream
+// (private-list) deliveries, which are not claimable and decrement as
+// before.
+func (t *RedisTransport) fencedAck(w int, envs []Env, counted int) error {
+	owned, err := t.cl.XPendingIDs(t.keys.Queue, t.keys.Group, fmt.Sprintf("w%d", w), len(envs)+256)
+	if err != nil {
+		return err
+	}
+	ownedSet := make(map[string]bool, len(owned))
+	for _, id := range owned {
+		ownedSet[id] = true
+	}
+	// Tasks and pills are acknowledged as separate XACKs (one pipeline) so
+	// pill removals never count toward the task decrement.
+	var taskIDs, pillIDs []string
+	for _, env := range envs {
+		if env.AckID == "" {
+			continue
+		}
+		if !env.Poison {
+			counted-- // stream tasks decrement via the XACK reply below
+		}
+		if !ownedSet[env.AckID] {
+			continue // claimed away: the new owner releases it
+		}
+		if env.Poison {
+			pillIDs = append(pillIDs, env.AckID)
+		} else {
+			taskIDs = append(taskIDs, env.AckID)
+		}
+	}
+	cmds := make([][]string, 0, 2)
+	if len(taskIDs) > 0 {
+		cmds = append(cmds, append([]string{"XACK", t.keys.Queue, t.keys.Group}, taskIDs...))
+	}
+	if len(pillIDs) > 0 {
+		cmds = append(cmds, append([]string{"XACK", t.keys.Queue, t.keys.Group}, pillIDs...))
+	}
+	acked := int64(0)
+	if len(cmds) > 0 {
+		replies, err := t.cl.Pipeline(cmds)
+		if err != nil {
+			return err
+		}
+		if len(taskIDs) > 0 {
+			acked = replies[0].Int
+		}
+	}
+	if dec := int64(counted) + acked; dec > 0 {
+		_, err = t.cl.IncrBy(t.keys.PendingKey, -dec)
+		return err
+	}
+	return nil
 }
 
 // Pending implements Transport.

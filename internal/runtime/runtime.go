@@ -170,6 +170,67 @@ func PoolPlan(g *graph.Graph, n int) Plan {
 // the FNV mix formerly copy-pasted across the mapping packages.
 func NodeHash(name string) uint32 { return graph.Hash32(name) }
 
+// fenceMix folds 64-bit words into an FNV-1a-style provenance hash for the
+// exactly-once fence. The result is never zero (zero means "unstamped").
+func fenceMix(parts ...uint64) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Salts separating the three provenance families: seeded generate tasks,
+// coordinator-issued finalize tasks, and emitted children (per out-edge).
+const (
+	fenceSeedSalt  = 0x5eed
+	fenceFinalSalt = 0xf17a
+	fenceChildSalt = 0xc41d
+)
+
+// seedSrc is the provenance of a source node's seeded generate task. It
+// depends only on (node, instance), so a replayed generate task keeps its
+// identity and its re-emitted children keep theirs.
+func seedSrc(node string, instance int) uint64 {
+	return fenceMix(uint64(NodeHash(node)), fenceSeedSalt, uint64(instance)+1)
+}
+
+// finalSrc is the provenance of a coordinator-issued Finalize task.
+func finalSrc(node string, instance int) uint64 {
+	return fenceMix(uint64(NodeHash(node)), fenceFinalSalt, uint64(instance)+1)
+}
+
+// initSrc is the provenance of a worker's Init-hook emissions. It is
+// per-worker — Init runs once per worker copy by design, so two workers'
+// Init emissions must never be fenced against each other.
+func initSrc(worker int) uint64 {
+	return fenceMix(uint64(worker)+1, fenceSeedSalt, fenceChildSalt)
+}
+
+// edgeSalt is the stable identity of one out-edge in child provenances. It
+// hashes the endpoints and ports rather than a closure-local index so that
+// emissions from different nodes sharing one parent identity (the per-worker
+// Init provenance) can never collide.
+func edgeSalt(from, fromPort, to, toPort string) uint64 {
+	return fenceMix(uint64(NodeHash(from)), uint64(NodeHash(fromPort)),
+		uint64(NodeHash(to)), uint64(NodeHash(toPort)), fenceChildSalt)
+}
+
+// childSrc derives an emitted task's provenance from its parent's identity
+// and the emitting edge — deterministic across re-executions of the parent
+// on any worker, which is what makes duplicate children fungible to the
+// managed-state fence.
+func childSrc(parentSrc, parentSeq, edgeSalt uint64) uint64 {
+	return fenceMix(parentSrc, parentSeq, edgeSalt)
+}
+
 // InstanceSeed mixes a PE name and instance index into a seed component, so
 // pinned instances of one PE draw distinct deterministic random streams.
 func InstanceSeed(name string, idx int) uint32 {

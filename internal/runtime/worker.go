@@ -61,21 +61,30 @@ func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, 
 	success := false
 	defer func() { ms.Finish(g, success) }()
 
-	r := &run{g: g, opts: opts, cfg: cfg, ms: ms, abort: make(chan struct{})}
+	r := &run{g: g, opts: opts, cfg: cfg, ms: ms, fencing: ms.ExactlyOnce(), abort: make(chan struct{})}
 
 	// Seed one generate task per source instance (pinned plans) or per
 	// source (pool plans) before any worker starts, so the pending counter
-	// is non-zero from the coordinator's first drain check.
+	// is non-zero from the coordinator's first drain check. Under fencing,
+	// seeds carry a (node, instance)-deterministic identity so a replayed
+	// generate task — and every child it re-emits — keeps its provenance.
+	seed := func(name string, instance int) Task {
+		t := Task{PE: name, Instance: instance}
+		if r.fencing {
+			t.Src = seedSrc(name, instance)
+		}
+		return t
+	}
 	for _, src := range g.Sources() {
 		count := cfg.Plan.Instances[src.Name]
 		if count == 0 {
-			if err := cfg.Transport.Push(Task{PE: src.Name, Instance: -1}); err != nil {
+			if err := cfg.Transport.Push(seed(src.Name, -1)); err != nil {
 				return metrics.Report{}, fmt.Errorf("%s: seed source %s: %w", cfg.Name, src.Name, err)
 			}
 			continue
 		}
 		for i := 0; i < count; i++ {
-			if err := cfg.Transport.Push(Task{PE: src.Name, Instance: i}); err != nil {
+			if err := cfg.Transport.Push(seed(src.Name, i)); err != nil {
 				return metrics.Report{}, fmt.Errorf("%s: seed source %s: %w", cfg.Name, src.Name, err)
 			}
 		}
@@ -127,6 +136,12 @@ type run struct {
 
 	tasks   atomic.Int64
 	outputs atomic.Int64
+
+	// fencing is on when any managed namespace is wrapped in a FencedStore
+	// (Options.ExactlyOnceState / RecoverStale): tasks are stamped with
+	// deterministic identities and workers route managed-state access
+	// through per-worker fence scopes.
+	fencing bool
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -187,15 +202,25 @@ func (r *run) runWorker(w int) {
 	defer proc.Deactivate()
 
 	b := newBatcher(r.cfg.Transport, r.opts.EmitBatch, r.opts.EmitFlushEvery)
-	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push)
+	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push, r.fencing)
 
-	// Build this worker's PE copies and contexts.
+	// Build this worker's PE copies and contexts. Under fencing each
+	// managed-state context is routed through a per-worker FenceScope, the
+	// handle the loop binds to the current delivery before each task.
 	pes := map[string]core.PE{}
 	ctxs := map[string]*core.Context{}
+	var scopes map[string]*state.FenceScope
 	build := func(n *graph.Node, instance int, seed int64) {
 		pes[n.Name] = n.Factory()
 		ctx := core.NewContext(n.Name, instance, r.cfg.Host, synth.NewRand(seed), rt.emitFor(n.Name))
-		if st := r.ms.Store(n.Name); st != nil {
+		if fs := r.ms.Fenced(n.Name); fs != nil {
+			scope := fs.NewScope()
+			if scopes == nil {
+				scopes = map[string]*state.FenceScope{}
+			}
+			scopes[n.Name] = scope
+			ctx = ctx.WithStore(scope)
+		} else if st := r.ms.Store(n.Name); st != nil {
 			ctx = ctx.WithStore(st)
 		}
 		ctxs[n.Name] = ctx
@@ -211,6 +236,10 @@ func (r *run) runWorker(w int) {
 			build(n, w, r.opts.Seed^int64(w*7919)^int64(NodeHash(n.Name)))
 		}
 	}
+	// Init emissions carry a per-worker provenance: Init runs once per
+	// worker copy (never replayed), so its children must not be fenced
+	// against another worker's.
+	rt.begin(Task{Src: initSrc(w)})
 	for name, pe := range pes {
 		if ini, ok := pe.(core.Initializer); ok {
 			if err := ini.Init(ctxs[name]); err != nil {
@@ -284,15 +313,18 @@ func (r *run) runWorker(w int) {
 				r.workerFail(fmt.Errorf("worker %s: pull: %w", procName, err))
 				return
 			}
+			if pullSizer != nil {
+				// Empty polls are observed too: a timed-out round trip is
+				// real cost under bursty traffic and feeds the shrink rule
+				// (without polluting the per-task cost estimate).
+				pullSizer.Observe(time.Since(start), len(envs))
+			}
 			if len(envs) == 0 {
 				if standby && active {
 					proc.Deactivate()
 					active = false
 				}
 				continue // the coordinator owns termination
-			}
-			if pullSizer != nil {
-				pullSizer.Observe(time.Since(start), len(envs))
 			}
 			buf, next = envs, 0
 		}
@@ -306,7 +338,7 @@ func (r *run) runWorker(w int) {
 			r.retirePoison(env, buf[next:], b, acks)
 			return
 		}
-		if err := r.runTask(procName, pes, ctxs, b, acks, env); err != nil {
+		if err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env); err != nil {
 			r.workerFail(err)
 			return
 		}
@@ -340,14 +372,51 @@ func (r *run) retirePoison(pill Env, rest []Env, b *batcher, acks *ackBatch) {
 // acknowledgement is deferred into the worker's ack batch; because the ack
 // batch is only ever flushed after the emit batch, the task's children are
 // pending before the task itself is released.
-func (r *run) runTask(procName string, pes map[string]core.PE, ctxs map[string]*core.Context, b *batcher, acks *ackBatch, env Env) error {
+//
+// Under fencing the router and the PE's fence scope are bound to the
+// delivery's identity first, so re-emitted children are stamped
+// deterministically and managed-state mutations of a duplicate execution
+// are dropped by the store's applied ledger.
+func (r *run) runTask(procName string, pes map[string]core.PE, ctxs map[string]*core.Context, rt *router, scopes map[string]*state.FenceScope, b *batcher, acks *ackBatch, env Env) error {
 	pe, ok := pes[env.PE]
 	if !ok {
 		return fmt.Errorf("worker %s: task for unknown PE %q", procName, env.PE)
 	}
+	rt.begin(env.Task)
+	scope := scopes[env.PE]
+	if scope != nil {
+		scope.SetToken(state.Token{Src: env.Src, Seq: env.Seq})
+		defer scope.ClearToken()
+	}
 	var err error
 	switch {
 	case env.Finalize:
+		if scope != nil {
+			// A Final's effect is its emissions, not store writes, so the
+			// whole delivery is gated: a replayed Finalize that raced its
+			// original must not flush (and double-emit) the namespace again.
+			// The gate is at-most-once by construction — a worker killed
+			// between acquiring it and the flush below loses some or all
+			// of the final output, because the replay will not redo it
+			// (emissions cannot be retracted, so the inverse order would
+			// double-count rows at the sink). The immediate flush shrinks
+			// that window to the Final call itself; the aggregates survive
+			// in the managed store either way.
+			first, aerr := scope.AcquireTask(state.Token{Src: env.Src, Seq: env.Seq})
+			if aerr != nil {
+				err = aerr
+				break
+			}
+			if !first {
+				break
+			}
+			if fin, isFin := pe.(core.Finalizer); isFin {
+				if err = fin.Final(ctxs[env.PE]); err == nil {
+					err = b.flush()
+				}
+			}
+			break
+		}
 		if fin, isFin := pe.(core.Finalizer); isFin {
 			err = fin.Final(ctxs[env.PE])
 		}
@@ -415,18 +484,25 @@ func (r *run) drainAndFinalize() error {
 			continue
 		}
 		count := r.cfg.Plan.Instances[name]
+		final := func(instance int) Task {
+			t := Task{PE: name, Instance: instance, Finalize: true}
+			if r.fencing {
+				t.Src = finalSrc(name, instance)
+			}
+			return t
+		}
 		var finals []Task
 		switch {
 		case count == 0:
 			// Pooled node: validation guarantees it is managed-state, so a
 			// single Final on any worker flushes the shared namespace.
-			finals = []Task{{PE: name, Instance: -1, Finalize: true}}
+			finals = []Task{final(-1)}
 		case n.HasManagedState():
 			// One namespace shared by all instances ⇒ Final runs once.
-			finals = []Task{{PE: name, Instance: 0, Finalize: true}}
+			finals = []Task{final(0)}
 		default:
 			for i := 0; i < count; i++ {
-				finals = append(finals, Task{PE: name, Instance: i, Finalize: true})
+				finals = append(finals, final(i))
 			}
 		}
 		if err := r.cfg.Transport.Push(finals...); err != nil {

@@ -1,0 +1,282 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Token identifies one fenced delivery: the task's provenance hash and its
+// sequence number within that provenance (see codec.Task.Src/Seq). The zero
+// token means "unfenced" — mutations pass straight through.
+type Token struct {
+	Src uint64
+	Seq uint64
+}
+
+// IsZero reports whether the token carries no fencing identity.
+func (t Token) IsZero() bool { return t.Src == 0 && t.Seq == 0 }
+
+// fencePrefix marks applied-ledger entries inside a namespace. The leading
+// NUL byte cannot collide with workflow keys produced by ordinary string
+// handling, and keeping the ledger *inside* the namespace is what makes the
+// fence durable for free: Snapshot/Restore and every checkpoint carry the
+// ledger together with the data it guards, so a resumed run (StateResume)
+// still drops updates the crashed run already applied.
+const fencePrefix = "\x00fence:"
+
+// IsFenceKey reports whether a state key belongs to the applied ledger
+// rather than to workflow data. SortedKeys/SortedEntries skip such keys so
+// Final flushes never observe fence bookkeeping.
+func IsFenceKey(key string) bool { return strings.HasPrefix(key, fencePrefix) }
+
+// fenceField builds the ledger key of one mutation: provenance, sequence and
+// the mutation's index within the delivery's execution. The index is what
+// admits several mutations from one execution while rejecting every mutation
+// of a duplicate execution of the same delivery.
+func fenceField(tok Token, mut uint64) string {
+	return fencePrefix + strconv.FormatUint(tok.Src, 36) + ":" +
+		strconv.FormatUint(tok.Seq, 36) + ":" + strconv.FormatUint(mut, 36)
+}
+
+// taskFenceField is the ledger key gating a whole delivery (Final hooks,
+// whose effect is their emissions rather than store mutations).
+func taskFenceField(tok Token) string {
+	return fencePrefix + strconv.FormatUint(tok.Src, 36) + ":" +
+		strconv.FormatUint(tok.Seq, 36) + ":task"
+}
+
+// fencedAdder is the atomic fast path a store may implement: record the
+// ledger entry and apply the increment in one operation (the Redis store
+// pipelines both HINCRBYs into one round trip, the memory store holds both
+// shard locks; CheckpointStore forwards to whichever it wraps).
+type fencedAdder interface {
+	// FencedAddInt applies delta to key iff ledgerField was never recorded,
+	// recording it. It returns whether the delta was applied and the key's
+	// resulting value either way.
+	FencedAddInt(ledgerField, key string, delta int64) (applied bool, n int64, err error)
+}
+
+// errNoFencedAdder reports that a forwarding wrapper's inner store has no
+// atomic fenced-increment; the scope falls back to the two-operation path.
+var errNoFencedAdder = errors.New("state: wrapped store implements no fenced AddInt")
+
+// FencedStore guards one namespace's mutations against duplicate
+// application under at-least-once replay. It wraps the namespace's store
+// chain (the raw backend store, optionally inside a CheckpointStore, so
+// ledger writes are checkpointed like data writes) and hands out per-worker
+// Scopes; a Scope bound to a delivery token applies each mutation at most
+// once across every execution of that delivery, dropping the rest.
+//
+// The ledger is exact — one entry per applied (delivery, mutation) — so
+// out-of-order duplicate deliveries are caught without assuming ordered
+// consumption. Entries live in the namespace itself (see fencePrefix) and
+// are filtered from the user-facing key/snapshot views.
+//
+// Atomicity scope: AddInt records and applies indivisibly on both backends
+// — one pipelined server round trip on Redis (redisStore.FencedAddInt), a
+// double-shard-locked section in memory (memStore.FencedAddInt), forwarded
+// through CheckpointStore — so the hot aggregation path has no
+// record/apply gap at all. The path for Put/Delete/Update records the
+// ledger entry first and applies second, two store operations: racing
+// duplicate executions still resolve exactly-once (the record step is
+// atomic), but a worker killed *between* its record and its apply loses
+// that one mutation — the replay sees it recorded and drops it.
+// Record-first is the deliberate bias: the inverse order would
+// double-apply on the same crash, which is the corruption this subsystem
+// exists to prevent, and a lost tail mutation is bounded by the crashed
+// task while a double-apply silently skews aggregates forever. The same
+// gap admits a reorder: an execution descheduled between record and apply
+// can land a same-key mutation *after* the replay applied a later one, so
+// multi-write-per-key tasks should prefer AddInt/Update shapes. Closing
+// both for the remaining mutations needs an apply+record transaction
+// (server-side scripting), noted in ROADMAP.
+type FencedStore struct {
+	inner Store
+}
+
+// NewFencedStore wraps a namespace's store chain with the fence.
+func NewFencedStore(inner Store) *FencedStore { return &FencedStore{inner: inner} }
+
+// Inner returns the wrapped store chain (the unfiltered durability view).
+func (fs *FencedStore) Inner() Store { return fs.inner }
+
+// NewScope creates a per-worker view of the namespace. Scopes are not safe
+// for concurrent use — each worker goroutine owns its own.
+func (fs *FencedStore) NewScope() *FenceScope { return &FenceScope{fs: fs} }
+
+// acquire records one ledger entry, reporting whether this caller was first.
+// It rides the store's atomic AddInt, so two racing executions of the same
+// delivery resolve to exactly one applier on every backend.
+func (fs *FencedStore) acquire(field string) (bool, error) {
+	n, err := fs.inner.AddInt(field, 1)
+	if err != nil {
+		return false, err
+	}
+	return n == 1, nil
+}
+
+// FenceScope is one worker's handle onto a FencedStore. It implements Store:
+// reads pass through; with a delivery token set, mutations are applied at
+// most once per (token, mutation-index) across duplicate executions.
+type FenceScope struct {
+	fs  *FencedStore
+	tok Token
+	mut uint64
+}
+
+// SetToken binds the scope to a delivery before its task executes,
+// restarting the per-execution mutation index.
+func (s *FenceScope) SetToken(tok Token) {
+	s.tok = tok
+	s.mut = 0
+}
+
+// ClearToken unbinds the scope; subsequent mutations pass through unfenced.
+func (s *FenceScope) ClearToken() { s.tok = Token{}; s.mut = 0 }
+
+// AcquireTask gates a whole delivery (the Finalize path): it reports whether
+// this execution is the delivery's first, so a duplicate Final is skipped
+// before it can re-emit its flush values.
+func (s *FenceScope) AcquireTask(tok Token) (bool, error) {
+	if tok.IsZero() {
+		return true, nil
+	}
+	return s.fs.acquire(taskFenceField(tok))
+}
+
+// nextField issues the ledger key for the execution's next mutation.
+func (s *FenceScope) nextField() string {
+	f := fenceField(s.tok, s.mut)
+	s.mut++
+	return f
+}
+
+// Namespace implements Store.
+func (s *FenceScope) Namespace() string { return s.fs.inner.Namespace() }
+
+// Get implements Store.
+func (s *FenceScope) Get(key string) (string, bool, error) { return s.fs.inner.Get(key) }
+
+// Put implements Store: a duplicate execution's Put is dropped.
+func (s *FenceScope) Put(key, value string) error {
+	if s.tok.IsZero() {
+		return s.fs.inner.Put(key, value)
+	}
+	applied, err := s.fs.acquire(s.nextField())
+	if err != nil || !applied {
+		return err
+	}
+	return s.fs.inner.Put(key, value)
+}
+
+// Delete implements Store: a duplicate execution's Delete is dropped.
+func (s *FenceScope) Delete(key string) error {
+	if s.tok.IsZero() {
+		return s.fs.inner.Delete(key)
+	}
+	applied, err := s.fs.acquire(s.nextField())
+	if err != nil || !applied {
+		return err
+	}
+	return s.fs.inner.Delete(key)
+}
+
+// Keys implements Store, hiding the applied ledger.
+func (s *FenceScope) Keys() ([]string, error) {
+	keys, err := s.fs.inner.Keys()
+	if err != nil {
+		return nil, err
+	}
+	out := keys[:0]
+	for _, k := range keys {
+		if !IsFenceKey(k) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Len implements Store, counting only workflow entries.
+func (s *FenceScope) Len() (int, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// AddInt implements Store: a duplicate execution's increment is dropped and
+// the key's current value is returned instead. Both backends (and their
+// CheckpointStore chains) take the atomic fenced path, where record and
+// apply are indivisible; the generic fallback for third-party stores
+// records first and applies second, so its duplicate branch may observe
+// the winner mid-flight — the caveat is on the fallback only.
+func (s *FenceScope) AddInt(key string, delta int64) (int64, error) {
+	if s.tok.IsZero() {
+		return s.fs.inner.AddInt(key, delta)
+	}
+	field := s.nextField()
+	if fa, ok := s.fs.inner.(fencedAdder); ok {
+		_, n, err := fa.FencedAddInt(field, key, delta)
+		if err == nil || !errors.Is(err, errNoFencedAdder) {
+			return n, err
+		}
+	}
+	applied, err := s.fs.acquire(field)
+	if err != nil {
+		return 0, err
+	}
+	if !applied {
+		cur, ok, err := s.fs.inner.Get(key)
+		if err != nil || !ok {
+			return 0, err
+		}
+		n, err := strconv.ParseInt(cur, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("state: AddInt duplicate read non-integer value %q of key %q", cur, key)
+		}
+		return n, nil
+	}
+	return s.fs.inner.AddInt(key, delta)
+}
+
+// Update implements Store: a duplicate execution's read-modify-write is
+// dropped without invoking fn.
+func (s *FenceScope) Update(key string, fn func(string, bool) (string, bool, error)) error {
+	if s.tok.IsZero() {
+		return s.fs.inner.Update(key, fn)
+	}
+	applied, err := s.fs.acquire(s.nextField())
+	if err != nil || !applied {
+		return err
+	}
+	return s.fs.inner.Update(key, fn)
+}
+
+// Snapshot implements Store, hiding the applied ledger. Durability paths
+// (CheckpointStore, RestoreLatest) snapshot the inner chain directly and so
+// keep the ledger; this filtered view serves Final flushes and user code.
+func (s *FenceScope) Snapshot() (Snapshot, error) {
+	snap, err := s.fs.inner.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	for k := range snap {
+		if IsFenceKey(k) {
+			delete(snap, k)
+		}
+	}
+	return snap, nil
+}
+
+// Restore implements Store.
+func (s *FenceScope) Restore(snap Snapshot) error { return s.fs.inner.Restore(snap) }
+
+// Clear implements Store. Clearing wipes the ledger with the data — which is
+// coherent: with no data left there is nothing a replayed update could
+// corrupt, and Clear itself is idempotent.
+func (s *FenceScope) Clear() error { return s.fs.inner.Clear() }
+
+var _ Store = (*FenceScope)(nil)

@@ -1,0 +1,180 @@
+package state_test
+
+import (
+	"testing"
+
+	"repro/internal/miniredis"
+	"repro/internal/state"
+)
+
+// fenceBackends runs a subtest against both backend kinds.
+func fenceBackends(t *testing.T, run func(t *testing.T, b state.Backend)) {
+	t.Run("memory", func(t *testing.T) {
+		b := state.NewMemoryBackend()
+		defer b.Close()
+		run(t, b)
+	})
+	t.Run("redis", func(t *testing.T) {
+		srv, err := miniredis.StartTestServer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		b := state.DialRedisBackend(srv.Addr(), "fence")
+		defer b.Close()
+		run(t, b)
+	})
+}
+
+// TestFenceDropsDuplicateExecutions is the core exactly-once property: the
+// same delivery token applied twice (a replayed task raced by its original)
+// mutates the store once, while distinct tokens — and distinct mutations
+// within one execution — all apply.
+func TestFenceDropsDuplicateExecutions(t *testing.T) {
+	fenceBackends(t, func(t *testing.T, b state.Backend) {
+		st, err := b.Open("ns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := state.NewFencedStore(st)
+		scope := fs.NewScope()
+
+		execute := func(tok state.Token) {
+			// One task execution: two mutations on different keys.
+			scope.SetToken(tok)
+			defer scope.ClearToken()
+			if _, err := scope.AddInt("hits", 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := scope.Put("last", "x"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		execute(state.Token{Src: 7, Seq: 1})
+		execute(state.Token{Src: 7, Seq: 1}) // duplicate delivery
+		execute(state.Token{Src: 7, Seq: 2}) // distinct task
+
+		if n, _ := scope.AddInt("hits", 0); n != 2 {
+			t.Fatalf("hits = %d after {apply, duplicate, apply}, want 2", n)
+		}
+
+		// Unfenced scopes pass straight through.
+		scope.ClearToken()
+		if _, err := scope.AddInt("hits", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := scope.AddInt("hits", 1); err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := scope.AddInt("hits", 0); n != 4 {
+			t.Fatalf("unfenced increments fenced: hits = %d, want 4", n)
+		}
+	})
+}
+
+// TestFenceDuplicateAddIntReturnsCurrentValue: a dropped duplicate increment
+// still reports the key's present value, so PE code observing the return
+// stays coherent.
+func TestFenceDuplicateAddIntReturnsCurrentValue(t *testing.T) {
+	fenceBackends(t, func(t *testing.T, b state.Backend) {
+		st, _ := b.Open("ns")
+		scope := state.NewFencedStore(st).NewScope()
+		scope.SetToken(state.Token{Src: 1, Seq: 1})
+		if n, err := scope.AddInt("k", 5); err != nil || n != 5 {
+			t.Fatalf("first apply: n=%d err=%v", n, err)
+		}
+		scope.SetToken(state.Token{Src: 1, Seq: 1}) // replay of the same delivery
+		if n, err := scope.AddInt("k", 5); err != nil || n != 5 {
+			t.Fatalf("duplicate apply: n=%d err=%v, want current value 5", n, err)
+		}
+	})
+}
+
+// TestFenceHidesLedgerFromUserViews: the applied ledger must be invisible to
+// Keys/Len/Snapshot through the scope and to the SortedKeys/SortedEntries
+// helpers (the Final-flush path), while remaining present in the inner
+// chain's snapshot — the durability view checkpoints are taken from.
+func TestFenceHidesLedgerFromUserViews(t *testing.T) {
+	fenceBackends(t, func(t *testing.T, b state.Backend) {
+		st, _ := b.Open("ns")
+		scope := state.NewFencedStore(st).NewScope()
+		scope.SetToken(state.Token{Src: 3, Seq: 9})
+		if err := scope.Put("data", "v"); err != nil {
+			t.Fatal(err)
+		}
+		keys, err := scope.Keys()
+		if err != nil || len(keys) != 1 || keys[0] != "data" {
+			t.Fatalf("scope keys = %v (%v), want [data]", keys, err)
+		}
+		if n, _ := scope.Len(); n != 1 {
+			t.Fatalf("scope len = %d, want 1", n)
+		}
+		snap, _ := scope.Snapshot()
+		if len(snap) != 1 {
+			t.Fatalf("scope snapshot = %v, want only workflow data", snap)
+		}
+		entries, err := state.SortedEntries(scope)
+		if err != nil || len(entries) != 1 || entries[0].Key != "data" {
+			t.Fatalf("SortedEntries = %v (%v)", entries, err)
+		}
+		sorted, err := state.SortedKeys(st)
+		if err != nil || len(sorted) != 1 || sorted[0] != "data" {
+			t.Fatalf("SortedKeys over the raw store = %v (%v), want ledger filtered", sorted, err)
+		}
+		inner, _ := st.Snapshot()
+		if len(inner) != 2 {
+			t.Fatalf("inner snapshot = %d entries, want data + ledger entry", len(inner))
+		}
+	})
+}
+
+// TestFenceSurvivesCheckpointRestore: the ledger rides the namespace through
+// checkpoint and restore, so a resumed run (StateResume) still drops the
+// updates the crashed run already applied — replaying the same deliveries
+// against the restored state must leave it byte-identical.
+func TestFenceSurvivesCheckpointRestore(t *testing.T) {
+	fenceBackends(t, func(t *testing.T, b state.Backend) {
+		st, _ := b.Open("ns")
+		ckpt := state.NewCheckpointStore(st, b, 1)
+		scope := state.NewFencedStore(ckpt).NewScope()
+
+		scope.SetToken(state.Token{Src: 11, Seq: 4})
+		if _, err := scope.AddInt("total", 10); err != nil {
+			t.Fatal(err)
+		}
+
+		// Crash: a fresh store resumes from the checkpoint.
+		st2, _ := b.Open("ns")
+		if ok, err := state.RestoreLatest(b, st2); err != nil || !ok {
+			t.Fatalf("restore: ok=%v err=%v", ok, err)
+		}
+		scope2 := state.NewFencedStore(st2).NewScope()
+		scope2.SetToken(state.Token{Src: 11, Seq: 4}) // the same delivery, replayed
+		if _, err := scope2.AddInt("total", 10); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := st2.Get("total")
+		if err != nil || !ok || v != "10" {
+			t.Fatalf("total = %q (%v, %v) after replay against restored state, want 10", v, ok, err)
+		}
+	})
+}
+
+// TestFenceFinalGate: AcquireTask admits a delivery's first execution only.
+func TestFenceFinalGate(t *testing.T) {
+	fenceBackends(t, func(t *testing.T, b state.Backend) {
+		st, _ := b.Open("ns")
+		scope := state.NewFencedStore(st).NewScope()
+		tok := state.Token{Src: 21, Seq: 0}
+		if first, err := scope.AcquireTask(tok); err != nil || !first {
+			t.Fatalf("first acquire: %v %v", first, err)
+		}
+		if first, err := scope.AcquireTask(tok); err != nil || first {
+			t.Fatalf("duplicate acquire admitted: %v %v", first, err)
+		}
+		// The zero token never gates (fencing off).
+		if first, err := scope.AcquireTask(state.Token{}); err != nil || !first {
+			t.Fatalf("zero-token acquire: %v %v", first, err)
+		}
+	})
+}

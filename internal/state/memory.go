@@ -115,14 +115,19 @@ func newMemStore(namespace string, counter *metrics.StateCounter) *memStore {
 	return st
 }
 
-// shardOf hashes a key onto its shard with FNV-1a.
-func (st *memStore) shardOf(key string) *memShard {
+// shardIndexOf hashes a key onto its shard index with FNV-1a.
+func shardIndexOf(key string) int {
 	var h uint32 = 2166136261
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &st.shards[h%memShards]
+	return int(h % memShards)
+}
+
+// shardOf returns the shard owning key.
+func (st *memStore) shardOf(key string) *memShard {
+	return &st.shards[shardIndexOf(key)]
 }
 
 // Namespace implements Store.
@@ -203,6 +208,51 @@ func (st *memStore) AddInt(key string, delta int64) (int64, error) {
 	cur += delta
 	sh.m[key] = strconv.FormatInt(cur, 10)
 	return cur, nil
+}
+
+// FencedAddInt implements the fence's atomic fast path in process: the
+// ledger check-and-record and the data increment happen under both shard
+// locks at once (ordered by shard index to rule out lock cycles), so a
+// racing duplicate execution can neither double-apply nor observe the gap
+// between record and apply.
+func (st *memStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
+	st.counter.IncAdd()
+	li, di := shardIndexOf(ledgerField), shardIndexOf(key)
+	la, da := &st.shards[li], &st.shards[di]
+	first, second := la, da
+	if li > di {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	if second != first {
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	count := int64(0)
+	if s, ok := la.m[ledgerField]; ok {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return false, 0, fmt.Errorf("state: fence ledger holds non-integer %q", s)
+		}
+		count = n
+	}
+	count++
+	la.m[ledgerField] = strconv.FormatInt(count, 10)
+	cur := int64(0)
+	if s, ok := da.m[key]; ok {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return false, 0, fmt.Errorf("state: AddInt on non-integer value %q of key %q", s, key)
+		}
+		cur = n
+	}
+	if count > 1 {
+		return false, cur, nil
+	}
+	cur += delta
+	da.m[key] = strconv.FormatInt(cur, 10)
+	return true, cur, nil
 }
 
 // Update implements Store. The shard stays locked for the duration of fn,

@@ -3,6 +3,7 @@ package state
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -183,6 +184,37 @@ func (st *redisStore) Len() (int, error) {
 func (st *redisStore) AddInt(key string, delta int64) (int64, error) {
 	st.b.counter.IncAdd()
 	return st.b.cl.HIncrBy(st.b.liveKey(st.namespace), key, delta)
+}
+
+// FencedAddInt implements the fence's single-round-trip fast path: the
+// ledger HINCRBY and the data HINCRBY ride one pipeline, so enabling
+// exactly-once fencing costs one extra command in an existing round trip
+// rather than a second round trip per mutation, and record+apply land
+// atomically with respect to client crashes (no lost-mutation window).
+// A duplicate (ledger count > 1) is compensated with an exact inverse
+// increment; between the pipeline and the undo the duplicate's delta is
+// transiently visible to concurrent readers of the key — harmless to other
+// AddInts (commutative) but a non-additive Update interleaving exactly
+// there would fold the transient into its result, and a duplicate executor
+// crashing in that window leaves its delta standing. Both need the
+// duplicate execution *plus* a microsecond-scale coincidence; a
+// check-before-apply form would close them at the cost of a second round
+// trip on every fenced increment (see the scripting note in ROADMAP).
+func (st *redisStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
+	st.b.counter.IncAdd()
+	live := st.b.liveKey(st.namespace)
+	replies, err := st.b.cl.Pipeline([][]string{
+		{"HINCRBY", live, ledgerField, "1"},
+		{"HINCRBY", live, key, strconv.FormatInt(delta, 10)},
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	if replies[0].Int == 1 {
+		return true, replies[1].Int, nil
+	}
+	n, err := st.b.cl.HIncrBy(live, key, -delta)
+	return false, n, err
 }
 
 // Update implements Store. The read-modify-write is guarded by a per-key

@@ -104,14 +104,22 @@ func Namespace(workflow, pe string) string {
 }
 
 // SortedKeys returns the store's keys in lexical order, for deterministic
-// finalization sweeps.
+// finalization sweeps. Applied-ledger entries of the exactly-once fence are
+// skipped, so a Final sweep over a fenced (or fenced-then-resumed) namespace
+// only ever sees workflow data.
 func SortedKeys(st Store) ([]string, error) {
 	keys, err := st.Keys()
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(keys)
-	return keys, nil
+	out := keys[:0]
+	for _, k := range keys {
+		if !IsFenceKey(k) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // Entry is one key/value pair of a sorted sweep.
@@ -129,6 +137,9 @@ func SortedEntries(st Store) ([]Entry, error) {
 	}
 	out := make([]Entry, 0, len(snap))
 	for k, v := range snap {
+		if IsFenceKey(k) {
+			continue
+		}
 		out = append(out, Entry{Key: k, Value: v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -291,6 +302,22 @@ func (cs *CheckpointStore) AddInt(key string, delta int64) (int64, error) {
 		return 0, err
 	}
 	return n, cs.noteMutation()
+}
+
+// FencedAddInt forwards the exactly-once fence's atomic record+apply to the
+// wrapped store (both backends implement it), counting one mutation — so a
+// checkpointing chain keeps the fence's atomicity instead of degrading to
+// the two-operation fallback.
+func (cs *CheckpointStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
+	fa, ok := cs.Store.(fencedAdder)
+	if !ok {
+		return false, 0, errNoFencedAdder
+	}
+	applied, n, err := fa.FencedAddInt(ledgerField, key, delta)
+	if err != nil {
+		return false, 0, err
+	}
+	return applied, n, cs.noteMutation()
 }
 
 // Update implements Store.

@@ -26,6 +26,7 @@ import (
 	_ "repro/internal/redismap"
 	"repro/internal/state"
 	"repro/internal/statics"
+	"repro/internal/telemetry"
 	"repro/internal/workflows/galaxy"
 	"repro/internal/workflows/sentiment"
 )
@@ -349,6 +350,44 @@ func BenchmarkAblationRedisCost(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the live telemetry plane
+// on the batched dyn_redis path — the hottest configuration (pull batches,
+// pipelined acks, Redis round trips). The contract is that "on" stays
+// within a few percent of "off": the hot path only pays atomic
+// increments and a pair of clock reads per batch, never a lock.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		srv := miniredis.NewServer(miniredis.Options{})
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		m, err := mapping.Get("dyn_redis")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			g := galaxy.New(galaxy.Config{Galaxies: 20})
+			rep, err := m.Execute(g, mapping.Options{
+				Processes: 8, Platform: platform.Server, Seed: 1,
+				RedisAddr: srv.Addr(), Telemetry: reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		reg := telemetry.New(telemetry.Config{})
+		run(b, reg)
+		if snap := reg.Snapshot(); snap.Workers.Pull.Count == 0 {
+			b.Fatal("telemetry-on run recorded no pulls")
+		}
+	})
 }
 
 // harnessSeismic builds the quick-scale seismic graph via the catalog.

@@ -29,6 +29,7 @@ import (
 	_ "repro/internal/mpi"
 	_ "repro/internal/multiproc"
 	_ "repro/internal/redismap"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,24 +43,39 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "additionally write BENCH_<name>.json result files (machine-readable perf trajectory)")
 		sweep    = flag.Bool("sweep", false, "run the batching sweep (batch sizes 1, 8, 64, auto) and write BENCH_batching.json instead of the figure suite")
 		recovery = flag.Bool("recovery", false, "run the exactly-once recovery scenario (fenced vs unfenced managed state on the batched Redis path) and write BENCH_recovery.json")
+		telAddr  = flag.String("telemetry-addr", "", "serve the suite's live telemetry on this address (/metrics, /flights, /debug/pprof); empty disables")
 	)
 	flag.Parse()
 
+	// One registry accumulates across every run of the invocation; the final
+	// snapshot is embedded in BENCH_<name>.json outputs and optionally served
+	// live while the suite executes.
+	reg := telemetry.New(telemetry.Config{})
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "d4pbench: telemetry endpoint:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry at http://%s/metrics\n", srv.Addr())
+	}
+
 	if *sweep {
-		if err := runSweep(*quick, *outDir, *reps, *opDelay); err != nil {
+		if err := runSweep(*quick, *outDir, *reps, *opDelay, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *recovery {
-		if err := runRecovery(*quick, *outDir, *reps, *opDelay); err != nil {
+		if err := runRecovery(*quick, *outDir, *reps, *opDelay, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay, *jsonOut); err != nil {
+	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay, *jsonOut, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "d4pbench:", err)
 		os.Exit(1)
 	}
@@ -68,7 +84,7 @@ func main() {
 // runSweep executes the batched emit+consume sweep and writes its txt/csv
 // renderings plus BENCH_batching.json, the machine-readable point of the
 // perf trajectory CI tracks across PRs.
-func runSweep(quick bool, outDir string, reps int, opDelay time.Duration) error {
+func runSweep(quick bool, outDir string, reps int, opDelay time.Duration, reg *telemetry.Registry) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -76,7 +92,7 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration) error 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg}
 	defer runner.Close()
 
 	var all []metrics.Series
@@ -100,7 +116,7 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration) error 
 	if err := writeFile(outDir, "batching.csv", metrics.CSV(all)); err != nil {
 		return err
 	}
-	return writeBenchJSON(outDir, "batching", all)
+	return writeBenchJSON(outDir, "batching", all, reg)
 }
 
 // runRecovery executes the exactly-once recovery scenario — the managed-
@@ -108,7 +124,7 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration) error 
 // recovery (and therefore sequence fencing) off versus on — and writes its
 // txt/csv renderings plus BENCH_recovery.json, recording what exactly-once-
 // effect recovery costs on a healthy run.
-func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration) error {
+func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg *telemetry.Registry) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -116,7 +132,7 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration) err
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg}
 	defer runner.Close()
 
 	var all []metrics.Series
@@ -145,10 +161,10 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration) err
 	if err := writeFile(outDir, "recovery.csv", metrics.CSV(all)); err != nil {
 		return err
 	}
-	return writeBenchJSON(outDir, "recovery", all)
+	return writeBenchJSON(outDir, "recovery", all, reg)
 }
 
-func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool) error {
+func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool, reg *telemetry.Registry) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -156,7 +172,7 @@ func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Durat
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg}
 	defer runner.Close()
 
 	wantFig := func(n int) bool {
@@ -200,7 +216,7 @@ func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Durat
 			return err
 		}
 		if jsonOut {
-			return writeBenchJSON(outDir, name, allSeries)
+			return writeBenchJSON(outDir, name, allSeries, reg)
 		}
 		return nil
 	}
@@ -322,6 +338,7 @@ type benchPoint struct {
 	ProcessTimeSeconds float64 `json:"process_time_seconds"`
 	Tasks              int64   `json:"tasks"`
 	Outputs            int64   `json:"outputs"`
+	StateOps           int64   `json:"state_ops,omitempty"`
 }
 
 // benchSeries is one technique's sweep in the JSON schema.
@@ -331,11 +348,14 @@ type benchSeries struct {
 }
 
 // writeBenchJSON writes BENCH_<name>.json, the machine-readable counterpart
-// of a figure's txt/csv outputs.
-func writeBenchJSON(dir, name string, series []metrics.Series) error {
+// of a figure's txt/csv outputs. The suite's final telemetry snapshot rides
+// along so the perf trajectory carries latency distributions (pull/ack/emit
+// p50/p99), not just end-to-end durations.
+func writeBenchJSON(dir, name string, series []metrics.Series, reg *telemetry.Registry) error {
 	out := struct {
-		Name   string        `json:"name"`
-		Series []benchSeries `json:"series"`
+		Name      string              `json:"name"`
+		Series    []benchSeries       `json:"series"`
+		Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 	}{Name: name}
 	for _, s := range series {
 		bs := benchSeries{Label: s.Label, Points: make([]benchPoint, 0, len(s.Points))}
@@ -349,9 +369,14 @@ func writeBenchJSON(dir, name string, series []metrics.Series) error {
 				ProcessTimeSeconds: p.ProcessTime.Seconds(),
 				Tasks:              p.Tasks,
 				Outputs:            p.Outputs,
+				StateOps:           p.State.Total(),
 			})
 		}
 		out.Series = append(out.Series, bs)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		out.Telemetry = &snap
 	}
 	body, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	_ "repro/internal/dynamic"
 	"repro/internal/graph"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/platform"
 	_ "repro/internal/redismap"
 	"repro/internal/statics"
+	"repro/internal/telemetry"
 	"repro/internal/workflows/galaxy"
 	"repro/internal/workflows/seismic"
 	"repro/internal/workflows/sentiment"
@@ -43,10 +46,15 @@ func main() {
 		heavy        = flag.Bool("heavy", false, "galaxy heavy workload (beta(2,5) delays)")
 		stations     = flag.Int("stations", 50, "seismic station count")
 		articles     = flag.Int("articles", 120, "sentiment article count")
+		managed      = flag.Bool("managed", false, "sentiment: declare managed state (required for the dynamic Redis mappings)")
 		redisAddr    = flag.String("redis", "", "external Redis address (empty = embedded mini-Redis)")
 		staging      = flag.Bool("staging", false, "apply the static staging optimization before mapping")
 		dot          = flag.Bool("dot", false, "print the abstract workflow in Graphviz dot format and exit")
 		list         = flag.Bool("list", false, "list available mappings and exit")
+		telAddr      = flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics, /flights, /debug/pprof); empty disables")
+		telEvery     = flag.Duration("telemetry-every", 0, "flight-recorder snapshot period (0 disables)")
+		telSample    = flag.Int("telemetry-sample", 0, "trace one task path per N emissions (0 = default 64, negative disables tracing)")
+		telHold      = flag.Duration("telemetry-hold", 0, "keep serving telemetry this long after the run finishes (so scrapers can read the final snapshot)")
 	)
 	flag.Parse()
 
@@ -55,15 +63,29 @@ func main() {
 		fmt.Println("workflows: galaxy, seismic, sentiment")
 		return
 	}
+	tel := telemetryConfig{Addr: *telAddr, Every: *telEvery, SampleEvery: *telSample, Hold: *telHold}
 	if err := run(*workflowName, *mappingName, *processes, *platformName, *seed,
-		*scaleX, *heavy, *stations, *articles, *redisAddr, *staging, *dot); err != nil {
+		*scaleX, *heavy, *stations, *articles, *managed, *redisAddr, *staging, *dot, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "d4prun:", err)
 		os.Exit(1)
 	}
 }
 
+// telemetryConfig bundles the -telemetry-* flags.
+type telemetryConfig struct {
+	Addr        string
+	Every       time.Duration
+	SampleEvery int
+	Hold        time.Duration
+}
+
+func (tc telemetryConfig) enabled() bool {
+	return tc.Addr != "" || tc.Every > 0 || tc.SampleEvery != 0 || tc.Hold > 0
+}
+
 func run(workflowName, mappingName string, processes int, platformName string, seed int64,
-	scaleX int, heavy bool, stations, articles int, redisAddr string, staging, dot bool) error {
+	scaleX int, heavy bool, stations, articles int, managed bool, redisAddr string, staging, dot bool,
+	tel telemetryConfig) error {
 
 	plat, err := platform.ByName(platformName)
 	if err != nil {
@@ -82,7 +104,7 @@ func run(workflowName, mappingName string, processes int, platformName string, s
 		g = seismic.New(seismic.Config{Stations: stations})
 	case "sentiment":
 		var shown bool
-		g = sentiment.New(sentiment.Config{Articles: articles, OnTop3: func(top []sentiment.StateScore) {
+		g = sentiment.New(sentiment.Config{Articles: articles, ManagedState: managed, OnTop3: func(top []sentiment.StateScore) {
 			if shown {
 				return
 			}
@@ -120,10 +142,39 @@ func run(workflowName, mappingName string, processes int, platformName string, s
 		fmt.Printf("embedded mini-redis at %s\n", srv.Addr())
 	}
 
+	var reg *telemetry.Registry
+	if tel.enabled() {
+		reg = telemetry.New(telemetry.Config{TraceSampleEvery: tel.SampleEvery})
+		opts.Telemetry = reg
+		opts.TelemetryEvery = tel.Every
+		if tel.Addr != "" {
+			srv, err := telemetry.Serve(tel.Addr, reg)
+			if err != nil {
+				return fmt.Errorf("telemetry endpoint: %w", err)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry at http://%s/metrics\n", srv.Addr())
+		}
+	}
+
 	rep, err := m.Execute(g, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rep)
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("telemetry: pulls=%d p99=%v acks=%d tasks=%d idle_polls=%d traces=%d\n",
+			snap.Workers.Pull.Count, time.Duration(snap.Workers.Pull.P99),
+			snap.Workers.Ack.Count, snap.Workers.Tasks, snap.Workers.IdlePolls, len(snap.Traces))
+		if body, err := json.MarshalIndent(snap, "", "  "); err == nil && tel.Addr == "" && tel.Hold == 0 {
+			// No endpoint to scrape: the snapshot goes to stdout instead.
+			fmt.Println(string(body))
+		}
+		if tel.Hold > 0 {
+			fmt.Printf("holding telemetry endpoint for %v\n", tel.Hold)
+			time.Sleep(tel.Hold)
+		}
+	}
 	return nil
 }

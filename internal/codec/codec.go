@@ -58,6 +58,13 @@ type Task struct {
 	// nothing on the wire.
 	Src uint64
 	Seq uint64
+	// TraceAt, when non-zero, marks the task as sampled by the telemetry
+	// tracer and carries the UnixNano timestamp of the emission that created
+	// it. Children of a traced task are traced in turn, so a sampled task's
+	// whole downstream path is reconstructable across workers (and, because
+	// Src/Seq are deterministic, across kill-and-replay). gob omits the zero
+	// value, so untraced tasks pay nothing on the wire.
+	TraceAt int64
 }
 
 func init() {

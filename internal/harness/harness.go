@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/miniredis"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // Experiment is one evaluation panel (one subplot of a figure).
@@ -50,6 +51,10 @@ type Runner struct {
 	RedisOpDelay time.Duration
 	// Repetitions averages each point over this many runs; 0 means 1.
 	Repetitions int
+	// Telemetry, when non-nil, is handed to every run so the whole suite
+	// accumulates into one registry (counters and histograms sum across
+	// runs; gauge sources re-register per run).
+	Telemetry *telemetry.Registry
 
 	redis *miniredis.Server
 }
@@ -118,6 +123,7 @@ func (r *Runner) RunExperiment(e Experiment) ([]metrics.Series, error) {
 					Processes: procs,
 					Platform:  e.Platform,
 					Seed:      e.Seed + int64(rep),
+					Telemetry: r.Telemetry,
 				}
 				if needsRedis(tech) {
 					addr, err := r.redisAddr()
@@ -145,6 +151,9 @@ func (r *Runner) RunExperiment(e Experiment) ([]metrics.Series, error) {
 				acc.ProcessTime += rep.ProcessTime
 				acc.Tasks += rep.Tasks
 				acc.Outputs += rep.Outputs
+				// Store-op counts are deterministic per configuration, so the
+				// last repetition's counters stand for the point.
+				acc.State = rep.State
 			}
 			if skipped {
 				r.printf("  %-16s procs=%-3d skipped (below static minimum)\n", tech, procs)
@@ -191,6 +200,7 @@ func (r *Runner) RunTrace(e TraceExperiment) (*autoscale.Trace, metrics.Report, 
 		Platform:  e.Platform,
 		Seed:      e.Seed,
 		Trace:     trace,
+		Telemetry: r.Telemetry,
 	}
 	if needsRedis(e.Technique) {
 		addr, err := r.redisAddr()

@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 )
 
 // AutoBatch, assigned to EmitBatch or PullBatch, sizes that batch window
@@ -123,6 +124,15 @@ type Options struct {
 	// default (AutoBatch on the Redis mappings, unbatched elsewhere);
 	// AutoBatch sizes the window adaptively.
 	PullBatch int
+	// Telemetry, when non-nil, receives live metrics from the run: per-worker
+	// pull/ack/emit-flush latency histograms and batch sizes, transport
+	// queue-depth gauges, managed-state per-op latencies and fence-drop
+	// counts, and sampled task-hop traces. The registry may be shared across
+	// runs (counters accumulate); nil keeps every hot path uninstrumented.
+	Telemetry *telemetry.Registry
+	// TelemetryEvery, with Telemetry set, records a flight-recorder snapshot
+	// of the registry at this period while the run executes (0 disables).
+	TelemetryEvery time.Duration
 	// EmitFlushEvery bounds how long a partially-filled emit batch may age
 	// before being flushed. The age is checked at each emission (and the
 	// batch always flushes before the worker's prefetch buffer refills, so

@@ -73,6 +73,14 @@ func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Back
 		if opts.StateCheckpointEvery > 0 {
 			chain = state.NewCheckpointStore(st, ms.backend, opts.StateCheckpointEvery)
 		}
+		if opts.Telemetry != nil {
+			// Instrumentation sits outside the checkpointing chain so a
+			// mutation's observed latency includes any checkpoint write it
+			// triggers, and inside the fence so ledger traffic is timed like
+			// the data traffic it protects. The atomic fenced-increment is
+			// forwarded through, so timing never degrades the fence.
+			chain = state.InstrumentStore(chain, opts.Telemetry.State())
+		}
 		ms.stores[n.Name] = chain
 		if opts.ExactlyOnceState || opts.RecoverStale {
 			// Fence the namespace against duplicate task executions. The
@@ -80,7 +88,11 @@ func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Back
 			// written (and checkpointed) like workflow data, while the raw
 			// backend store underneath still serves the single-round-trip
 			// fenced-increment fast path when no checkpointing intervenes.
-			ms.fenced[n.Name] = state.NewFencedStore(chain)
+			fs := state.NewFencedStore(chain)
+			if opts.Telemetry != nil {
+				fs.SetDropCounter(&opts.Telemetry.State().FenceDrops)
+			}
+			ms.fenced[n.Name] = fs
 		}
 	}
 	return ms, nil

@@ -320,16 +320,22 @@ func RenderSeries(title string, series []Series) string {
 	return b.String()
 }
 
-// CSV renders the series as long-form CSV rows
-// (workflow,mapping,platform,processes,runtime_s,proctime_s,tasks,outputs).
+// CSV renders the series as long-form CSV rows: the run columns
+// (workflow,mapping,platform,processes,runtime_s,proctime_s,tasks,outputs)
+// followed by the per-operation managed-state counters (all zero for
+// workflows without managed state).
 func CSV(series []Series) string {
 	var b strings.Builder
-	b.WriteString("workflow,mapping,platform,processes,runtime_s,proctime_s,tasks,outputs\n")
+	b.WriteString("workflow,mapping,platform,processes,runtime_s,proctime_s,tasks,outputs," +
+		"state_gets,state_puts,state_deletes,state_adds,state_updates,state_lists," +
+		"state_snapshots,state_restores,state_checkpoints\n")
 	for _, s := range series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%s,%s,%d,%.4f,%.4f,%d,%d\n",
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 				p.Workflow, p.Mapping, p.Platform, p.Processes,
-				p.Runtime.Seconds(), p.ProcessTime.Seconds(), p.Tasks, p.Outputs)
+				p.Runtime.Seconds(), p.ProcessTime.Seconds(), p.Tasks, p.Outputs,
+				p.State.Gets, p.State.Puts, p.State.Deletes, p.State.Adds, p.State.Updates,
+				p.State.Lists, p.State.Snapshots, p.State.Restores, p.State.Checkpoints)
 		}
 	}
 	return b.String()

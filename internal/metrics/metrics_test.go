@@ -120,12 +120,93 @@ func TestRenderSeriesAlignsMissingPoints(t *testing.T) {
 
 func TestCSVFormat(t *testing.T) {
 	s := Series{Label: "m", Points: []Report{pt(4, 1500*time.Millisecond, 3*time.Second)}}
+	s.Points[0].State = StateOps{Gets: 7, Adds: 3, Checkpoints: 1}
 	out := CSV([]Series{s})
-	if !strings.HasPrefix(out, "workflow,mapping,platform,processes,runtime_s,proctime_s,tasks,outputs\n") {
+	wantHeader := "workflow,mapping,platform,processes,runtime_s,proctime_s,tasks,outputs," +
+		"state_gets,state_puts,state_deletes,state_adds,state_updates,state_lists," +
+		"state_snapshots,state_restores,state_checkpoints\n"
+	if !strings.HasPrefix(out, wantHeader) {
 		t.Errorf("header: %q", out)
 	}
-	if !strings.Contains(out, "wf,m,server,4,1.5000,3.0000,10,5") {
+	if !strings.Contains(out, "wf,m,server,4,1.5000,3.0000,10,5,7,0,0,3,0,0,0,0,1\n") {
 		t.Errorf("row: %q", out)
+	}
+	if got := len(strings.Split(strings.TrimSuffix(wantHeader, "\n"), ",")); got != 17 {
+		t.Errorf("header columns: %d", got)
+	}
+}
+
+// Golden render of the paper-table layout: a formatting regression (shifted
+// columns, reordered rows) should fail loudly, not drift silently.
+func TestRatioTableRenderGolden(t *testing.T) {
+	tb := RatioTable{
+		Platform: "server", A: "auto", B: "dyn",
+		Rows: []RatioRow{
+			{PrioritizedBy: "runtime", Processes: 4, RuntimeRatio: 0.9, ProcessTimeRatio: 0.8},
+			{PrioritizedBy: "process time", Processes: 8, RuntimeRatio: 1.1, ProcessTimeRatio: 0.5},
+		},
+		RuntimeMean: 1.0, RuntimeStd: 0.1,
+		ProcessTimeMean: 0.65, ProcessTimeStd: 0.15,
+		N: 2,
+	}
+	want := "server  auto / dyn   (n=2)\n" +
+		"  prioritized    procs    runtime ratio  process time ratio\n" +
+		"  runtime        4        0.90           0.80\n" +
+		"  process time   8        1.10           0.50\n" +
+		"  [mean, std]    -        [1.00, 0.10]     [0.65, 0.15]\n"
+	if got := tb.Render(); got != want {
+		t.Errorf("Render drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderSeriesGolden(t *testing.T) {
+	a := Series{Label: "multi", Points: []Report{pt(12, time.Second, 2*time.Second)}}
+	b := Series{Label: "dyn", Points: []Report{pt(4, time.Second, time.Second), pt(12, time.Second, time.Second)}}
+	want := "panel\n" +
+		"procs   | multi rt/pt            | dyn rt/pt             \n" +
+		"4       | -                      |        1s / 1s        \n" +
+		"12      |        1s / 2s         |        1s / 1s        \n"
+	if got := RenderSeries("panel", []Series{a, b}); got != want {
+		t.Errorf("RenderSeries drifted:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// StateCounter is shared by every worker of a run; hammer it from many
+// goroutines (meaningful under -race) and check the totals are exact.
+func TestStateCounterConcurrent(t *testing.T) {
+	var c StateCounter
+	const workers, perWorker = 16, 500
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perWorker; i++ {
+				c.IncGet()
+				c.IncPut()
+				c.IncDelete()
+				c.IncAdd()
+				c.IncUpdate()
+				c.IncList()
+				c.IncSnapshot()
+				c.IncRestore()
+				c.IncCheckpoint()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	got := c.Snapshot()
+	want := StateOps{
+		Gets: workers * perWorker, Puts: workers * perWorker, Deletes: workers * perWorker,
+		Adds: workers * perWorker, Updates: workers * perWorker, Lists: workers * perWorker,
+		Snapshots: workers * perWorker, Restores: workers * perWorker, Checkpoints: workers * perWorker,
+	}
+	if got != want {
+		t.Errorf("snapshot: %+v want %+v", got, want)
+	}
+	if got.Total() != int64(9*workers*perWorker) {
+		t.Errorf("total: %d", got.Total())
 	}
 }
 

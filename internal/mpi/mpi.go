@@ -64,6 +64,17 @@ func NewWorld(size int) (*World, error) {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// QueueLen reports how many messages are queued for rank (a telemetry gauge;
+// out-of-range ranks report 0).
+func (w *World) QueueLen(rank int) int {
+	if rank < 0 || rank >= w.size {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.mailbox[rank])
+}
+
 // Close aborts the world: all blocked operations return ErrClosed.
 func (w *World) Close() {
 	w.mu.Lock()

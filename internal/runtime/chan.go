@@ -128,6 +128,20 @@ func (t *ChanTransport) Ack(w int, envs ...Env) error {
 // Pending implements Transport.
 func (t *ChanTransport) Pending() (int64, error) { return t.pending.Load(), nil }
 
+// QueueDepths implements DepthReporter: the shared pool channel's occupancy
+// plus one "box:<pe>:<i>" entry per pinned instance channel.
+func (t *ChanTransport) QueueDepths() map[string]int64 {
+	out := map[string]int64{"shared": int64(len(t.shared))}
+	for w, box := range t.boxes {
+		if box == nil {
+			continue
+		}
+		spec := t.plan.Workers[w]
+		out[fmt.Sprintf("box:%s:%d", spec.PE, spec.Instance)] = int64(len(box))
+	}
+	return out
+}
+
 // Done implements Transport.
 func (t *ChanTransport) Done() error {
 	t.once.Do(func() { close(t.closed) })

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mapping"
+	"repro/internal/telemetry"
 )
 
 // batcher buffers one worker's emitted tasks and hands them to the transport
@@ -24,6 +25,11 @@ type batcher struct {
 	flushEvery time.Duration
 	buf        []Task
 	firstAt    time.Time
+
+	// Telemetry (optional): flush latency and flushed batch sizes. nil keeps
+	// the fast paths free of time.Now calls.
+	flushHist *telemetry.Histogram
+	sizeHist  *telemetry.Histogram
 }
 
 // newBatcher sizes the buffer from the EmitBatch knob: <= 1 passes tasks
@@ -54,7 +60,15 @@ func (b *batcher) window() int {
 // push buffers one task, flushing on size or age.
 func (b *batcher) push(t Task) error {
 	if b.sizer == nil && b.max <= 1 {
-		return b.tr.Push(t)
+		// Unbatched passthrough: each emission is its own flush.
+		if b.flushHist == nil {
+			return b.tr.Push(t)
+		}
+		start := time.Now()
+		err := b.tr.Push(t)
+		b.flushHist.Observe(int64(time.Since(start)))
+		b.sizeHist.Observe(1)
+		return err
 	}
 	if len(b.buf) == 0 {
 		b.firstAt = time.Now()
@@ -74,12 +88,19 @@ func (b *batcher) flush() error {
 	}
 	tasks := b.buf
 	b.buf = b.buf[:0]
-	if b.sizer == nil {
+	if b.sizer == nil && b.flushHist == nil {
 		return b.tr.Push(tasks...)
 	}
 	start := time.Now()
 	err := b.tr.Push(tasks...)
-	b.sizer.Observe(time.Since(start), len(tasks))
+	elapsed := time.Since(start)
+	if b.sizer != nil {
+		b.sizer.Observe(elapsed, len(tasks))
+	}
+	if b.flushHist != nil {
+		b.flushHist.Observe(int64(elapsed))
+		b.sizeHist.Observe(int64(len(tasks)))
+	}
 	return err
 }
 
@@ -96,6 +117,10 @@ type ackBatch struct {
 	tr  Transport
 	w   int
 	buf []Env
+
+	// Telemetry (optional): ack-flush latency and traced-delivery ack events.
+	hist   *telemetry.Histogram
+	tracer *telemetry.Tracer
 }
 
 // add buffers one processed delivery for the next flush.
@@ -108,7 +133,23 @@ func (a *ackBatch) flush() error {
 	}
 	envs := a.buf
 	a.buf = a.buf[:0]
-	return a.tr.Ack(a.w, envs...)
+	if a.hist == nil && a.tracer == nil {
+		return a.tr.Ack(a.w, envs...)
+	}
+	start := time.Now()
+	err := a.tr.Ack(a.w, envs...)
+	if a.hist != nil {
+		a.hist.Observe(int64(time.Since(start)))
+	}
+	if a.tracer != nil && err == nil {
+		now := time.Now().UnixNano()
+		for _, env := range envs {
+			if env.TraceAt != 0 {
+				a.tracer.RecordAck(env.Src, env.Seq, a.w, now)
+			}
+		}
+	}
+	return err
 }
 
 // router turns PE emissions into transport tasks: for every out-edge
@@ -123,41 +164,57 @@ type router struct {
 	out     func(Task) error
 	seq     map[*graph.Edge]uint64
 
-	// Exactly-once fencing state: with fencing on, every emitted task is
-	// stamped with a provenance derived from the task being executed (cur)
-	// and the emitting edge, plus a per-(execution, edge) sequence. gen
-	// versions the current execution so the per-edge counters of each emit
-	// closure reset lazily at the first emission of a new task.
-	fencing bool
+	// Identity-stamping state: when stamped is on (exactly-once fencing, or
+	// task tracing, which rides the same provenance identities), every
+	// emitted task is stamped with a provenance derived from the task being
+	// executed (cur) and the emitting edge, plus a per-(execution, edge)
+	// sequence. gen versions the current execution so the per-edge counters
+	// of each emit closure reset lazily at the first emission of a new task.
+	stamped bool
 	cur     Task
 	gen     uint64
+
+	// Tracing state (tracer nil when tracing is off): the worker slot, and
+	// whether the current execution is itself traced / a source Generate.
+	tracer    *telemetry.Tracer
+	worker    int
+	curPE     string
+	curTraced bool
+	curIsGen  bool
 }
 
-func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error, fencing bool) *router {
-	return &router{g: g, plan: plan, outputs: outputs, out: out, seq: map[*graph.Edge]uint64{}, fencing: fencing}
+func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error, stamped bool, tracer *telemetry.Tracer, worker int) *router {
+	return &router{g: g, plan: plan, outputs: outputs, out: out, seq: map[*graph.Edge]uint64{},
+		stamped: stamped, tracer: tracer, worker: worker}
 }
 
 // begin marks the start of one task execution: subsequent emissions derive
-// their fencing identity from this task. A replayed execution of the same
-// task therefore re-stamps identical children, wherever it runs.
+// their stamped identity (and trace membership) from this task. A replayed
+// execution of the same task therefore re-stamps identical children,
+// wherever it runs.
 func (r *router) begin(t Task) {
-	if !r.fencing {
+	if !r.stamped {
 		return
 	}
 	r.cur = t
 	r.gen++
+	if r.tracer != nil {
+		r.curPE = t.PE
+		r.curTraced = t.TraceAt != 0
+		r.curIsGen = t.PE != "" && t.Port == "" && !t.Finalize && !t.Poison
+	}
 }
 
 // emitFor builds the emit closure for one sending node. The closure is
 // single-goroutine (each worker owns its router).
 func (r *router) emitFor(node string) func(port string, value any) error {
 	edges := r.g.OutEdges(node)
-	// Per-closure fencing state: a stable salt per out-edge and one child
+	// Per-closure stamping state: a stable salt per out-edge and one child
 	// sequence per out-edge, reset when the router moves to the next task
 	// execution.
 	var childSeq, salts []uint64
 	var seqGen uint64
-	if r.fencing {
+	if r.stamped {
 		childSeq = make([]uint64, len(edges))
 		salts = make([]uint64, len(edges))
 		for i, e := range edges {
@@ -165,7 +222,7 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 		}
 	}
 	stamp := func(t Task, edgeIdx int) Task {
-		if !r.fencing {
+		if !r.stamped {
 			return t
 		}
 		if seqGen != r.gen {
@@ -177,6 +234,18 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 		t.Src = childSrc(r.cur.Src, r.cur.Seq, salts[edgeIdx])
 		t.Seq = childSeq[edgeIdx]
 		childSeq[edgeIdx]++
+		if r.tracer != nil {
+			// Traced parent ⇒ traced child; untraced executions start a new
+			// trace on every sampleEvery-th emission, marked Root when the
+			// trace begins at a source's Generate (a complete path head).
+			if r.curTraced {
+				t.TraceAt = time.Now().UnixNano()
+				r.tracer.RecordEmit(r.cur.Src, r.cur.Seq, r.curPE, t.Src, t.Seq, r.worker, false, t.TraceAt)
+			} else if r.tracer.Sample() {
+				t.TraceAt = time.Now().UnixNano()
+				r.tracer.RecordEmit(r.cur.Src, r.cur.Seq, r.curPE, t.Src, t.Seq, r.worker, r.curIsGen, t.TraceAt)
+			}
+		}
 		return t
 	}
 	return func(port string, value any) error {

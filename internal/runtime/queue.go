@@ -201,6 +201,11 @@ func (t *QueueTransport) Ack(w int, envs ...Env) error {
 // Pending implements Transport.
 func (t *QueueTransport) Pending() (int64, error) { return t.pending.Load(), nil }
 
+// QueueDepths implements DepthReporter.
+func (t *QueueTransport) QueueDepths() map[string]int64 {
+	return map[string]int64{"queue": int64(t.q.Len())}
+}
+
 // Done implements Transport.
 func (t *QueueTransport) Done() error {
 	t.closed.Store(true)

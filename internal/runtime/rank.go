@@ -110,6 +110,26 @@ func (t *RankTransport) Ack(w int, envs ...Env) error {
 	return nil
 }
 
+// rankDepths is the optional mailbox-length refinement of RankLink (the same
+// no-mpi-import indirection); mpi.World implements it.
+type rankDepths interface {
+	QueueLen(rank int) int
+}
+
+// QueueDepths implements DepthReporter when the link can report mailbox
+// lengths ("rank:<i>" per worker); nil otherwise.
+func (t *RankTransport) QueueDepths() map[string]int64 {
+	ld, ok := t.link.(rankDepths)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]int64, len(t.plan.Workers))
+	for w := range t.plan.Workers {
+		out[fmt.Sprintf("rank:%d", w)] = int64(ld.QueueLen(w))
+	}
+	return out
+}
+
 // Pending implements Transport.
 func (t *RankTransport) Pending() (int64, error) { return t.pending.Load(), nil }
 

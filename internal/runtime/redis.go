@@ -316,6 +316,25 @@ func (t *RedisTransport) fencedAck(w int, envs []Env, counted int) error {
 	return nil
 }
 
+// QueueDepths implements DepthReporter: the global stream's entry count plus
+// one "priv:<pe>:<i>" list length per pinned instance. Sampling errors skip
+// the affected entry (the gauge set shrinks rather than failing the sample).
+func (t *RedisTransport) QueueDepths() map[string]int64 {
+	out := map[string]int64{}
+	if n, err := t.cl.XLen(t.keys.Queue); err == nil {
+		out["stream"] = n
+	}
+	for _, spec := range t.plan.Workers {
+		if !spec.Pinned() {
+			continue
+		}
+		if n, err := t.cl.LLen(t.keys.PrivKey(spec.PE, spec.Instance)); err == nil {
+			out[fmt.Sprintf("priv:%s:%d", spec.PE, spec.Instance)] = n
+		}
+	}
+	return out
+}
+
 // Pending implements Transport.
 func (t *RedisTransport) Pending() (int64, error) {
 	s, ok, err := t.cl.Get(t.keys.PendingKey)

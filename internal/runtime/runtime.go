@@ -81,6 +81,14 @@ type Transport interface {
 	Done() error
 }
 
+// DepthReporter is an optional Transport refinement exposing per-queue depth
+// gauges for telemetry: channel occupancies, stream entry counts, private
+// list lengths. Keys name the queue ("shared", "stream", "box:<pe>:<i>", …);
+// implementations best-effort skip queues they cannot sample.
+type DepthReporter interface {
+	QueueDepths() map[string]int64
+}
+
 // WorkerSpec describes one worker slot of a plan. The zero value is a pool
 // worker; a non-empty PE pins the worker to that single (PE, instance).
 type WorkerSpec struct {

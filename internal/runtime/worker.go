@@ -15,6 +15,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/state"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Config is a planner's placement decision handed to Execute: the worker
@@ -62,15 +63,56 @@ func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, 
 	defer func() { ms.Finish(g, success) }()
 
 	r := &run{g: g, opts: opts, cfg: cfg, ms: ms, fencing: ms.ExactlyOnce(), abort: make(chan struct{})}
+	r.tel = opts.Telemetry
+	if r.tel != nil {
+		r.tracer = r.tel.Tracer()
+	}
+	// Tracing rides the same deterministic Src/Seq provenance the fence
+	// uses, so identities are stamped when either consumer is active.
+	// Stamping without fencing is harmless: fence scopes only exist when
+	// fenced stores do.
+	r.stamped = r.fencing || r.tracer != nil
+	if r.tel != nil {
+		tr := cfg.Transport
+		r.tel.RegisterGauges("transport", func() (map[string]int64, bool) {
+			n, err := tr.Pending()
+			if err != nil {
+				return nil, false
+			}
+			vals := map[string]int64{"pending": n}
+			if dr, ok := tr.(DepthReporter); ok {
+				for k, v := range dr.QueueDepths() {
+					vals[k] = v
+				}
+			}
+			return vals, true
+		})
+		if opts.TelemetryEvery > 0 {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				tick := time.NewTicker(opts.TelemetryEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						r.tel.RecordFlight()
+					}
+				}
+			}()
+		}
+	}
 
 	// Seed one generate task per source instance (pinned plans) or per
 	// source (pool plans) before any worker starts, so the pending counter
-	// is non-zero from the coordinator's first drain check. Under fencing,
+	// is non-zero from the coordinator's first drain check. Under stamping,
 	// seeds carry a (node, instance)-deterministic identity so a replayed
 	// generate task — and every child it re-emits — keeps its provenance.
 	seed := func(name string, instance int) Task {
 		t := Task{PE: name, Instance: instance}
-		if r.fencing {
+		if r.stamped {
 			t.Src = seedSrc(name, instance)
 		}
 		return t
@@ -106,6 +148,13 @@ func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, 
 	}()
 	wg.Wait()
 	elapsed := time.Since(start)
+	if r.tel != nil {
+		// One final flight while the transport is still open seeds the
+		// gauge sources' last-good cache, so post-run snapshots (the CLI
+		// summary, a held /metrics endpoint) still carry gauge values after
+		// the planner tears the transport down.
+		r.tel.RecordFlight()
+	}
 
 	r.errMu.Lock()
 	err = r.firstErr
@@ -140,8 +189,14 @@ type run struct {
 	// fencing is on when any managed namespace is wrapped in a FencedStore
 	// (Options.ExactlyOnceState / RecoverStale): tasks are stamped with
 	// deterministic identities and workers route managed-state access
-	// through per-worker fence scopes.
+	// through per-worker fence scopes. stamped additionally covers tracing,
+	// which reuses the same identities without the fence scopes.
 	fencing bool
+	stamped bool
+
+	// tel/tracer mirror Options.Telemetry (nil when uninstrumented).
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -201,8 +256,19 @@ func (r *run) runWorker(w int) {
 	proc.Activate()
 	defer proc.Deactivate()
 
+	// The worker's telemetry shard is resolved once; a nil shard leaves every
+	// hot-path branch on a simple pointer test.
+	var wm *telemetry.WorkerMetrics
+	if r.tel != nil {
+		wm = r.tel.Worker(w)
+	}
+
 	b := newBatcher(r.cfg.Transport, r.opts.EmitBatch, r.opts.EmitFlushEvery)
-	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push, r.fencing)
+	if wm != nil {
+		b.flushHist = wm.EmitFlush
+		b.sizeHist = wm.EmitBatch
+	}
+	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push, r.stamped, r.tracer, w)
 
 	// Build this worker's PE copies and contexts. Under fencing each
 	// managed-state context is routed through a per-worker FenceScope, the
@@ -268,7 +334,10 @@ func (r *run) runWorker(w int) {
 	} else if pullWindow < 1 {
 		pullWindow = 1
 	}
-	acks := &ackBatch{tr: tr, w: w}
+	acks := &ackBatch{tr: tr, w: w, tracer: r.tracer}
+	if wm != nil {
+		acks.hist = wm.Ack
+	}
 
 	ctrl := r.cfg.Controller
 	// Pool workers accrue process time while polling an empty queue — the
@@ -278,6 +347,7 @@ func (r *run) runWorker(w int) {
 	active := true
 	var buf []Env // worker-local prefetch buffer
 	next := 0
+	var pulledAt int64 // UnixNano of the current buffer's pull (tracing only)
 	for {
 		if r.aborted() {
 			return
@@ -320,11 +390,21 @@ func (r *run) runWorker(w int) {
 				pullSizer.Observe(time.Since(start), len(envs))
 			}
 			if len(envs) == 0 {
+				if wm != nil {
+					wm.IdlePolls.Inc()
+				}
 				if standby && active {
 					proc.Deactivate()
 					active = false
 				}
 				continue // the coordinator owns termination
+			}
+			if wm != nil {
+				wm.Pull.Observe(int64(time.Since(start)))
+				wm.PullBatch.Observe(int64(len(envs)))
+			}
+			if r.tracer != nil {
+				pulledAt = time.Now().UnixNano()
 			}
 			buf, next = envs, 0
 		}
@@ -334,9 +414,27 @@ func (r *run) runWorker(w int) {
 		}
 		env := buf[next]
 		next++
+		if wm != nil {
+			wm.Prefetch.Set(int64(len(buf) - next))
+		}
 		if env.Poison {
 			r.retirePoison(env, buf[next:], b, acks)
 			return
+		}
+		if wm != nil {
+			wm.Tasks.Inc()
+		}
+		if r.tracer != nil && env.TraceAt != 0 {
+			// A traced delivery records its execution span even on error, so
+			// a trace ending in a failed hop is still reconstructable.
+			startNs := time.Now().UnixNano()
+			err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env)
+			r.tracer.RecordExec(env.Src, env.Seq, env.PE, w, env.TraceAt, pulledAt, startNs, time.Now().UnixNano())
+			if err != nil {
+				r.workerFail(err)
+				return
+			}
+			continue
 		}
 		if err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env); err != nil {
 			r.workerFail(err)
@@ -486,7 +584,7 @@ func (r *run) drainAndFinalize() error {
 		count := r.cfg.Plan.Instances[name]
 		final := func(instance int) Task {
 			t := Task{PE: name, Instance: instance, Finalize: true}
-			if r.fencing {
+			if r.stamped {
 				t.Src = finalSrc(name, instance)
 			}
 			return t

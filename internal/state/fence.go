@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Token identifies one fenced delivery: the task's provenance hash and its
@@ -94,10 +96,15 @@ var errNoFencedAdder = errors.New("state: wrapped store implements no fenced Add
 // (server-side scripting), noted in ROADMAP.
 type FencedStore struct {
 	inner Store
+	drops *telemetry.Counter
 }
 
 // NewFencedStore wraps a namespace's store chain with the fence.
 func NewFencedStore(inner Store) *FencedStore { return &FencedStore{inner: inner} }
+
+// SetDropCounter routes a count of dropped (already-applied) mutations into
+// telemetry. Call before any scope is used; nil disables counting.
+func (fs *FencedStore) SetDropCounter(c *telemetry.Counter) { fs.drops = c }
 
 // Inner returns the wrapped store chain (the unfiltered durability view).
 func (fs *FencedStore) Inner() Store { return fs.inner }
@@ -113,6 +120,9 @@ func (fs *FencedStore) acquire(field string) (bool, error) {
 	n, err := fs.inner.AddInt(field, 1)
 	if err != nil {
 		return false, err
+	}
+	if n != 1 && fs.drops != nil {
+		fs.drops.Inc()
 	}
 	return n == 1, nil
 }
@@ -219,8 +229,11 @@ func (s *FenceScope) AddInt(key string, delta int64) (int64, error) {
 	}
 	field := s.nextField()
 	if fa, ok := s.fs.inner.(fencedAdder); ok {
-		_, n, err := fa.FencedAddInt(field, key, delta)
+		applied, n, err := fa.FencedAddInt(field, key, delta)
 		if err == nil || !errors.Is(err, errNoFencedAdder) {
+			if err == nil && !applied && s.fs.drops != nil {
+				s.fs.drops.Inc()
+			}
 			return n, err
 		}
 	}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket atomic histogram over int64 values. Bounds are
+// ascending inclusive upper limits with an implicit +Inf bucket at the end;
+// all histograms built by the same constructor share one bounds slice, which
+// is what lets per-worker shards merge bucket-wise into one snapshot.
+// Observe is lock-free: a binary search over ≤25 bounds plus three atomic
+// adds.
+type Histogram struct {
+	unit   string
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram(unit string, bounds []int64) *Histogram {
+	return &Histogram{unit: unit, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// latencyBounds covers 1µs..~16.8s in exponential nanosecond buckets — wide
+// enough for an in-process channel send and a slow Redis round trip alike.
+var latencyBounds = func() []int64 {
+	bounds := make([]int64, 0, 25)
+	for b := int64(1000); len(bounds) < 25; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}()
+
+// sizeBounds covers batch sizes 1..4096 in powers of two.
+var sizeBounds = func() []int64 {
+	bounds := make([]int64, 0, 13)
+	for b := int64(1); len(bounds) < 13; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}()
+
+// NewLatencyHistogram creates a nanosecond-latency histogram (1µs..~16.8s).
+func NewLatencyHistogram() *Histogram { return newHistogram("ns", latencyBounds) }
+
+// NewSizeHistogram creates a batch-size histogram (1..4096).
+func NewSizeHistogram() *Histogram { return newHistogram("count", sizeBounds) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// HistogramSnapshot is the JSON-marshalable view of one (or several merged)
+// histograms. Quantiles are linearly interpolated within their bucket, so
+// they are estimates with bucket-width resolution.
+type HistogramSnapshot struct {
+	Unit  string  `json:"unit"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot extracts the histogram's current quantile view.
+func (h *Histogram) Snapshot() HistogramSnapshot { return mergeHistograms(h) }
+
+// mergeHistograms sums same-bounds histograms bucket-wise (the per-worker
+// shards of one metric) and extracts quantiles from the merged counts. The
+// total is recomputed from the bucket counts so the snapshot is internally
+// consistent even while writers race the read.
+func mergeHistograms(hs ...*Histogram) HistogramSnapshot {
+	if len(hs) == 0 {
+		return HistogramSnapshot{}
+	}
+	base := hs[0]
+	counts := make([]int64, len(base.counts))
+	var sum int64
+	for _, h := range hs {
+		for i := range h.counts {
+			counts[i] += h.counts[i].Load()
+		}
+		sum += h.sum.Load()
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	snap := HistogramSnapshot{Unit: base.unit, Count: total, Sum: sum}
+	if total == 0 {
+		return snap
+	}
+	snap.Mean = float64(sum) / float64(total)
+	snap.P50 = bucketQuantile(base.bounds, counts, total, 0.50)
+	snap.P90 = bucketQuantile(base.bounds, counts, total, 0.90)
+	snap.P99 = bucketQuantile(base.bounds, counts, total, 0.99)
+	return snap
+}
+
+// bucketQuantile interpolates the q-quantile from bucket counts. The +Inf
+// bucket is given twice the last finite bound as its upper edge.
+func bucketQuantile(bounds []int64, counts []int64, total int64, q float64) int64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := 2 * bounds[len(bounds)-1]
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + int64(float64(hi-lo)*frac)
+	}
+	return 2 * bounds[len(bounds)-1]
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 1000 observations spread uniformly over 1µs..1ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Unit != "ns" {
+		t.Fatalf("unit = %q", s.Unit)
+	}
+	// Bucket resolution is a factor of two, so require the right power-of-two
+	// neighborhood rather than exact values.
+	if s.P50 < 250_000 || s.P50 > 1_000_000 {
+		t.Errorf("p50 = %d outside [250µs, 1ms]", s.P50)
+	}
+	if s.P99 < s.P50 || s.P99 > 2_000_000 {
+		t.Errorf("p99 = %d (p50 = %d)", s.P99, s.P50)
+	}
+	if s.Mean < 400_000 || s.Mean > 600_000 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+}
+
+func TestHistogramMergeAcrossWorkers(t *testing.T) {
+	reg := New(Config{})
+	for w := 0; w < 4; w++ {
+		wm := reg.Worker(w)
+		for i := 0; i < 10; i++ {
+			wm.Pull.Observe(2000)
+			wm.Tasks.Inc()
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Workers.Pull.Count != 40 {
+		t.Fatalf("merged pull count = %d, want 40", snap.Workers.Pull.Count)
+	}
+	if snap.Workers.Tasks != 40 {
+		t.Fatalf("merged tasks = %d, want 40", snap.Workers.Tasks)
+	}
+	if len(snap.PerWorker) != 4 || snap.PerWorker[2].Pull.Count != 10 {
+		t.Fatalf("per-worker shards wrong: %+v", snap.PerWorker)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g+1) * 1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestGaugeSourceLastGoodCaching(t *testing.T) {
+	reg := New(Config{})
+	alive := true
+	reg.RegisterGauges("transport", func() (map[string]int64, bool) {
+		if !alive {
+			return nil, false
+		}
+		return map[string]int64{"pending": 7}, true
+	})
+	if got := reg.Snapshot().Gauges["transport.pending"]; got != 7 {
+		t.Fatalf("live sample = %d", got)
+	}
+	alive = false
+	if got := reg.Snapshot().Gauges["transport.pending"]; got != 7 {
+		t.Fatalf("cached sample = %d, want last good 7", got)
+	}
+}
+
+func TestTracerAssemblesChain(t *testing.T) {
+	reg := New(Config{TraceSampleEvery: 1})
+	tr := reg.Tracer()
+	// Synthetic three-hop chain: generate(100) → mid(200) → sink(300), with a
+	// replayed execution of the sink.
+	tr.RecordEmit(100, 0, "gen", 200, 0, 0, true, 10)
+	tr.RecordExec(200, 0, "mid", 1, 10, 11, 12, 13)
+	tr.RecordEmit(200, 0, "mid", 300, 0, 1, false, 13)
+	tr.RecordExec(300, 0, "sink", 2, 13, 14, 15, 16)
+	tr.RecordExec(300, 0, "sink", 3, 13, 20, 21, 22) // replay
+	tr.RecordAck(300, 0, 2, 17)
+
+	traces := tr.Assemble(4)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	trace := traces[0]
+	if !trace.Complete {
+		t.Fatalf("trace not complete: %+v", trace)
+	}
+	if len(trace.Hops) != 3 {
+		t.Fatalf("hops = %d, want 3: %+v", len(trace.Hops), trace.Hops)
+	}
+	root, mid, sink := trace.Hops[0], trace.Hops[1], trace.Hops[2]
+	if !root.Synthesized || root.PE != "gen" {
+		t.Errorf("root hop: %+v", root)
+	}
+	if mid.PE != "mid" || mid.Worker != 1 || mid.EnqueuedAt != 10 {
+		t.Errorf("mid hop: %+v", mid)
+	}
+	if sink.PE != "sink" || sink.Executions != 2 || sink.AckedAt != 17 {
+		t.Errorf("sink hop: %+v", sink)
+	}
+}
+
+func TestTracerSamplePeriod(t *testing.T) {
+	tr := newTracer(4, 16)
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("hits = %d, want 4", hits)
+	}
+	every1 := newTracer(1, 16)
+	for i := 0; i < 3; i++ {
+		if !every1.Sample() {
+			t.Fatal("sampleEvery=1 must always sample")
+		}
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	reg := New(Config{TraceSampleEvery: -1})
+	if reg.Tracer() != nil {
+		t.Fatal("tracer should be nil when disabled")
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := newTracer(1, 8)
+	for i := 0; i < 100; i++ {
+		tr.RecordAck(uint64(i+1), 0, 0, int64(i))
+	}
+	events, total := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained = %d, want 8", len(events))
+	}
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+	if events[0].Src != 93 || events[7].Src != 100 {
+		t.Fatalf("ring order wrong: first=%d last=%d", events[0].Src, events[7].Src)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := New(Config{TraceSampleEvery: 1})
+	wm := reg.Worker(0)
+	wm.Pull.Observe(5000)
+	wm.Tasks.Inc()
+	reg.State().Add.Observe(3000)
+	reg.State().FenceDrops.Inc()
+	reg.Tracer().RecordExec(1, 0, "pe", 0, 1, 2, 3, 4)
+
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers.Pull.Count != 1 || back.State == nil || back.State.FenceDrops != 1 {
+		t.Fatalf("round trip lost data: %s", raw)
+	}
+	if _, ok := back.State.Ops["add"]; !ok {
+		t.Fatalf("state ops missing add: %s", raw)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	reg := New(Config{FlightRing: 3, TraceSampleEvery: -1})
+	for i := 0; i < 5; i++ {
+		reg.Worker(0).Tasks.Inc()
+		reg.RecordFlight()
+	}
+	flights := reg.Flights()
+	if len(flights) != 3 {
+		t.Fatalf("flights = %d, want 3", len(flights))
+	}
+	// Oldest-first: task counts 3, 4, 5.
+	for i, want := range []int64{3, 4, 5} {
+		if flights[i].Workers.Tasks != want {
+			t.Fatalf("flight %d tasks = %d, want %d", i, flights[i].Workers.Tasks, want)
+		}
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := New(Config{})
+	reg.Worker(0).Pull.Observe(1500)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics is not snapshot JSON: %v\n%s", err, body)
+	}
+	if snap.Workers.Pull.Count != 1 {
+		t.Fatalf("snapshot over HTTP lost data: %s", body)
+	}
+
+	pp, err := client.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", pp.StatusCode)
+	}
+}

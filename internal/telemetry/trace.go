@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace-event kinds. An emit event links a child task to the execution that
+// produced it; an exec event spans one execution of a task on a worker; an
+// ack event marks the task's delivery being released back to the transport.
+const (
+	KindEmit = iota
+	KindExec
+	KindAck
+)
+
+// TraceEvent is one recorded hop event, keyed by the task's deterministic
+// provenance identity (codec.Task.Src/Seq) — the same identity the
+// exactly-once fence rides, so a replayed execution of a task lands in the
+// same trace as its original.
+type TraceEvent struct {
+	Kind int
+	// Src/Seq identify the task the event describes (the child for emits).
+	Src, Seq uint64
+	// ParentSrc/ParentSeq (emit only) identify the execution that emitted it.
+	ParentSrc, ParentSeq uint64
+	// PE is the executing node (exec) or the emitting node (emit).
+	PE string
+	// Worker is the worker slot the event happened on.
+	Worker int
+	// Root (emit only) marks an emission from a source's Generate execution —
+	// the head of a complete source→sink trace.
+	Root bool
+	// Timestamps in UnixNano. Exec events carry all four (EnqueuedAt is the
+	// emission time stamped into the task); emit and ack events carry only At.
+	EnqueuedAt, PulledAt, StartAt, EndAt, At int64
+}
+
+// Tracer samples task traces into a bounded ring buffer. A task is traced
+// when its TraceAt stamp is non-zero; every child of a traced task is traced
+// in turn, and untraced executions start a new trace on every sampleEvery-th
+// emission. Recording takes a mutex — acceptable because only the sampled
+// fraction of tasks ever reaches it.
+type Tracer struct {
+	every int64
+	n     atomic.Int64
+
+	mu     sync.Mutex
+	ring   []TraceEvent
+	at     int
+	filled bool
+	total  int64
+}
+
+func newTracer(every, ring int) *Tracer {
+	return &Tracer{every: int64(every), ring: make([]TraceEvent, 0, ring)}
+}
+
+// SampleEvery returns the sampling period.
+func (t *Tracer) SampleEvery() int { return int(t.every) }
+
+// Sample reports whether a new trace should start at this emission: every
+// every-th call returns true (the first call always does, so short runs still
+// produce a trace).
+func (t *Tracer) Sample() bool { return (t.n.Add(1)-1)%t.every == 0 }
+
+func (t *Tracer) record(e TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if !t.filled && len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		if len(t.ring) == cap(t.ring) {
+			t.filled = true
+		}
+		return
+	}
+	t.ring[t.at] = e
+	t.at = (t.at + 1) % len(t.ring)
+}
+
+// RecordEmit records a traced emission: parent execution identity → child
+// identity, with the emitting PE and the emission timestamp.
+func (t *Tracer) RecordEmit(parentSrc, parentSeq uint64, parentPE string, childSrc, childSeq uint64, worker int, root bool, at int64) {
+	t.record(TraceEvent{Kind: KindEmit, Src: childSrc, Seq: childSeq,
+		ParentSrc: parentSrc, ParentSeq: parentSeq, PE: parentPE, Worker: worker, Root: root, At: at})
+}
+
+// RecordExec records one execution span of a traced task.
+func (t *Tracer) RecordExec(src, seq uint64, pe string, worker int, enqueuedAt, pulledAt, startAt, endAt int64) {
+	t.record(TraceEvent{Kind: KindExec, Src: src, Seq: seq, PE: pe, Worker: worker,
+		EnqueuedAt: enqueuedAt, PulledAt: pulledAt, StartAt: startAt, EndAt: endAt})
+}
+
+// RecordAck records a traced delivery's release.
+func (t *Tracer) RecordAck(src, seq uint64, worker int, at int64) {
+	t.record(TraceEvent{Kind: KindAck, Src: src, Seq: seq, Worker: worker, At: at})
+}
+
+// Events returns the retained events, oldest first, plus the total number
+// ever recorded (events beyond the ring size were evicted).
+func (t *Tracer) Events() ([]TraceEvent, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.ring))
+	if !t.filled {
+		return append(out, t.ring...), t.total
+	}
+	out = append(out, t.ring[t.at:]...)
+	return append(out, t.ring[:t.at]...), t.total
+}
+
+// Hop is one task's passage through one worker within a trace.
+type Hop struct {
+	// ID is the task identity as "src:seq" (base-16).
+	ID string `json:"id"`
+	// PE is the node that executed (or, for synthesized hops, emitted).
+	PE string `json:"pe,omitempty"`
+	// Worker is the executing worker slot.
+	Worker int `json:"worker"`
+	// Span timestamps in UnixNano; zero when the event was not captured.
+	EnqueuedAt int64 `json:"enqueued_at,omitempty"`
+	PulledAt   int64 `json:"pulled_at,omitempty"`
+	StartedAt  int64 `json:"started_at,omitempty"`
+	EndedAt    int64 `json:"ended_at,omitempty"`
+	AckedAt    int64 `json:"acked_at,omitempty"`
+	// Executions counts recorded executions of the task — >1 exactly when a
+	// kill-and-replay (or stale-claim race) re-ran it.
+	Executions int `json:"executions,omitempty"`
+	// Synthesized marks a hop reconstructed from its emit record alone (the
+	// untraced root execution that started the trace).
+	Synthesized bool `json:"synthesized,omitempty"`
+}
+
+// Trace is one reconstructed task path, root first.
+type Trace struct {
+	// ID is the root hop's task identity.
+	ID string `json:"id"`
+	// Complete reports that the path reaches back to a source's Generate
+	// execution — a full source→sink reconstruction.
+	Complete bool  `json:"complete"`
+	Hops     []Hop `json:"hops"`
+}
+
+type traceID struct{ src, seq uint64 }
+
+func (id traceID) String() string { return fmt.Sprintf("%x:%x", id.src, id.seq) }
+
+// Assemble joins the retained events into per-task traces: leaves (executed
+// tasks that emitted nothing traced) are walked back through emit parent
+// links to their root. It returns at most max traces, complete and longer
+// paths first.
+func (t *Tracer) Assemble(max int) []Trace {
+	events, _ := t.Events()
+	execs := map[traceID][]TraceEvent{}
+	emits := map[traceID]TraceEvent{} // child id → its emit record
+	acks := map[traceID]int64{}
+	parents := map[traceID]bool{} // ids that emitted a traced child
+	for _, e := range events {
+		id := traceID{e.Src, e.Seq}
+		switch e.Kind {
+		case KindExec:
+			execs[id] = append(execs[id], e)
+		case KindEmit:
+			emits[id] = e
+			parents[traceID{e.ParentSrc, e.ParentSeq}] = true
+		case KindAck:
+			acks[id] = e.At
+		}
+	}
+
+	var leaves []traceID
+	for id := range execs {
+		if !parents[id] {
+			leaves = append(leaves, id)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		a, b := leaves[i], leaves[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+
+	var traces []Trace
+	for _, leaf := range leaves {
+		var hops []Hop
+		complete := false
+		cur := leaf
+		for depth := 0; depth < 64; depth++ {
+			em, hasEmit := emits[cur]
+			hops = append([]Hop{hopFor(cur, execs[cur], acks[cur], em, hasEmit)}, hops...)
+			if !hasEmit {
+				break
+			}
+			pid := traceID{em.ParentSrc, em.ParentSeq}
+			if len(execs[pid]) == 0 {
+				// The parent execution was untraced (the trace started at this
+				// emission): reconstruct its hop from the emit record alone.
+				hops = append([]Hop{{ID: pid.String(), PE: em.PE, Worker: em.Worker,
+					EndedAt: em.At, Synthesized: true}}, hops...)
+				complete = em.Root
+				break
+			}
+			cur = pid
+		}
+		traces = append(traces, Trace{ID: hops[0].ID, Complete: complete, Hops: hops})
+	}
+	sort.SliceStable(traces, func(i, j int) bool {
+		if traces[i].Complete != traces[j].Complete {
+			return traces[i].Complete
+		}
+		return len(traces[i].Hops) > len(traces[j].Hops)
+	})
+	if len(traces) > max {
+		traces = traces[:max]
+	}
+	return traces
+}
+
+// hopFor builds the hop of one traced task from its recorded events. The
+// earliest execution supplies the span; the emit record that created the task
+// supplies the enqueue time when no execution was captured.
+func hopFor(id traceID, execs []TraceEvent, ackedAt int64, em TraceEvent, hasEmit bool) Hop {
+	hop := Hop{ID: id.String(), AckedAt: ackedAt, Executions: len(execs)}
+	if len(execs) == 0 {
+		if hasEmit {
+			hop.EnqueuedAt = em.At
+		}
+		return hop
+	}
+	first := execs[0]
+	for _, e := range execs[1:] {
+		if e.StartAt < first.StartAt {
+			first = e
+		}
+	}
+	hop.PE = first.PE
+	hop.Worker = first.Worker
+	hop.EnqueuedAt = first.EnqueuedAt
+	hop.PulledAt = first.PulledAt
+	hop.StartedAt = first.StartAt
+	hop.EndedAt = first.EndAt
+	return hop
+}

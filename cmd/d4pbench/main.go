@@ -12,6 +12,9 @@
 //	                          # writes BENCH_batching.json
 //	d4pbench -recovery        # exactly-once recovery overhead (fenced vs
 //	                          # unfenced managed state), writes BENCH_recovery.json
+//	d4pbench -openloop        # open-loop steady-state sweep (paced arrival
+//	                          # rates, p50/p99 latency, max sustainable
+//	                          # throughput), writes BENCH_codec.json
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "additionally write BENCH_<name>.json result files (machine-readable perf trajectory)")
 		sweep    = flag.Bool("sweep", false, "run the batching sweep (batch sizes 1, 8, 64, auto) and write BENCH_batching.json instead of the figure suite")
 		recovery = flag.Bool("recovery", false, "run the exactly-once recovery scenario (fenced vs unfenced managed state on the batched Redis path) and write BENCH_recovery.json")
+		openloop = flag.Bool("openloop", false, "run the open-loop steady-state sweep (paced arrival rates over the packed-frame Redis path) and write BENCH_codec.json")
 		telAddr  = flag.String("telemetry-addr", "", "serve the suite's live telemetry on this address (/metrics, /flights, /debug/pprof); empty disables")
 	)
 	flag.Parse()
@@ -70,6 +74,13 @@ func main() {
 	}
 	if *recovery {
 		if err := runRecovery(*quick, *outDir, *reps, *opDelay, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "d4pbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *openloop {
+		if err := runOpenLoop(*quick, *outDir, *opDelay, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
@@ -162,6 +173,119 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg
 		return err
 	}
 	return writeBenchJSON(outDir, "recovery", all, reg)
+}
+
+// runOpenLoop executes the open-loop steady-state sweep: for each workload, a
+// rate ladder of sustained paced runs over the packed-frame dyn_redis path,
+// reporting p50/p99 latency per rate and the maximum sustainable throughput.
+// Unlike the closed-loop figures (sources emit as fast as the pipeline
+// admits, so only total runtime is observable), the paced source exposes the
+// latency-vs-load curve and the throughput wall — the steady-state numbers
+// the codec and frame-packing work targets. Writes openloop.txt/csv and
+// BENCH_codec.json.
+func runOpenLoop(quick bool, outDir string, opDelay time.Duration, reg *telemetry.Registry) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	runner := &harness.Runner{Out: os.Stdout, RedisOpDelay: opDelay, Telemetry: reg}
+	defer runner.Close()
+
+	base := harness.OpenLoopConfig{
+		Mapping:   "dyn_redis",
+		Processes: 8,
+		Duration:  30 * time.Second,
+		Users:     1_000_000,
+		Seed:      17,
+	}
+	rates := []float64{1000, 2000, 4000, 8000, 16000}
+	if quick {
+		base.Duration = 2 * time.Second
+		base.Users = 50_000
+		rates = []float64{500, 2000}
+	}
+
+	var all []harness.OpenLoopPoint
+	maxSustainable := map[string]float64{}
+	for _, workload := range []string{"relay", "session"} {
+		cfg := base
+		cfg.Workload = workload
+		fmt.Printf("== openloop-%s: paced %s workload on %s (%v per rate)\n", workload, workload, cfg.Mapping, cfg.Duration)
+		pts, max, err := runner.OpenLoopSweep(cfg, rates)
+		if err != nil {
+			return err
+		}
+		all = append(all, pts...)
+		maxSustainable[workload] = max
+	}
+	for workload, max := range maxSustainable {
+		fmt.Printf("max sustainable %-8s %.0f events/s\n", workload, max)
+	}
+	title := fmt.Sprintf("Open-loop steady state (%s, %d workers, packed frames)", base.Mapping, base.Processes)
+	if err := writeFile(outDir, "openloop.txt", harness.RenderOpenLoop(title, all)); err != nil {
+		return err
+	}
+	if err := writeFile(outDir, "openloop.csv", harness.OpenLoopCSV(all)); err != nil {
+		return err
+	}
+	return writeOpenLoopJSON(outDir, all, maxSustainable, reg)
+}
+
+// openLoopJSONPoint is one open-loop run in the machine-readable schema.
+// Latencies are milliseconds, rates events/second.
+type openLoopJSONPoint struct {
+	Workload      string  `json:"workload"`
+	Mapping       string  `json:"mapping"`
+	Processes     int     `json:"processes"`
+	TargetRate    float64 `json:"target_rate"`
+	OfferedRate   float64 `json:"offered_rate"`
+	DeliveredRate float64 `json:"delivered_rate"`
+	Offered       int64   `json:"offered"`
+	Delivered     int64   `json:"delivered"`
+	GenSeconds    float64 `json:"gen_seconds"`
+	DrainSeconds  float64 `json:"drain_seconds"`
+	P50Millis     float64 `json:"p50_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	MaxMillis     float64 `json:"max_ms"`
+	Sustainable   bool    `json:"sustainable"`
+}
+
+// writeOpenLoopJSON writes BENCH_codec.json: the open-loop points, the
+// per-workload max sustainable throughput, and the suite's telemetry
+// snapshot.
+func writeOpenLoopJSON(dir string, pts []harness.OpenLoopPoint, maxSustainable map[string]float64, reg *telemetry.Registry) error {
+	out := struct {
+		Name           string              `json:"name"`
+		Points         []openLoopJSONPoint `json:"points"`
+		MaxSustainable map[string]float64  `json:"max_sustainable_rate"`
+		Telemetry      *telemetry.Snapshot `json:"telemetry,omitempty"`
+	}{Name: "codec", MaxSustainable: maxSustainable}
+	for _, p := range pts {
+		out.Points = append(out.Points, openLoopJSONPoint{
+			Workload:      p.Workload,
+			Mapping:       p.Mapping,
+			Processes:     p.Processes,
+			TargetRate:    p.TargetRate,
+			OfferedRate:   p.OfferedRate,
+			DeliveredRate: p.DeliveredRate,
+			Offered:       p.Offered,
+			Delivered:     p.Delivered,
+			GenSeconds:    p.GenSeconds,
+			DrainSeconds:  p.DrainSeconds,
+			P50Millis:     float64(p.P50) / 1e6,
+			P99Millis:     float64(p.P99) / 1e6,
+			MaxMillis:     float64(p.Max) / 1e6,
+			Sustainable:   p.Sustainable,
+		})
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		out.Telemetry = &snap
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "BENCH_codec.json", string(body))
 }
 
 func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool, reg *telemetry.Registry) error {

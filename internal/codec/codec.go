@@ -1,26 +1,61 @@
-// Package codec serializes workflow task payloads for transport through
-// Redis. It wraps encoding/gob: workflows register their concrete payload
-// types once (in init functions or before running), after which arbitrary
-// task values round-trip as binary-safe strings. This plays the role pickle
-// plays for dispel4py's Redis mapping.
+// Package codec serializes workflow task envelopes for transport through
+// Redis. It plays the role pickle plays for dispel4py's Redis mapping.
+//
+// The wire format is a flat, length-prefixed binary frame (version 1):
+//
+//	frame  = 0x00 0x00            magic (two NUL bytes)
+//	         0x01                 format version
+//	         uvarint(count)       tasks in the frame
+//	         record*              one per task, in order
+//	         gob-stream           trailer, present iff any record defers
+//	                              its payload to gob (tag 0xFF below)
+//
+//	record = flags byte:
+//	           0x01 Poison        0x02 Finalize
+//	           0x04 identity      Src/Seq present (fencing provenance)
+//	           0x08 traced        TraceAt present (telemetry sampling)
+//	           0x10 value         payload present (Value != nil)
+//	         uvarint(len) PE-bytes
+//	         uvarint(len) Port-bytes
+//	         zigzag-uvarint Instance        (-1 = dynamic pool)
+//	         [identity] fixed64-LE Src, uvarint Seq
+//	         [traced]   fixed64-LE TraceAt
+//	         [value]    tag byte + payload (see value tags below)
+//
+// Scalar payloads are encoded inline with one-byte tags (string, []byte,
+// bool, int, int64, uint64, float64, float32, int32). Everything else —
+// the registered workflow structs — carries tag 0xFF and is written to a
+// single gob stream trailing the records, so a frame pays for gob's type
+// descriptors at most once no matter how many tasks it packs.
+//
+// Encoding is allocation-free in steady state: AppendTask/AppendBatch write
+// into a caller-supplied byte slice (GetBuffer/Release pool them), and
+// inline-scalar frames touch neither gob nor the heap. Decoding recognizes
+// the two legacy gob formats — a bare gob frame (first byte never 0x00) and
+// the 0x00-prefixed gob batch frame — so frames written by earlier versions
+// still decode.
 package codec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"math"
+	"strings"
+	"sync"
 )
 
 // Register makes a concrete payload type encodable inside interface values.
-// It is safe to register the same type multiple times from different
-// workflows only if the registrations agree; duplicate identical
-// registrations panic in gob, so Register swallows that one specific case.
+// Registration is idempotent: gob panics with a "gob: registering duplicate"
+// message when the same type or name is registered twice, and Register
+// swallows exactly that panic (workflow init functions run once per import
+// path but several workflows share payload types). Any other panic — a nil
+// value, an unnamed type — is re-raised.
 func Register(value any) {
 	defer func() {
 		if r := recover(); r != nil {
-			// gob panics on duplicate registration of the same type; that is
-			// harmless for our use (idempotent workflow init).
-			if s, ok := r.(string); ok && len(s) >= 3 {
+			if s, ok := r.(string); ok && strings.HasPrefix(s, "gob: registering duplicate") {
 				return
 			}
 			panic(r)
@@ -54,16 +89,16 @@ type Task struct {
 	// deterministic — a replayed parent re-emits children with identical
 	// identities — which is what lets the managed-state fence drop updates
 	// whose sequence was already applied. Both zero means the task is
-	// unstamped (fencing off); gob omits zero fields, so unstamped tasks pay
-	// nothing on the wire.
+	// unstamped (fencing off); the wire format omits zero identities, so
+	// unstamped tasks pay nothing on the wire.
 	Src uint64
 	Seq uint64
 	// TraceAt, when non-zero, marks the task as sampled by the telemetry
 	// tracer and carries the UnixNano timestamp of the emission that created
 	// it. Children of a traced task are traced in turn, so a sampled task's
 	// whole downstream path is reconstructable across workers (and, because
-	// Src/Seq are deterministic, across kill-and-replay). gob omits the zero
-	// value, so untraced tasks pay nothing on the wire.
+	// Src/Seq are deterministic, across kill-and-replay). The wire format
+	// omits the zero value, so untraced tasks pay nothing on the wire.
 	TraceAt int64
 }
 
@@ -71,8 +106,424 @@ func init() {
 	gob.Register(Task{})
 }
 
-// Encode serializes a task to a binary-safe string.
+// Wire constants. A legacy gob stream starts with a length-prefixed message
+// whose first byte is never 0x00, and the legacy batch frame is exactly one
+// 0x00 followed by a gob stream — so two leading NULs are unreachable by
+// either legacy format and unambiguously mark a flat frame.
+const (
+	flatMagic   = 0x00 // first two bytes of a flat frame
+	flatVersion = 0x01 // current flat format version
+
+	legacyBatchMagic = 0x00 // single 0x00 prefix of the legacy gob batch
+)
+
+// Record flag bits.
+const (
+	flagPoison   = 0x01
+	flagFinalize = 0x02
+	flagIdentity = 0x04 // Src/Seq present
+	flagTraced   = 0x08 // TraceAt present
+	flagValue    = 0x10 // payload present
+)
+
+// Inline payload tags.
+const (
+	tagString  = 0x01
+	tagBytes   = 0x02
+	tagTrue    = 0x03
+	tagFalse   = 0x04
+	tagInt     = 0x05
+	tagInt64   = 0x06
+	tagUint64  = 0x07
+	tagFloat64 = 0x08
+	tagFloat32 = 0x09
+	tagInt32   = 0x0A
+	tagGob     = 0xFF // payload deferred to the frame's trailing gob stream
+)
+
+// Buffer is a pooled scratch slice for frame encoding. Transports hold one
+// per push, append frames into B, and Release it when the wire bytes have
+// been handed to the client.
+type Buffer struct {
+	B []byte
+}
+
+// maxPooledBuffer caps what Release returns to the pool so one giant frame
+// does not pin its buffer forever.
+const maxPooledBuffer = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 1024)} }}
+
+// GetBuffer fetches a pooled encode buffer with length 0.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool.
+func (b *Buffer) Release() {
+	if cap(b.B) <= maxPooledBuffer {
+		bufPool.Put(b)
+	}
+}
+
+// sliceWriter lets a gob encoder append directly to the frame under
+// construction.
+type sliceWriter struct{ b *[]byte }
+
+func (w sliceWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+// AppendTask appends a one-task flat frame to dst and returns the extended
+// slice. Inline-scalar payloads allocate nothing beyond dst's own growth.
+func AppendTask(dst []byte, t Task) ([]byte, error) {
+	dst = append(dst, flatMagic, flatMagic, flatVersion, 1)
+	dst, needsGob := appendRecord(dst, &t)
+	if needsGob {
+		return appendGobTrailer(dst, []Task{t}, []int{0})
+	}
+	return dst, nil
+}
+
+// AppendBatch appends one flat frame holding all of ts to dst and returns
+// the extended slice. Payloads that need gob share a single encoder writing
+// a trailer after the records, so the frame carries each type's descriptors
+// at most once.
+func AppendBatch(dst []byte, ts []Task) ([]byte, error) {
+	if len(ts) == 0 {
+		return dst, fmt.Errorf("codec: encode empty batch")
+	}
+	dst = append(dst, flatMagic, flatMagic, flatVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(ts)))
+	var gobIdx []int
+	for i := range ts {
+		var needsGob bool
+		dst, needsGob = appendRecord(dst, &ts[i])
+		if needsGob {
+			gobIdx = append(gobIdx, i)
+		}
+	}
+	if len(gobIdx) > 0 {
+		return appendGobTrailer(dst, ts, gobIdx)
+	}
+	return dst, nil
+}
+
+// appendGobTrailer writes the shared gob stream for the tasks at gobIdx.
+// It is a separate function so taking dst's address here does not force the
+// inline-scalar path in the callers to heap-allocate their slice headers.
+func appendGobTrailer(dst []byte, ts []Task, gobIdx []int) ([]byte, error) {
+	enc := gob.NewEncoder(sliceWriter{&dst})
+	for _, i := range gobIdx {
+		if err := enc.Encode(&ts[i].Value); err != nil {
+			return dst, fmt.Errorf("codec: encode payload for PE %q: %w", ts[i].PE, err)
+		}
+	}
+	return dst, nil
+}
+
+// appendRecord writes one task record (without its gob payload, if any) and
+// reports whether the payload was deferred to the frame's gob trailer.
+func appendRecord(dst []byte, t *Task) ([]byte, bool) {
+	flags := byte(0)
+	if t.Poison {
+		flags |= flagPoison
+	}
+	if t.Finalize {
+		flags |= flagFinalize
+	}
+	if t.Src != 0 || t.Seq != 0 {
+		flags |= flagIdentity
+	}
+	if t.TraceAt != 0 {
+		flags |= flagTraced
+	}
+	if t.Value != nil {
+		flags |= flagValue
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(t.PE)))
+	dst = append(dst, t.PE...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Port)))
+	dst = append(dst, t.Port...)
+	dst = appendZigzag(dst, int64(t.Instance))
+	if flags&flagIdentity != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, t.Src)
+		dst = binary.AppendUvarint(dst, t.Seq)
+	}
+	if flags&flagTraced != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.TraceAt))
+	}
+	if flags&flagValue == 0 {
+		return dst, false
+	}
+	switch v := t.Value.(type) {
+	case string:
+		dst = append(dst, tagString)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	case []byte:
+		dst = append(dst, tagBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	case bool:
+		if v {
+			dst = append(dst, tagTrue)
+		} else {
+			dst = append(dst, tagFalse)
+		}
+	case int:
+		dst = append(dst, tagInt)
+		dst = appendZigzag(dst, int64(v))
+	case int64:
+		dst = append(dst, tagInt64)
+		dst = appendZigzag(dst, v)
+	case uint64:
+		dst = append(dst, tagUint64)
+		dst = binary.AppendUvarint(dst, v)
+	case float64:
+		dst = append(dst, tagFloat64)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	case float32:
+		dst = append(dst, tagFloat32)
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	case int32:
+		dst = append(dst, tagInt32)
+		dst = appendZigzag(dst, int64(v))
+	default:
+		dst = append(dst, tagGob)
+		return dst, true
+	}
+	return dst, false
+}
+
+// Encode serializes a task to a binary-safe string (a one-task flat frame).
 func Encode(t Task) (string, error) {
+	buf := GetBuffer()
+	defer buf.Release()
+	b, err := AppendTask(buf.B, t)
+	buf.B = b[:0]
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// EncodeBatch serializes several tasks into one flat frame.
+func EncodeBatch(ts []Task) (string, error) {
+	buf := GetBuffer()
+	defer buf.Release()
+	b, err := AppendBatch(buf.B, ts)
+	buf.B = b[:0]
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// isFlat reports whether s starts with a flat-frame magic.
+func isFlat(s string) bool {
+	return len(s) >= 4 && s[0] == flatMagic && s[1] == flatMagic
+}
+
+// Decode deserializes a one-task frame produced by Encode — current flat
+// frames and legacy single-task gob frames both decode.
+func Decode(s string) (Task, error) {
+	if isFlat(s) {
+		ts, err := decodeFlat(s)
+		if err != nil {
+			return Task{}, err
+		}
+		if len(ts) != 1 {
+			return Task{}, fmt.Errorf("codec: decode task: frame holds %d tasks", len(ts))
+		}
+		return ts[0], nil
+	}
+	return decodeGob(s)
+}
+
+// DecodeBatch deserializes any frame this package has ever written: flat
+// frames (any count), legacy gob batch frames, and legacy single-task gob
+// frames (returned as a one-element slice).
+func DecodeBatch(s string) ([]Task, error) {
+	if isFlat(s) {
+		return decodeFlat(s)
+	}
+	if len(s) > 0 && s[0] == legacyBatchMagic {
+		var ts []Task
+		if err := gob.NewDecoder(strings.NewReader(s[1:])).Decode(&ts); err != nil {
+			return nil, fmt.Errorf("codec: decode batch: %w", err)
+		}
+		return ts, nil
+	}
+	t, err := decodeGob(s)
+	if err != nil {
+		return nil, err
+	}
+	return []Task{t}, nil
+}
+
+func decodeFlat(s string) ([]Task, error) {
+	if s[2] != flatVersion {
+		return nil, fmt.Errorf("codec: unknown wire format version %d", s[2])
+	}
+	count, off, err := readUvarint(s, 3)
+	if err != nil {
+		return nil, fmt.Errorf("codec: decode frame count: %w", err)
+	}
+	// Every record costs at least 4 bytes, so a count anywhere near the frame
+	// length is corrupt; reject before allocating.
+	if count == 0 || count > uint64(len(s)) {
+		return nil, fmt.Errorf("codec: implausible frame count %d for %d-byte frame", count, len(s))
+	}
+	ts := make([]Task, count)
+	var gobIdx []int
+	for i := range ts {
+		var needsGob bool
+		off, needsGob, err = decodeRecord(s, off, &ts[i])
+		if err != nil {
+			return nil, fmt.Errorf("codec: decode task %d/%d: %w", i+1, count, err)
+		}
+		if needsGob {
+			gobIdx = append(gobIdx, i)
+		}
+	}
+	if len(gobIdx) > 0 {
+		dec := gob.NewDecoder(strings.NewReader(s[off:]))
+		for _, i := range gobIdx {
+			if err := dec.Decode(&ts[i].Value); err != nil {
+				return nil, fmt.Errorf("codec: decode payload for PE %q: %w", ts[i].PE, err)
+			}
+		}
+	} else if off != len(s) {
+		return nil, fmt.Errorf("codec: %d trailing bytes after frame", len(s)-off)
+	}
+	return ts, nil
+}
+
+// decodeRecord parses one task record starting at off and reports whether
+// its payload must be read from the frame's gob trailer.
+func decodeRecord(s string, off int, t *Task) (int, bool, error) {
+	if off >= len(s) {
+		return off, false, fmt.Errorf("truncated record")
+	}
+	flags := s[off]
+	off++
+	var err error
+	if t.PE, off, err = readString(s, off); err != nil {
+		return off, false, fmt.Errorf("PE: %w", err)
+	}
+	if t.Port, off, err = readString(s, off); err != nil {
+		return off, false, fmt.Errorf("port: %w", err)
+	}
+	var inst int64
+	if inst, off, err = readZigzag(s, off); err != nil {
+		return off, false, fmt.Errorf("instance: %w", err)
+	}
+	t.Instance = int(inst)
+	t.Poison = flags&flagPoison != 0
+	t.Finalize = flags&flagFinalize != 0
+	if flags&flagIdentity != 0 {
+		if t.Src, off, err = readFixed64(s, off); err != nil {
+			return off, false, fmt.Errorf("src: %w", err)
+		}
+		if t.Seq, off, err = readUvarint(s, off); err != nil {
+			return off, false, fmt.Errorf("seq: %w", err)
+		}
+	}
+	if flags&flagTraced != 0 {
+		var at uint64
+		if at, off, err = readFixed64(s, off); err != nil {
+			return off, false, fmt.Errorf("traceAt: %w", err)
+		}
+		t.TraceAt = int64(at)
+	}
+	if flags&flagValue == 0 {
+		return off, false, nil
+	}
+	if off >= len(s) {
+		return off, false, fmt.Errorf("truncated payload tag")
+	}
+	tag := s[off]
+	off++
+	switch tag {
+	case tagString:
+		var v string
+		if v, off, err = readString(s, off); err != nil {
+			return off, false, fmt.Errorf("string payload: %w", err)
+		}
+		t.Value = v
+	case tagBytes:
+		var v string
+		if v, off, err = readString(s, off); err != nil {
+			return off, false, fmt.Errorf("bytes payload: %w", err)
+		}
+		t.Value = []byte(v)
+	case tagTrue:
+		t.Value = true
+	case tagFalse:
+		t.Value = false
+	case tagInt:
+		var v int64
+		if v, off, err = readZigzag(s, off); err != nil {
+			return off, false, fmt.Errorf("int payload: %w", err)
+		}
+		t.Value = int(v)
+	case tagInt64:
+		var v int64
+		if v, off, err = readZigzag(s, off); err != nil {
+			return off, false, fmt.Errorf("int64 payload: %w", err)
+		}
+		t.Value = v
+	case tagUint64:
+		var v uint64
+		if v, off, err = readUvarint(s, off); err != nil {
+			return off, false, fmt.Errorf("uint64 payload: %w", err)
+		}
+		t.Value = v
+	case tagFloat64:
+		var bits uint64
+		if bits, off, err = readFixed64(s, off); err != nil {
+			return off, false, fmt.Errorf("float64 payload: %w", err)
+		}
+		t.Value = math.Float64frombits(bits)
+	case tagFloat32:
+		var bits uint32
+		if bits, off, err = readFixed32(s, off); err != nil {
+			return off, false, fmt.Errorf("float32 payload: %w", err)
+		}
+		t.Value = math.Float32frombits(bits)
+	case tagInt32:
+		var v int64
+		if v, off, err = readZigzag(s, off); err != nil {
+			return off, false, fmt.Errorf("int32 payload: %w", err)
+		}
+		t.Value = int32(v)
+	case tagGob:
+		return off, true, nil
+	default:
+		return off, false, fmt.Errorf("unknown payload tag 0x%02x", tag)
+	}
+	return off, false, nil
+}
+
+// --- legacy gob format, retained for cross-version decode and benchmarks ---
+
+// decodeGob deserializes a legacy single-task gob frame.
+func decodeGob(s string) (Task, error) {
+	var t Task
+	if err := gob.NewDecoder(strings.NewReader(s)).Decode(&t); err != nil {
+		return Task{}, fmt.Errorf("codec: decode task: %w", err)
+	}
+	return t, nil
+}
+
+// encodeGob writes the legacy single-task gob frame (what Encode produced
+// before the flat format).
+func encodeGob(t Task) (string, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&t); err != nil {
 		return "", fmt.Errorf("codec: encode task for PE %q: %w", t.PE, err)
@@ -80,58 +531,78 @@ func Encode(t Task) (string, error) {
 	return buf.String(), nil
 }
 
-// Decode deserializes a task produced by Encode.
-func Decode(s string) (Task, error) {
-	var t Task
-	if err := gob.NewDecoder(bytes.NewReader([]byte(s))).Decode(&t); err != nil {
-		return Task{}, fmt.Errorf("codec: decode task: %w", err)
-	}
-	return t, nil
-}
-
-// batchMagic prefixes multi-task frames. A gob stream starts with a
-// length-prefixed message whose count is at least 1, and gob's uint encoding
-// makes that first byte either the count itself (1..127) or a marker
-// >= 0x80 — never 0x00 — so the byte unambiguously separates batch frames
-// from single-task frames on the wire.
-const batchMagic = 0x00
-
-// EncodeBatch serializes several tasks into one frame with a single encoder
-// and buffer: the gob type descriptors are transmitted once per frame
-// instead of once per task, which is the (de)serialization half of the
-// batched transport path. A one-task batch degrades to the plain Encode
-// frame, so anything EncodeBatch writes stays readable by old-style readers
-// whenever it could have been written by them.
-func EncodeBatch(ts []Task) (string, error) {
+// encodeGobBatch writes the legacy batch frame (0x00 magic + gob of []Task);
+// like the old EncodeBatch, a one-task batch degrades to the single frame.
+func encodeGobBatch(ts []Task) (string, error) {
 	if len(ts) == 0 {
 		return "", fmt.Errorf("codec: encode empty batch")
 	}
 	if len(ts) == 1 {
-		return Encode(ts[0])
+		return encodeGob(ts[0])
 	}
 	var buf bytes.Buffer
-	buf.WriteByte(batchMagic)
+	buf.WriteByte(legacyBatchMagic)
 	if err := gob.NewEncoder(&buf).Encode(ts); err != nil {
 		return "", fmt.Errorf("codec: encode batch of %d tasks: %w", len(ts), err)
 	}
 	return buf.String(), nil
 }
 
-// DecodeBatch deserializes a frame produced by EncodeBatch or Encode: batch
-// frames decode with one decoder setup for all tasks, single-task frames
-// (including every frame written before batching existed) come back as a
-// one-element slice.
-func DecodeBatch(s string) ([]Task, error) {
-	if len(s) == 0 || s[0] != batchMagic {
-		t, err := Decode(s)
-		if err != nil {
-			return nil, err
+// --- primitive readers/writers over strings (no []byte conversions) ---
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+func readUvarint(s string, off int) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := off; i < len(s); i++ {
+		b := s[i]
+		if shift >= 64 || (shift == 63 && b > 1) {
+			return 0, i, fmt.Errorf("uvarint overflows 64 bits")
 		}
-		return []Task{t}, nil
+		if b < 0x80 {
+			return v | uint64(b)<<shift, i + 1, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
 	}
-	var ts []Task
-	if err := gob.NewDecoder(bytes.NewReader([]byte(s[1:]))).Decode(&ts); err != nil {
-		return nil, fmt.Errorf("codec: decode batch: %w", err)
+	return 0, len(s), fmt.Errorf("truncated uvarint")
+}
+
+func readZigzag(s string, off int) (int64, int, error) {
+	u, off, err := readUvarint(s, off)
+	if err != nil {
+		return 0, off, err
 	}
-	return ts, nil
+	return int64(u>>1) ^ -int64(u&1), off, nil
+}
+
+func readString(s string, off int) (string, int, error) {
+	n, off, err := readUvarint(s, off)
+	if err != nil {
+		return "", off, err
+	}
+	if n > uint64(len(s)-off) {
+		return "", off, fmt.Errorf("length %d exceeds remaining %d bytes", n, len(s)-off)
+	}
+	return s[off : off+int(n)], off + int(n), nil
+}
+
+func readFixed64(s string, off int) (uint64, int, error) {
+	if len(s)-off < 8 {
+		return 0, off, fmt.Errorf("truncated fixed64")
+	}
+	v := uint64(s[off]) | uint64(s[off+1])<<8 | uint64(s[off+2])<<16 | uint64(s[off+3])<<24 |
+		uint64(s[off+4])<<32 | uint64(s[off+5])<<40 | uint64(s[off+6])<<48 | uint64(s[off+7])<<56
+	return v, off + 8, nil
+}
+
+func readFixed32(s string, off int) (uint32, int, error) {
+	if len(s)-off < 4 {
+		return 0, off, fmt.Errorf("truncated fixed32")
+	}
+	v := uint32(s[off]) | uint32(s[off+1])<<8 | uint32(s[off+2])<<16 | uint32(s[off+3])<<24
+	return v, off + 4, nil
 }

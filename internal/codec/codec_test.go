@@ -115,15 +115,12 @@ func TestBatchRoundTrip(t *testing.T) {
 }
 
 func TestBatchWireCompatibility(t *testing.T) {
-	// A single-task frame written by Encode must decode through DecodeBatch,
-	// and a one-task EncodeBatch must stay readable by plain Decode — the two
-	// directions of wire compatibility with pre-batching frames.
+	// A single-task flat frame written by Encode must decode through
+	// DecodeBatch, and a one-task EncodeBatch must stay readable by plain
+	// Decode — a pulled stream entry may hold either shape.
 	single, err := Encode(Task{PE: "pe", Port: "in", Value: "v"})
 	if err != nil {
 		t.Fatal(err)
-	}
-	if single[0] == batchMagic {
-		t.Fatal("gob single frame starts with the batch magic byte; framing is ambiguous")
 	}
 	got, err := DecodeBatch(single)
 	if err != nil {
@@ -153,8 +150,14 @@ func TestBatchEdgeCases(t *testing.T) {
 	if _, err := DecodeBatch(""); err == nil {
 		t.Error("empty string must not decode")
 	}
-	if _, err := DecodeBatch(string([]byte{batchMagic}) + "garbage"); err == nil {
-		t.Error("garbage batch frame must not decode")
+	if _, err := DecodeBatch(string([]byte{legacyBatchMagic}) + "garbage"); err == nil {
+		t.Error("garbage legacy batch frame must not decode")
+	}
+	if _, err := DecodeBatch(string([]byte{flatMagic, flatMagic, flatVersion, 200}) + "x"); err == nil {
+		t.Error("flat frame with implausible count must not decode")
+	}
+	if _, err := DecodeBatch(string([]byte{flatMagic, flatMagic, 0x7f, 1, 0})); err == nil {
+		t.Error("unknown wire version must not decode")
 	}
 }
 

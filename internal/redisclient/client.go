@@ -428,6 +428,29 @@ func (c *Client) XAck(key, group string, ids ...string) (int64, error) {
 	return c.DoInt(append([]string{"XACK", key, group}, ids...)...)
 }
 
+// XAckEach acknowledges every ID with its own XACK in one pipelined round
+// trip and returns the per-ID removal counts in order — the caller learns
+// which specific entries its acknowledgement actually removed, which a
+// multi-ID XACK's summed reply cannot tell it.
+func (c *Client) XAckEach(key, group string, ids []string) ([]int64, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	cmds := make([][]string, len(ids))
+	for i, id := range ids {
+		cmds[i] = []string{"XACK", key, group, id}
+	}
+	replies, err := c.Pipeline(cmds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(replies))
+	for i, r := range replies {
+		out[i] = r.Int
+	}
+	return out, nil
+}
+
 // PendingSummary is the XPENDING summary reply.
 type PendingSummary struct {
 	Count       int64
@@ -510,6 +533,30 @@ func (c *Client) XInfoConsumers(key, group string) ([]ConsumerInfo, error) {
 			}
 		}
 		out = append(out, info)
+	}
+	return out, nil
+}
+
+// XClaimJustID claims ids onto consumer with XCLAIM ... JUSTID, returning the
+// IDs actually claimed. JUSTID resets each entry's idle clock without bumping
+// its delivery counter, so a worker claiming its own pending entries acts as
+// a lease heartbeat: the entries stay ineligible for XAUTOCLAIM as long as
+// the worker keeps making progress.
+func (c *Client) XClaimJustID(key, group, consumer string, minIdle time.Duration, ids []string) ([]string, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	args := make([]string, 0, len(ids)+6)
+	args = append(args, "XCLAIM", key, group, consumer, strconv.FormatInt(minIdle.Milliseconds(), 10))
+	args = append(args, ids...)
+	args = append(args, "JUSTID")
+	v, err := c.Do(args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(v.Array))
+	for _, e := range v.Array {
+		out = append(out, e.Str)
 	}
 	return out, nil
 }

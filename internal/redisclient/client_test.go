@@ -172,6 +172,47 @@ func TestXAckBatchedIDs(t *testing.T) {
 	}
 }
 
+func TestXAckEach(t *testing.T) {
+	// XAckEach tells the caller WHICH entries its ack removed — the fenced
+	// entry-range ack path maps each removal count onto that entry's packed
+	// task weight, so per-ID resolution is load-bearing.
+	cl := newPair(t)
+	if err := cl.XGroupCreate("st", "g", "0"); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		id, err := cl.XAddValues("st", "f", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := cl.XReadGroup("g", "c1", 3, 0, "st"); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-ack the middle entry so the per-ID replies are distinguishable.
+	if _, err := cl.XAck("st", "g", ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.XAckEach("st", "g", []string{ids[0], ids[1], ids[2], "99999-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 0, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("XAckEach replies: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("XAckEach replies: %v, want %v", got, want)
+		}
+	}
+	if out, err := cl.XAckEach("st", "g", nil); err != nil || out != nil {
+		t.Fatalf("empty XAckEach: %v %v, want nil nil", out, err)
+	}
+}
+
 func TestLPopCount(t *testing.T) {
 	cl := newPair(t)
 	if _, err := cl.RPush("q", "a", "b", "c"); err != nil {

@@ -1,0 +1,254 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/miniredis"
+	"repro/internal/redisclient"
+	"repro/internal/runtime"
+)
+
+// newEntryFixture is newRedisFixture with the run keys exposed, so tests can
+// inspect the stream and PEL behind the Transport interface.
+func newEntryFixture(t *testing.T, workers int, recoverStale bool) (*runtime.RedisTransport, *redisclient.Client, runtime.RedisKeys) {
+	t.Helper()
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := redisclient.Dial(srv.Addr())
+	t.Cleanup(func() { cl.Close() })
+	keys := runtime.NewRunKeys("entrytest", 1)
+	plan := runtime.NewPlan(make([]runtime.WorkerSpec, workers), map[string]int{"pe": 0})
+	tr, err := runtime.NewRedisTransport(cl, keys, plan, recoverStale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, cl, keys
+}
+
+func poolTasks(n int) []runtime.Task {
+	ts := make([]runtime.Task, n)
+	for i := range ts {
+		ts[i] = runtime.Task{PE: "pe", Port: "in", Value: i, Instance: -1, Src: uint64(i + 1), Seq: uint64(i)}
+	}
+	return ts
+}
+
+// TestRedisPackedPushSingleEntry pins the tentpole wire change: one Push of
+// a pool batch lands as ONE stream entry, and one window unit of PullBatch
+// delivers the whole frame.
+func TestRedisPackedPushSingleEntry(t *testing.T) {
+	tr, cl, keys := newEntryFixture(t, 1, false)
+	if err := tr.Push(poolTasks(8)...); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.XLen(keys.Queue); err != nil || n != 1 {
+		t.Fatalf("stream holds %d entries (%v), want 1 packed frame", n, err)
+	}
+	envs, err := tr.PullBatch(0, 1, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 8 {
+		t.Fatalf("pulled %d envs from a window of 1 entry, want 8", len(envs))
+	}
+	for i, env := range envs {
+		if env.AckID == "" || env.AckID != envs[0].AckID {
+			t.Fatalf("env %d AckID %q, want all envs to share the entry ID %q", i, env.AckID, envs[0].AckID)
+		}
+		if env.Value != i {
+			t.Fatalf("env %d value %v, want in-order delivery", i, env.Value)
+		}
+	}
+	if err := tr.Ack(0, envs...); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := tr.Pending(); err != nil || p != 0 {
+		t.Fatalf("pending = %d (%v) after full ack, want 0", p, err)
+	}
+	if ids, err := cl.XPendingIDs(keys.Queue, keys.Group, "w0", 16); err != nil || len(ids) != 0 {
+		t.Fatalf("PEL holds %v (%v) after full ack, want empty", ids, err)
+	}
+}
+
+// TestRedisEntryRangeAckPartial acks a packed entry in two halves: the entry
+// must stay in the PEL until the last of its tasks is released, while the
+// unfenced pending counter still drains per task.
+func TestRedisEntryRangeAckPartial(t *testing.T) {
+	tr, cl, keys := newEntryFixture(t, 1, false)
+	if err := tr.Push(poolTasks(4)...); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := tr.PullBatch(0, 1, 5*time.Millisecond)
+	if err != nil || len(envs) != 4 {
+		t.Fatalf("pull: %d envs, %v", len(envs), err)
+	}
+	if err := tr.Ack(0, envs[:2]...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 2 {
+		t.Fatalf("pending = %d after half the frame acked, want 2", p)
+	}
+	if ids, err := cl.XPendingIDs(keys.Queue, keys.Group, "w0", 16); err != nil || len(ids) != 1 {
+		t.Fatalf("PEL %v (%v) with the frame half-acked, want the entry still pending", ids, err)
+	}
+	if err := tr.Ack(0, envs[2:]...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 0 {
+		t.Fatalf("pending = %d after the full frame, want 0", p)
+	}
+	if ids, _ := cl.XPendingIDs(keys.Queue, keys.Group, "w0", 16); len(ids) != 0 {
+		t.Fatalf("PEL %v after the full frame, want empty", ids)
+	}
+}
+
+// TestRedisEntryRangeAckFencedPartial is the fenced variant: with
+// recoverStale on, decrements are backed by entry removal, so a half-acked
+// frame holds its full weight on the pending counter — the drain check can
+// never observe a packed frame as partially done.
+func TestRedisEntryRangeAckFencedPartial(t *testing.T) {
+	tr, _, _ := newEntryFixture(t, 1, true)
+	if err := tr.Push(poolTasks(4)...); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := tr.PullBatch(0, 1, 5*time.Millisecond)
+	if err != nil || len(envs) != 4 {
+		t.Fatalf("pull: %d envs, %v", len(envs), err)
+	}
+	if err := tr.Ack(0, envs[:2]...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 4 {
+		t.Fatalf("fenced pending = %d after half the frame acked, want the full 4 until the entry completes", p)
+	}
+	if err := tr.Ack(0, envs[2:]...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 0 {
+		t.Fatalf("fenced pending = %d after the full frame, want 0", p)
+	}
+}
+
+// TestRedisClaimedPackedEntryFenced reruns the late-ack interleaving over a
+// packed frame: the whole entry is claimed away, the original worker's late
+// ack of all its tasks must not release anything, and the new owner's ack
+// releases the entry's full weight exactly once.
+func TestRedisClaimedPackedEntryFenced(t *testing.T) {
+	tr, _, _ := newEntryFixture(t, 2, true)
+	if err := tr.Push(poolTasks(3)...); err != nil {
+		t.Fatal(err)
+	}
+	const pollTimeout = 5 * time.Millisecond
+	stalled, err := tr.PullBatch(0, 1, pollTimeout)
+	if err != nil || len(stalled) != 3 {
+		t.Fatalf("pull w0: %d envs, %v", len(stalled), err)
+	}
+	time.Sleep(10 * pollTimeout)
+	claimed, err := tr.PullBatch(1, 1, pollTimeout)
+	if err != nil || len(claimed) != 3 || claimed[0].AckID != stalled[0].AckID {
+		t.Fatalf("claim w1: %d envs, %v (want the stalled frame)", len(claimed), err)
+	}
+	if err := tr.Ack(0, stalled...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 3 {
+		t.Fatalf("pending = %d after the late ack of the claimed frame, want 3", p)
+	}
+	if err := tr.Ack(1, claimed...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 0 {
+		t.Fatalf("pending = %d after the owner's ack, want 0", p)
+	}
+	// Repeated stale acks of the long-released frame stay no-ops.
+	if err := tr.Ack(0, stalled...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 0 {
+		t.Fatalf("pending = %d after a repeated stale ack, want 0", p)
+	}
+}
+
+// TestRedisLeaseExtendBlocksClaim pins the liveness contract packing
+// introduced: a worker heartbeating through Extend keeps its pulled frame
+// ineligible for XAUTOCLAIM even though the frame's total processing time is
+// far past the idle threshold, while a silent worker's frame is claimed away
+// as before. Without the heartbeat a frame slower than the threshold
+// ping-pongs between claimers forever and the run never drains.
+func TestRedisLeaseExtendBlocksClaim(t *testing.T) {
+	tr, _, _ := newEntryFixture(t, 2, true)
+	if err := tr.Push(poolTasks(6)...); err != nil {
+		t.Fatal(err)
+	}
+	const pollTimeout = 5 * time.Millisecond // claim threshold 8× = 40ms
+	envs, err := tr.PullBatch(0, 1, pollTimeout)
+	if err != nil || len(envs) != 6 {
+		t.Fatalf("pull w0: %d envs, %v", len(envs), err)
+	}
+	// Simulate a healthy worker mid-frame: heartbeat across 3 thresholds'
+	// worth of wall clock without acking anything.
+	for i := 0; i < 12; i++ {
+		time.Sleep(pollTimeout * 2)
+		if err := tr.Extend(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	claimed, err := tr.PullBatch(1, 1, pollTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claimed) != 0 {
+		t.Fatalf("w1 claimed %d envs from a heartbeating owner, want 0", len(claimed))
+	}
+	// The owner stops heartbeating (stalls): the frame ages out and w1
+	// claims it whole.
+	time.Sleep(10 * pollTimeout)
+	claimed, err = tr.PullBatch(1, 1, pollTimeout)
+	if err != nil || len(claimed) != 6 {
+		t.Fatalf("w1 claimed %d envs from a stalled owner (%v), want the full frame of 6", len(claimed), err)
+	}
+	// The late owner's Extend must not steal the frame back: it no longer
+	// owns the entry, so the heartbeat is a no-op.
+	if err := tr.Extend(0); err != nil {
+		t.Fatal(err)
+	}
+	if again, err := tr.PullBatch(0, 1, pollTimeout); err != nil || len(again) != 0 {
+		t.Fatalf("stalled owner re-pulled %d envs (%v) after its late Extend, want 0", len(again), err)
+	}
+	if err := tr.Ack(1, claimed...); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tr.Pending(); p != 0 {
+		t.Fatalf("pending = %d after the claimer's full ack, want 0", p)
+	}
+}
+
+// TestRedisPillsBreakFrames asserts poison pills never ride inside a packed
+// frame: they get their own entries so they spread across consumers and
+// order survives.
+func TestRedisPillsBreakFrames(t *testing.T) {
+	tr, cl, keys := newEntryFixture(t, 1, false)
+	tasks := []runtime.Task{
+		{PE: "pe", Value: 1, Instance: -1},
+		{PE: "pe", Value: 2, Instance: -1},
+		{Poison: true, Instance: -1},
+		{PE: "pe", Value: 3, Instance: -1},
+	}
+	if err := tr.Push(tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.XLen(keys.Queue); err != nil || n != 3 {
+		t.Fatalf("stream holds %d entries (%v), want run + pill + run = 3", n, err)
+	}
+	envs, err := tr.PullBatch(0, 10, 5*time.Millisecond)
+	if err != nil || len(envs) != 4 {
+		t.Fatalf("pull: %d envs, %v", len(envs), err)
+	}
+	if envs[0].Value != 1 || envs[1].Value != 2 || !envs[2].Poison || envs[3].Value != 3 {
+		t.Fatalf("delivery order broken: %+v", envs)
+	}
+}

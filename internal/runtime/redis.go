@@ -50,15 +50,29 @@ const taskField = "task"
 // pinned tasks on per-instance private lists — the paper's dyn_redis and
 // hybrid_redis storage layout behind one Transport.
 //
-// Batched pushes are pipelined: one INCRBY for the pending counter plus all
-// XADD/RPUSH commands share a single network round trip, which is where
-// Options.EmitBatch buys its throughput on this transport.
+// Batched pushes are pipelined and frame-packed: one INCRBY for the pending
+// counter, one XADD per contiguous run of pool tasks (the whole emit batch,
+// in the common case), and one RPUSH per private list share a single network
+// round trip. Acknowledgement is entry-range: a stream entry is XACKed only
+// once every task delivered from it has been acked, so the consumer group's
+// bookkeeping stays per entry while the worker loop keeps acking per task.
 type RedisTransport struct {
 	cl           *redisclient.Client
 	keys         RedisKeys
 	plan         Plan
 	recoverStale bool
 	closed       atomic.Bool
+
+	// frames[w] tracks the stream entries worker w has pulled but not fully
+	// acknowledged: entry ID → how many of its delivered tasks are still
+	// unacked, and the pending-counter weight the entry releases when its
+	// XACK removes it. Each map is touched only by worker w's goroutine
+	// (PullBatch and Ack for w run on it), so no locking.
+	frames []map[string]*entryState
+
+	// leases[w] throttles worker w's Extend heartbeats (same single-goroutine
+	// ownership as frames[w]).
+	leases []leaseState
 
 	// RecoverIdle is the minimum idle time before an empty-handed pull
 	// reclaims another consumer's pending entry (recoverStale only). Zero
@@ -69,6 +83,23 @@ type RedisTransport struct {
 	RecoverIdle time.Duration
 }
 
+// entryState is the per-stream-entry ack bookkeeping.
+type entryState struct {
+	// remaining counts delivered-but-unacked tasks of the entry.
+	remaining int
+	// tasks is the entry's non-poison task count — what the pending counter
+	// loses when the entry's XACK confirms removal.
+	tasks int
+}
+
+// leaseState is one worker's heartbeat throttle: the last extension time and
+// the poll timeout of its latest pull (which sets the recovery idle
+// threshold the heartbeat must stay under).
+type leaseState struct {
+	last    time.Time
+	timeout time.Duration
+}
+
 // NewRedisTransport creates the consumer group and wraps the client. With
 // recoverStale, empty-handed pool pulls XAUTOCLAIM tasks whose consumer
 // stopped acknowledging them (at-least-once execution).
@@ -76,21 +107,29 @@ func NewRedisTransport(cl *redisclient.Client, keys RedisKeys, plan Plan, recove
 	if err := cl.XGroupCreate(keys.Queue, keys.Group, "0"); err != nil {
 		return nil, fmt.Errorf("runtime: create consumer group: %w", err)
 	}
-	return &RedisTransport{cl: cl, keys: keys, plan: plan, recoverStale: recoverStale}, nil
+	frames := make([]map[string]*entryState, len(plan.Workers))
+	for i := range frames {
+		frames[i] = map[string]*entryState{}
+	}
+	return &RedisTransport{
+		cl: cl, keys: keys, plan: plan, recoverStale: recoverStale,
+		frames: frames, leases: make([]leaseState, len(plan.Workers)),
+	}, nil
 }
 
 // Push implements Transport. The pending counter is incremented before any
 // task becomes readable, preserving the pending == 0 ⇒ fully drained
-// invariant across the whole pipelined batch. Pool tasks become one stream
-// entry each (the consumer group acknowledges per entry); tasks sharing a
-// private list ship as a single batch frame in one RPUSH element, so a
-// batched emit pays one list element and one (de)serialization setup per
-// destination instead of one per task.
+// invariant across the whole pipelined batch. Contiguous runs of pool tasks
+// pack into a single stream entry each (one XADD per emit batch instead of
+// one per task); a poison pill always gets its own entry so delivery order
+// survives the packing and pills spread across consumers instead of riding
+// one frame. Tasks sharing a private list ship as a single batch frame in
+// one RPUSH element.
 func (t *RedisTransport) Push(tasks ...Task) error {
 	if t.closed.Load() {
 		return errTransportClosed
 	}
-	cmds := make([][]string, 0, len(tasks)+1)
+	cmds := make([][]string, 0, 8)
 	counted := 0
 	for _, task := range tasks {
 		if !task.Poison {
@@ -99,6 +138,22 @@ func (t *RedisTransport) Push(tasks ...Task) error {
 	}
 	if counted > 0 {
 		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(counted)})
+	}
+	buf := codec.GetBuffer()
+	defer buf.Release()
+	var run []Task
+	flushRun := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		b, err := codec.AppendBatch(buf.B[:0], run)
+		buf.B = b[:0]
+		if err != nil {
+			return err
+		}
+		cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
+		run = run[:0]
+		return nil
 	}
 	var priv map[string][]Task
 	for _, task := range tasks {
@@ -110,18 +165,30 @@ func (t *RedisTransport) Push(tasks ...Task) error {
 			priv[key] = append(priv[key], task)
 			continue
 		}
-		payload, err := codec.Encode(task)
-		if err != nil {
-			return err
+		if task.Poison {
+			if err := flushRun(); err != nil {
+				return err
+			}
+			b, err := codec.AppendTask(buf.B[:0], task)
+			buf.B = b[:0]
+			if err != nil {
+				return err
+			}
+			cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
+			continue
 		}
-		cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, payload})
+		run = append(run, task)
+	}
+	if err := flushRun(); err != nil {
+		return err
 	}
 	for key, group := range priv {
-		payload, err := codec.EncodeBatch(group)
+		b, err := codec.AppendBatch(buf.B[:0], group)
+		buf.B = b[:0]
 		if err != nil {
 			return err
 		}
-		cmds = append(cmds, []string{"RPUSH", key, payload})
+		cmds = append(cmds, []string{"RPUSH", key, string(b)})
 	}
 	_, err := t.cl.Pipeline(cmds)
 	return err
@@ -172,6 +239,7 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 		return envs, nil
 	}
 	consumer := fmt.Sprintf("w%d", w)
+	t.leases[w].timeout = timeout
 	entries, err := t.cl.XReadGroup(t.keys.Group, consumer, max, timeout, t.keys.Queue)
 	if err != nil {
 		return nil, t.maybeClosed(err)
@@ -181,11 +249,7 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 		// or descheduled). XAUTOCLAIM moves idle pending entries into this
 		// worker's PEL so the stream's at-least-once guarantee actually
 		// holds under failures.
-		minIdle := t.RecoverIdle
-		if minIdle <= 0 {
-			minIdle = 8 * timeout
-		}
-		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, minIdle, "0-0", max)
+		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, t.minIdle(timeout), "0-0", max)
 		if err == nil && len(claimed) > 0 {
 			entries = claimed
 		}
@@ -193,19 +257,34 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 	if len(entries) == 0 {
 		return nil, nil
 	}
+	// Each entry may be a packed frame; fan its tasks out as one env per
+	// task, all sharing the entry ID, and register the entry so Ack can
+	// XACK it once the last of them is released. A re-delivered entry
+	// (XAUTOCLAIM bouncing it back to this worker) resets its bookkeeping —
+	// redelivery means full re-execution.
+	reg := t.frames[w]
 	envs := make([]Env, 0, len(entries))
 	for _, e := range entries {
-		task, err := codec.Decode(e.Fields[taskField])
+		tasks, err := codec.DecodeBatch(e.Fields[taskField])
 		if err != nil {
 			return nil, err
 		}
-		envs = append(envs, Env{Task: task, AckID: e.ID})
+		nonPoison := 0
+		for _, task := range tasks {
+			if !task.Poison {
+				nonPoison++
+			}
+			envs = append(envs, Env{Task: task, AckID: e.ID})
+		}
+		reg[e.ID] = &entryState{remaining: len(tasks), tasks: nonPoison}
 	}
 	return envs, nil
 }
 
-// Ack implements Transport: one pipelined round trip releases the whole
-// batch — a single multi-ID XACK for the stream deliveries plus a single
+// Ack implements Transport at entry-range granularity: each env releases one
+// task of its stream entry, and the entry's XACK is issued only when every
+// task delivered from it has been released. Unfenced, one pipelined round
+// trip carries the multi-ID XACK of the completed entries plus a single
 // pending-counter decrement for every non-poison task.
 //
 // With recoverStale on, stream acknowledgements are fenced by consumer: an
@@ -217,25 +296,62 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 // properties (exact decrements unconditionally; late releases narrowed to
 // a one-round-trip window) and their limits.
 func (t *RedisTransport) Ack(w int, envs ...Env) error {
-	var ids []string
-	counted := 0
-	for _, env := range envs {
-		if env.AckID != "" {
-			ids = append(ids, env.AckID)
+	reg := t.frames[w]
+	direct := 0      // non-poison private-list tasks: not claimable, decrement as-is
+	streamTasks := 0 // non-poison stream tasks released by this call
+	var completed []doneEntry
+	// Envs from one entry arrive contiguously (PullBatch fans frames out in
+	// order and the worker loop preserves it), so a linear run-group scan
+	// replaces a map.
+	for i := 0; i < len(envs); {
+		env := envs[i]
+		if env.AckID == "" {
+			if !env.Poison {
+				direct++
+			}
+			i++
+			continue
 		}
-		if !env.Poison {
-			counted++
+		id := env.AckID
+		acked, nonPoison := 0, 0
+		for i < len(envs) && envs[i].AckID == id {
+			acked++
+			if !envs[i].Poison {
+				nonPoison++
+			}
+			i++
+		}
+		streamTasks += nonPoison
+		es, ok := reg[id]
+		if !ok {
+			// Not in this worker's registry: a duplicate delivery or a
+			// repeated ack of an entry already completed. Treat it as a
+			// self-contained completed entry weighted by what this call saw;
+			// under fencing the ownership filter and the XACK removal count
+			// decide whether anything actually lands.
+			completed = append(completed, doneEntry{id: id, tasks: nonPoison})
+			continue
+		}
+		es.remaining -= acked
+		if es.remaining <= 0 {
+			completed = append(completed, doneEntry{id: id, tasks: es.tasks})
+			delete(reg, id)
 		}
 	}
-	if t.recoverStale && len(ids) > 0 {
-		return t.maybeClosed(t.fencedAck(w, envs, counted))
+	if t.recoverStale && (len(completed) > 0 || streamTasks > 0) {
+		return t.maybeClosed(t.fencedAck(w, direct, completed))
 	}
 	cmds := make([][]string, 0, 2)
-	if len(ids) > 0 {
-		cmds = append(cmds, append([]string{"XACK", t.keys.Queue, t.keys.Group}, ids...))
+	if len(completed) > 0 {
+		xack := make([]string, 0, len(completed)+3)
+		xack = append(xack, "XACK", t.keys.Queue, t.keys.Group)
+		for _, d := range completed {
+			xack = append(xack, d.id)
+		}
+		cmds = append(cmds, xack)
 	}
-	if counted > 0 {
-		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(-counted)})
+	if direct+streamTasks > 0 {
+		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(-(direct + streamTasks))})
 	}
 	if len(cmds) == 0 {
 		return nil
@@ -244,13 +360,21 @@ func (t *RedisTransport) Ack(w int, envs ...Env) error {
 	return t.maybeClosed(err)
 }
 
-// fencedAck releases a batch under at-least-once replay. Two properties
-// address the two halves of the late-ack hazard:
+// doneEntry is a stream entry whose delivered tasks are all released:
+// eligible for XACK, worth tasks pending-counter units on removal.
+type doneEntry struct {
+	id    string
+	tasks int
+}
+
+// fencedAck releases completed entries under at-least-once replay. Two
+// properties address the two halves of the late-ack hazard:
 //
 //   - no double decrement, unconditionally: every counter decrement is
-//     backed by the server-confirmed XACK removal count — XACK removal is
-//     atomic, so however checks and claims interleave, exactly one acker's
-//     XACK removes each entry and exactly one decrement lands;
+//     backed by the server-confirmed XACK removal count of its entry —
+//     XACK removal is atomic, so however checks and claims interleave,
+//     exactly one acker's XACK removes each entry and exactly one
+//     decrement (of the entry's packed task count) lands;
 //   - no late release, up to one round trip: only entries this consumer
 //     still owns per a fresh PEL read are acknowledged, so a delivery
 //     claimed away while this worker was processing (the seconds-wide
@@ -261,59 +385,108 @@ func (t *RedisTransport) Ack(w int, envs ...Env) error {
 //     processing time to one round trip; duplicates executing past a drain
 //     are then absorbed by the state fence, not by the counter.
 //
-// counted is the batch's non-poison task count including non-stream
-// (private-list) deliveries, which are not claimable and decrement as
-// before.
-func (t *RedisTransport) fencedAck(w int, envs []Env, counted int) error {
-	owned, err := t.cl.XPendingIDs(t.keys.Queue, t.keys.Group, fmt.Sprintf("w%d", w), len(envs)+256)
-	if err != nil {
-		return err
-	}
-	ownedSet := make(map[string]bool, len(owned))
-	for _, id := range owned {
-		ownedSet[id] = true
-	}
-	// Tasks and pills are acknowledged as separate XACKs (one pipeline) so
-	// pill removals never count toward the task decrement.
-	var taskIDs, pillIDs []string
-	for _, env := range envs {
-		if env.AckID == "" {
-			continue
-		}
-		if !env.Poison {
-			counted-- // stream tasks decrement via the XACK reply below
-		}
-		if !ownedSet[env.AckID] {
-			continue // claimed away: the new owner releases it
-		}
-		if env.Poison {
-			pillIDs = append(pillIDs, env.AckID)
-		} else {
-			taskIDs = append(taskIDs, env.AckID)
-		}
-	}
-	cmds := make([][]string, 0, 2)
-	if len(taskIDs) > 0 {
-		cmds = append(cmds, append([]string{"XACK", t.keys.Queue, t.keys.Group}, taskIDs...))
-	}
-	if len(pillIDs) > 0 {
-		cmds = append(cmds, append([]string{"XACK", t.keys.Queue, t.keys.Group}, pillIDs...))
-	}
-	acked := int64(0)
-	if len(cmds) > 0 {
-		replies, err := t.cl.Pipeline(cmds)
+// Under fencing, stream tasks therefore decrement in whole-entry units when
+// their entry completes — never per env — so a partially acked frame holds
+// its full weight on the pending counter until its last task releases.
+func (t *RedisTransport) fencedAck(w int, direct int, completed []doneEntry) error {
+	dec := int64(direct)
+	if len(completed) > 0 {
+		owned, err := t.cl.XPendingIDs(t.keys.Queue, t.keys.Group, fmt.Sprintf("w%d", w), len(completed)+256)
 		if err != nil {
 			return err
 		}
-		if len(taskIDs) > 0 {
-			acked = replies[0].Int
+		ownedSet := make(map[string]bool, len(owned))
+		for _, id := range owned {
+			ownedSet[id] = true
+		}
+		var ids []string
+		var weights []int
+		for _, d := range completed {
+			if !ownedSet[d.id] {
+				continue // claimed away: the new owner releases it
+			}
+			ids = append(ids, d.id)
+			weights = append(weights, d.tasks)
+		}
+		if len(ids) > 0 {
+			removed, err := t.cl.XAckEach(t.keys.Queue, t.keys.Group, ids)
+			if err != nil {
+				return err
+			}
+			for j, r := range removed {
+				dec += r * int64(weights[j])
+			}
 		}
 	}
-	if dec := int64(counted) + acked; dec > 0 {
-		_, err = t.cl.IncrBy(t.keys.PendingKey, -dec)
+	if dec > 0 {
+		_, err := t.cl.IncrBy(t.keys.PendingKey, -dec)
 		return err
 	}
 	return nil
+}
+
+// minIdle resolves the recovery idle threshold for a pull with the given
+// poll timeout.
+func (t *RedisTransport) minIdle(timeout time.Duration) time.Duration {
+	if t.RecoverIdle > 0 {
+		return t.RecoverIdle
+	}
+	return 8 * timeout
+}
+
+// Extend implements LeaseExtender: it refreshes the idle clock of every
+// stream entry worker w still owns, via a self-targeted XCLAIM ... JUSTID.
+// Packing made this load-bearing — the unit XAUTOCLAIM reclaims is now a
+// whole frame whose processing time scales with its task count, so without a
+// progress heartbeat any frame slower than the idle threshold would be
+// claimed away mid-processing, redelivered in full to the claimer, go stale
+// there too, and ping-pong between live workers forever (the fenced pending
+// counter, decremented only by the XACK that removes an entry, would never
+// drain). With the heartbeat, reclaim keys on lack of progress rather than
+// lack of completion: a worker that dies or stalls between tasks stops
+// extending and its frames age out exactly as before.
+//
+// The ownership read and the claim are not atomic: an entry claimed away
+// between them is stolen back. That is the same one-round-trip race window
+// fencedAck documents, and it is safe for the same reason — the thief's
+// duplicate execution is absorbed by the state fence, exactly one XACK
+// removes the entry, and both contenders are by construction alive.
+// Heartbeats are throttled to a quarter of the idle threshold, so the
+// steady-state cost is two round trips per threshold-quarter, not per task.
+func (t *RedisTransport) Extend(w int) error {
+	if !t.recoverStale || t.closed.Load() {
+		return nil
+	}
+	reg := t.frames[w]
+	if len(reg) == 0 {
+		return nil
+	}
+	ls := &t.leases[w]
+	minIdle := t.minIdle(ls.timeout)
+	if minIdle <= 0 {
+		return nil
+	}
+	now := time.Now()
+	if !ls.last.IsZero() && now.Sub(ls.last) < minIdle/4 {
+		return nil
+	}
+	ls.last = now
+	consumer := fmt.Sprintf("w%d", w)
+	owned, err := t.cl.XPendingIDs(t.keys.Queue, t.keys.Group, consumer, len(reg)+256)
+	if err != nil {
+		return t.maybeClosed(err)
+	}
+	ids := owned[:0]
+	for _, id := range owned {
+		if _, ok := reg[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	_, err = t.cl.XClaimJustID(t.keys.Queue, t.keys.Group, consumer, 0, ids)
+	return t.maybeClosed(err)
 }
 
 // QueueDepths implements DepthReporter: the global stream's entry count plus

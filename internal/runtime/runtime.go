@@ -89,6 +89,18 @@ type DepthReporter interface {
 	QueueDepths() map[string]int64
 }
 
+// LeaseExtender is an optional Transport extension for transports whose
+// recovery mechanism reclaims deliveries by idle time. The worker loop calls
+// Extend between tasks of a pulled batch to signal it is still making
+// progress on its unacked deliveries; implementations refresh the idle clock
+// of every entry the worker still owns so recovery fires on genuinely
+// stalled workers, not on healthy ones working through a packed frame whose
+// total processing time exceeds the idle threshold. Extend is best-effort
+// and must be cheap when called every task (implementations self-throttle).
+type LeaseExtender interface {
+	Extend(w int) error
+}
+
 // WorkerSpec describes one worker slot of a plan. The zero value is a pool
 // worker; a non-empty PE pins the worker to that single (PE, instance).
 type WorkerSpec struct {

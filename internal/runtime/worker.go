@@ -338,6 +338,12 @@ func (r *run) runWorker(w int) {
 	if wm != nil {
 		acks.hist = wm.Ack
 	}
+	// Transports that reclaim deliveries by idle time need a progress
+	// heartbeat between tasks, or a healthy worker chewing through a packed
+	// frame slower than the idle threshold loses it mid-flight (see
+	// LeaseExtender). The call self-throttles; failures only risk an early
+	// reclaim, which the recovery path already tolerates.
+	leases, _ := tr.(LeaseExtender)
 
 	ctrl := r.cfg.Controller
 	// Pool workers accrue process time while polling an empty queue — the
@@ -386,8 +392,13 @@ func (r *run) runWorker(w int) {
 			if pullSizer != nil {
 				// Empty polls are observed too: a timed-out round trip is
 				// real cost under bursty traffic and feeds the shrink rule
-				// (without polluting the per-task cost estimate).
-				pullSizer.Observe(time.Since(start), len(envs))
+				// (without polluting the per-task cost estimate). The count
+				// is frames, not tasks: the pull window (XREADGROUP COUNT)
+				// is denominated in stream entries, and a packed entry
+				// delivers many tasks for one unit of window — sizing on
+				// tasks would starve the window long before the round trip
+				// amortizes.
+				pullSizer.Observe(time.Since(start), countFrames(envs))
 			}
 			if len(envs) == 0 {
 				if wm != nil {
@@ -423,6 +434,9 @@ func (r *run) runWorker(w int) {
 		}
 		if wm != nil {
 			wm.Tasks.Inc()
+		}
+		if leases != nil {
+			_ = leases.Extend(w)
 		}
 		if r.tracer != nil && env.TraceAt != 0 {
 			// A traced delivery records its execution span even on error, so
@@ -663,4 +677,20 @@ func (r *run) poisonAll() {
 	if len(pills) > 0 {
 		_ = r.cfg.Transport.Push(pills...)
 	}
+}
+
+// countFrames counts the wire frames behind a pulled batch: a run of envs
+// sharing a non-empty AckID came from one packed stream entry; envs without
+// an AckID (private-list and in-process deliveries) count one each, so the
+// frame count degrades to the task count on transports that don't pack. The
+// pull sizer observes frames because its window (XREADGROUP COUNT) is
+// denominated in entries.
+func countFrames(envs []Env) int {
+	n := 0
+	for i, env := range envs {
+		if env.AckID == "" || i == 0 || envs[i-1].AckID != env.AckID {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,72 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SessionEvent is one clickstream event of the sessionization workload: a
+// user key drawn from a zipfian distribution over a large key space — the
+// skewed, high-cardinality shape a real per-user service sees, where a few
+// hot users dominate while the long tail keeps the key space enormous.
+type SessionEvent struct {
+	// User is the session key ("u<rank>"; low ranks are the hot keys).
+	User string
+	// Action is the event kind.
+	Action string
+	// Seq numbers the event within its generator stream.
+	Seq int64
+	// At is the emission timestamp (UnixNano), stamped by the open-loop
+	// generator at send time; latency is measured against it downstream.
+	At int64
+}
+
+// SessionUpdate is the sessionize PE's output: the user's running event
+// count after folding one event into managed keyed state, carrying the
+// originating event's timestamp through for end-to-end latency measurement.
+type SessionUpdate struct {
+	User  string
+	Count int64
+	At    int64
+}
+
+// sessionActions is the small action alphabet events cycle through.
+var sessionActions = [...]string{"view", "click", "scroll", "search", "buy"}
+
+// SessionGen deterministically generates SessionEvents with zipfian user
+// keys. Distinct seeds give independent streams (one per source instance).
+type SessionGen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int64
+}
+
+// NewSessionGen builds a generator over a key space of users ranks. skew is
+// the zipf s parameter (must be > 1; larger is more skewed — 1.1 is a
+// typical web-traffic shape). users is clamped to at least 1.
+func NewSessionGen(seed int64, users int, skew float64) *SessionGen {
+	if users < 1 {
+		users = 1
+	}
+	if skew <= 1 {
+		skew = 1.1
+	}
+	rng := NewRand(seed)
+	return &SessionGen{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, skew, 1, uint64(users-1)),
+	}
+}
+
+// Next returns the next event. At is left zero — the pacer stamps it when
+// the event actually leaves the source.
+func (g *SessionGen) Next() SessionEvent {
+	rank := g.zipf.Uint64()
+	ev := SessionEvent{
+		User:   fmt.Sprintf("u%d", rank),
+		Action: sessionActions[g.rng.Intn(len(sessionActions))],
+		Seq:    g.seq,
+	}
+	g.seq++
+	return ev
+}

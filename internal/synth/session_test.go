@@ -1,0 +1,43 @@
+package synth
+
+import "testing"
+
+func TestSessionGenDeterministic(t *testing.T) {
+	a, b := NewSessionGen(7, 1000, 1.2), NewSessionGen(7, 1000, 1.2)
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, x, y)
+		}
+		if x.Seq != int64(i) {
+			t.Fatalf("event %d carries Seq %d", i, x.Seq)
+		}
+		if x.At != 0 {
+			t.Fatalf("generator must leave At for the pacer, got %d", x.At)
+		}
+	}
+	if c := NewSessionGen(8, 1000, 1.2).Next(); c == NewSessionGen(7, 1000, 1.2).Next() {
+		t.Fatal("distinct seeds produced the same first event")
+	}
+}
+
+func TestSessionGenZipfSkew(t *testing.T) {
+	const users, n = 10000, 20000
+	g := NewSessionGen(42, users, 1.1)
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		ev := g.Next()
+		counts[ev.User]++
+		if ev.Action == "" {
+			t.Fatal("empty action")
+		}
+	}
+	// Zipfian skew: the hottest key takes far more than a uniform share
+	// (n/users = 2), while the key space stays high-cardinality.
+	if counts["u0"] < 50*n/users {
+		t.Errorf("hot key u0 drew %d of %d events — not skewed (uniform share is %d)", counts["u0"], n, n/users)
+	}
+	if len(counts) < users/100 {
+		t.Errorf("only %d distinct users over %d events — cardinality collapsed", len(counts), n)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/diagnosis"
 	_ "repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -356,9 +357,13 @@ func BenchmarkAblationRedisCost(b *testing.B) {
 // on the batched dyn_redis path — the hottest configuration (pull batches,
 // pipelined acks, Redis round trips). The contract is that "on" stays
 // within a few percent of "off": the hot path only pays atomic
-// increments and a pair of clock reads per batch, never a lock.
+// increments and a pair of clock reads per batch, never a lock. The "diag"
+// variant adds the bottleneck-attribution layer (per-PE flow ledger, service
+// histograms, per-edge byte counters) on top — its budget is the same ~5%,
+// since the per-task additions are two clock reads and a handful of atomics
+// against cached ledger rows.
 func BenchmarkTelemetryOverhead(b *testing.B) {
-	run := func(b *testing.B, reg *telemetry.Registry) {
+	run := func(b *testing.B, reg *telemetry.Registry, diag *diagnosis.Diag) {
 		srv := miniredis.NewServer(miniredis.Options{})
 		if err := srv.Start(); err != nil {
 			b.Fatal(err)
@@ -372,7 +377,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			g := galaxy.New(galaxy.Config{Galaxies: 20})
 			rep, err := m.Execute(g, mapping.Options{
 				Processes: 8, Platform: platform.Server, Seed: 1,
-				RedisAddr: srv.Addr(), Telemetry: reg,
+				RedisAddr: srv.Addr(), Telemetry: reg, Diagnosis: diag,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -380,12 +385,21 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			b.ReportMetric(rep.Runtime.Seconds(), "runtime-s")
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("off", func(b *testing.B) { run(b, nil, nil) })
 	b.Run("on", func(b *testing.B) {
 		reg := telemetry.New(telemetry.Config{})
-		run(b, reg)
+		run(b, reg, nil)
 		if snap := reg.Snapshot(); snap.Workers.Pull.Count == 0 {
 			b.Fatal("telemetry-on run recorded no pulls")
+		}
+	})
+	b.Run("diag", func(b *testing.B) {
+		reg := telemetry.New(telemetry.Config{})
+		diag := diagnosis.New(diagnosis.Config{})
+		run(b, reg, diag)
+		flow := diag.Flow.Snapshot()
+		if len(flow.PEs) == 0 {
+			b.Fatal("diagnosis-on run recorded no flow rows")
 		}
 	})
 }

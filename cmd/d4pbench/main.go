@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/diagnosis"
 	_ "repro/internal/dynamic"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -51,10 +52,12 @@ func main() {
 	)
 	flag.Parse()
 
-	// One registry accumulates across every run of the invocation; the final
-	// snapshot is embedded in BENCH_<name>.json outputs and optionally served
-	// live while the suite executes.
+	// One registry and one diagnosis accumulate across every run of the
+	// invocation; the final snapshot and diagnosis report are embedded in
+	// BENCH_<name>.json outputs and optionally served live while the suite
+	// executes.
 	reg := telemetry.New(telemetry.Config{})
+	diag := diagnosis.New(diagnosis.Config{})
 	if *telAddr != "" {
 		srv, err := telemetry.Serve(*telAddr, reg)
 		if err != nil {
@@ -62,31 +65,32 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry at http://%s/metrics\n", srv.Addr())
+		diag.Attach(srv, reg)
+		fmt.Printf("telemetry at http://%s/metrics (diagnosis at /diagnosis, journal at /journal)\n", srv.Addr())
 	}
 
 	if *sweep {
-		if err := runSweep(*quick, *outDir, *reps, *opDelay, reg); err != nil {
+		if err := runSweep(*quick, *outDir, *reps, *opDelay, reg, diag); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *recovery {
-		if err := runRecovery(*quick, *outDir, *reps, *opDelay, reg); err != nil {
+		if err := runRecovery(*quick, *outDir, *reps, *opDelay, reg, diag); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *openloop {
-		if err := runOpenLoop(*quick, *outDir, *opDelay, reg); err != nil {
+		if err := runOpenLoop(*quick, *outDir, *opDelay, reg, diag); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay, *jsonOut, reg); err != nil {
+	if err := run(*quick, *fig, *table, *outDir, *reps, *opDelay, *jsonOut, reg, diag); err != nil {
 		fmt.Fprintln(os.Stderr, "d4pbench:", err)
 		os.Exit(1)
 	}
@@ -95,7 +99,7 @@ func main() {
 // runSweep executes the batched emit+consume sweep and writes its txt/csv
 // renderings plus BENCH_batching.json, the machine-readable point of the
 // perf trajectory CI tracks across PRs.
-func runSweep(quick bool, outDir string, reps int, opDelay time.Duration, reg *telemetry.Registry) error {
+func runSweep(quick bool, outDir string, reps int, opDelay time.Duration, reg *telemetry.Registry, diag *diagnosis.Diag) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -103,7 +107,7 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration, reg *t
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg, Diag: diag}
 	defer runner.Close()
 
 	var all []metrics.Series
@@ -127,7 +131,7 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration, reg *t
 	if err := writeFile(outDir, "batching.csv", metrics.CSV(all)); err != nil {
 		return err
 	}
-	return writeBenchJSON(outDir, "batching", all, reg)
+	return writeBenchJSON(outDir, "batching", all, reg, diag)
 }
 
 // runRecovery executes the exactly-once recovery scenario — the managed-
@@ -135,7 +139,7 @@ func runSweep(quick bool, outDir string, reps int, opDelay time.Duration, reg *t
 // recovery (and therefore sequence fencing) off versus on — and writes its
 // txt/csv renderings plus BENCH_recovery.json, recording what exactly-once-
 // effect recovery costs on a healthy run.
-func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg *telemetry.Registry) error {
+func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg *telemetry.Registry, diag *diagnosis.Diag) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -143,7 +147,7 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg, Diag: diag}
 	defer runner.Close()
 
 	var all []metrics.Series
@@ -172,7 +176,7 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg
 	if err := writeFile(outDir, "recovery.csv", metrics.CSV(all)); err != nil {
 		return err
 	}
-	return writeBenchJSON(outDir, "recovery", all, reg)
+	return writeBenchJSON(outDir, "recovery", all, reg, diag)
 }
 
 // runOpenLoop executes the open-loop steady-state sweep: for each workload, a
@@ -183,11 +187,11 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg
 // latency-vs-load curve and the throughput wall — the steady-state numbers
 // the codec and frame-packing work targets. Writes openloop.txt/csv and
 // BENCH_codec.json.
-func runOpenLoop(quick bool, outDir string, opDelay time.Duration, reg *telemetry.Registry) error {
+func runOpenLoop(quick bool, outDir string, opDelay time.Duration, reg *telemetry.Registry, diag *diagnosis.Diag) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, RedisOpDelay: opDelay, Telemetry: reg}
+	runner := &harness.Runner{Out: os.Stdout, RedisOpDelay: opDelay, Telemetry: reg, Diag: diag}
 	defer runner.Close()
 
 	base := harness.OpenLoopConfig{
@@ -206,6 +210,7 @@ func runOpenLoop(quick bool, outDir string, opDelay time.Duration, reg *telemetr
 
 	var all []harness.OpenLoopPoint
 	maxSustainable := map[string]float64{}
+	saturation := map[string]*diagnosis.Verdict{}
 	for _, workload := range []string{"relay", "session"} {
 		cfg := base
 		cfg.Workload = workload
@@ -216,10 +221,21 @@ func runOpenLoop(quick bool, outDir string, opDelay time.Duration, reg *telemetr
 		}
 		all = append(all, pts...)
 		maxSustainable[workload] = max
+		// The last point of a sweep is the first unsustainable rate (or the
+		// top of the ladder): its verdict names what the workload saturated on.
+		if len(pts) > 0 && pts[len(pts)-1].Verdict != nil {
+			saturation[workload] = pts[len(pts)-1].Verdict
+		}
 	}
 	for workload, max := range maxSustainable {
 		fmt.Printf("max sustainable %-8s %.0f events/s\n", workload, max)
+		if v := saturation[workload]; v != nil {
+			fmt.Printf("  saturation verdict: bottleneck=%s stage=%s util=%.2f ceiling=%.0f/s\n",
+				v.Bottleneck, v.Stage, v.Utilization, v.CeilingPerSec)
+		}
 	}
+	report := diag.Diagnose(reg)
+	fmt.Print(diagnosis.Render(report))
 	title := fmt.Sprintf("Open-loop steady state (%s, %d workers, packed frames)", base.Mapping, base.Processes)
 	if err := writeFile(outDir, "openloop.txt", harness.RenderOpenLoop(title, all)); err != nil {
 		return err
@@ -227,38 +243,43 @@ func runOpenLoop(quick bool, outDir string, opDelay time.Duration, reg *telemetr
 	if err := writeFile(outDir, "openloop.csv", harness.OpenLoopCSV(all)); err != nil {
 		return err
 	}
-	return writeOpenLoopJSON(outDir, all, maxSustainable, reg)
+	return writeOpenLoopJSON(outDir, all, maxSustainable, saturation, reg, &report)
 }
 
 // openLoopJSONPoint is one open-loop run in the machine-readable schema.
 // Latencies are milliseconds, rates events/second.
 type openLoopJSONPoint struct {
-	Workload      string  `json:"workload"`
-	Mapping       string  `json:"mapping"`
-	Processes     int     `json:"processes"`
-	TargetRate    float64 `json:"target_rate"`
-	OfferedRate   float64 `json:"offered_rate"`
-	DeliveredRate float64 `json:"delivered_rate"`
-	Offered       int64   `json:"offered"`
-	Delivered     int64   `json:"delivered"`
-	GenSeconds    float64 `json:"gen_seconds"`
-	DrainSeconds  float64 `json:"drain_seconds"`
-	P50Millis     float64 `json:"p50_ms"`
-	P99Millis     float64 `json:"p99_ms"`
-	MaxMillis     float64 `json:"max_ms"`
-	Sustainable   bool    `json:"sustainable"`
+	Workload      string             `json:"workload"`
+	Mapping       string             `json:"mapping"`
+	Processes     int                `json:"processes"`
+	TargetRate    float64            `json:"target_rate"`
+	OfferedRate   float64            `json:"offered_rate"`
+	DeliveredRate float64            `json:"delivered_rate"`
+	Offered       int64              `json:"offered"`
+	Delivered     int64              `json:"delivered"`
+	GenSeconds    float64            `json:"gen_seconds"`
+	DrainSeconds  float64            `json:"drain_seconds"`
+	P50Millis     float64            `json:"p50_ms"`
+	P99Millis     float64            `json:"p99_ms"`
+	MaxMillis     float64            `json:"max_ms"`
+	Sustainable   bool               `json:"sustainable"`
+	Verdict       *diagnosis.Verdict `json:"verdict,omitempty"`
 }
 
-// writeOpenLoopJSON writes BENCH_codec.json: the open-loop points, the
-// per-workload max sustainable throughput, and the suite's telemetry
-// snapshot.
-func writeOpenLoopJSON(dir string, pts []harness.OpenLoopPoint, maxSustainable map[string]float64, reg *telemetry.Registry) error {
+// writeOpenLoopJSON writes BENCH_codec.json: the open-loop points (each with
+// its bottleneck verdict), the per-workload max sustainable throughput and
+// saturation verdict, the suite's telemetry snapshot, and the final diagnosis
+// report (verdict, flow ledger, blame, journal).
+func writeOpenLoopJSON(dir string, pts []harness.OpenLoopPoint, maxSustainable map[string]float64,
+	saturation map[string]*diagnosis.Verdict, reg *telemetry.Registry, report *diagnosis.Report) error {
 	out := struct {
-		Name           string              `json:"name"`
-		Points         []openLoopJSONPoint `json:"points"`
-		MaxSustainable map[string]float64  `json:"max_sustainable_rate"`
-		Telemetry      *telemetry.Snapshot `json:"telemetry,omitempty"`
-	}{Name: "codec", MaxSustainable: maxSustainable}
+		Name           string                        `json:"name"`
+		Points         []openLoopJSONPoint           `json:"points"`
+		MaxSustainable map[string]float64            `json:"max_sustainable_rate"`
+		Saturation     map[string]*diagnosis.Verdict `json:"saturation_verdict,omitempty"`
+		Telemetry      *telemetry.Snapshot           `json:"telemetry,omitempty"`
+		Diagnosis      *diagnosis.Report             `json:"diagnosis,omitempty"`
+	}{Name: "codec", MaxSustainable: maxSustainable, Saturation: saturation, Diagnosis: report}
 	for _, p := range pts {
 		out.Points = append(out.Points, openLoopJSONPoint{
 			Workload:      p.Workload,
@@ -275,6 +296,7 @@ func writeOpenLoopJSON(dir string, pts []harness.OpenLoopPoint, maxSustainable m
 			P99Millis:     float64(p.P99) / 1e6,
 			MaxMillis:     float64(p.Max) / 1e6,
 			Sustainable:   p.Sustainable,
+			Verdict:       p.Verdict,
 		})
 	}
 	if reg != nil {
@@ -288,7 +310,7 @@ func writeOpenLoopJSON(dir string, pts []harness.OpenLoopPoint, maxSustainable m
 	return writeFile(dir, "BENCH_codec.json", string(body))
 }
 
-func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool, reg *telemetry.Registry) error {
+func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool, reg *telemetry.Registry, diag *diagnosis.Diag) error {
 	scale := harness.FullScale()
 	if quick {
 		scale = harness.QuickScale()
@@ -296,7 +318,7 @@ func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Durat
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg}
+	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg, Diag: diag}
 	defer runner.Close()
 
 	wantFig := func(n int) bool {
@@ -340,7 +362,7 @@ func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Durat
 			return err
 		}
 		if jsonOut {
-			return writeBenchJSON(outDir, name, allSeries, reg)
+			return writeBenchJSON(outDir, name, allSeries, reg, diag)
 		}
 		return nil
 	}
@@ -474,12 +496,14 @@ type benchSeries struct {
 // writeBenchJSON writes BENCH_<name>.json, the machine-readable counterpart
 // of a figure's txt/csv outputs. The suite's final telemetry snapshot rides
 // along so the perf trajectory carries latency distributions (pull/ack/emit
-// p50/p99), not just end-to-end durations.
-func writeBenchJSON(dir, name string, series []metrics.Series, reg *telemetry.Registry) error {
+// p50/p99), not just end-to-end durations; the diagnosis report adds the
+// bottleneck verdict and the per-PE flow ledger.
+func writeBenchJSON(dir, name string, series []metrics.Series, reg *telemetry.Registry, diag *diagnosis.Diag) error {
 	out := struct {
 		Name      string              `json:"name"`
 		Series    []benchSeries       `json:"series"`
 		Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+		Diagnosis *diagnosis.Report   `json:"diagnosis,omitempty"`
 	}{Name: name}
 	for _, s := range series {
 		bs := benchSeries{Label: s.Label, Points: make([]benchPoint, 0, len(s.Points))}
@@ -501,6 +525,10 @@ func writeBenchJSON(dir, name string, series []metrics.Series, reg *telemetry.Re
 	if reg != nil {
 		snap := reg.Snapshot()
 		out.Telemetry = &snap
+	}
+	if diag != nil {
+		report := diag.Diagnose(reg)
+		out.Diagnosis = &report
 	}
 	body, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/diagnosis"
 	_ "repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/mapping"
@@ -51,10 +52,11 @@ func main() {
 		staging      = flag.Bool("staging", false, "apply the static staging optimization before mapping")
 		dot          = flag.Bool("dot", false, "print the abstract workflow in Graphviz dot format and exit")
 		list         = flag.Bool("list", false, "list available mappings and exit")
-		telAddr      = flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics, /flights, /debug/pprof); empty disables")
+		telAddr      = flag.String("telemetry-addr", "", "serve live telemetry on this address (/metrics, /flights, /diagnosis, /journal, /debug/pprof); empty disables")
 		telEvery     = flag.Duration("telemetry-every", 0, "flight-recorder snapshot period (0 disables)")
 		telSample    = flag.Int("telemetry-sample", 0, "trace one task path per N emissions (0 = default 64, negative disables tracing)")
 		telHold      = flag.Duration("telemetry-hold", 0, "keep serving telemetry this long after the run finishes (so scrapers can read the final snapshot)")
+		journalRing  = flag.Int("journal-ring", diagnosis.DefaultJournalRing, "run-event journal capacity (entries kept; oldest overwritten)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 		fmt.Println("workflows: galaxy, seismic, sentiment")
 		return
 	}
-	tel := telemetryConfig{Addr: *telAddr, Every: *telEvery, SampleEvery: *telSample, Hold: *telHold}
+	tel := telemetryConfig{Addr: *telAddr, Every: *telEvery, SampleEvery: *telSample, Hold: *telHold, JournalRing: *journalRing}
 	if err := run(*workflowName, *mappingName, *processes, *platformName, *seed,
 		*scaleX, *heavy, *stations, *articles, *managed, *redisAddr, *staging, *dot, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "d4prun:", err)
@@ -77,6 +79,7 @@ type telemetryConfig struct {
 	Every       time.Duration
 	SampleEvery int
 	Hold        time.Duration
+	JournalRing int
 }
 
 func (tc telemetryConfig) enabled() bool {
@@ -143,9 +146,12 @@ func run(workflowName, mappingName string, processes int, platformName string, s
 	}
 
 	var reg *telemetry.Registry
+	var diag *diagnosis.Diag
 	if tel.enabled() {
 		reg = telemetry.New(telemetry.Config{TraceSampleEvery: tel.SampleEvery})
+		diag = diagnosis.New(diagnosis.Config{JournalRing: tel.JournalRing})
 		opts.Telemetry = reg
+		opts.Diagnosis = diag
 		opts.TelemetryEvery = tel.Every
 		if tel.Addr != "" {
 			srv, err := telemetry.Serve(tel.Addr, reg)
@@ -153,7 +159,8 @@ func run(workflowName, mappingName string, processes int, platformName string, s
 				return fmt.Errorf("telemetry endpoint: %w", err)
 			}
 			defer srv.Close()
-			fmt.Printf("telemetry at http://%s/metrics\n", srv.Addr())
+			diag.Attach(srv, reg)
+			fmt.Printf("telemetry at http://%s/metrics (diagnosis at /diagnosis, journal at /journal)\n", srv.Addr())
 		}
 	}
 
@@ -167,6 +174,9 @@ func run(workflowName, mappingName string, processes int, platformName string, s
 		fmt.Printf("telemetry: pulls=%d p99=%v acks=%d tasks=%d idle_polls=%d traces=%d\n",
 			snap.Workers.Pull.Count, time.Duration(snap.Workers.Pull.P99),
 			snap.Workers.Ack.Count, snap.Workers.Tasks, snap.Workers.IdlePolls, len(snap.Traces))
+		if diag != nil {
+			fmt.Print(diagnosis.Render(diag.Diagnose(reg)))
+		}
 		if body, err := json.MarshalIndent(snap, "", "  "); err == nil && tel.Addr == "" && tel.Hold == 0 {
 			// No endpoint to scrape: the snapshot goes to stdout instead.
 			fmt.Println(string(body))

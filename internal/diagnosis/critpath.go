@@ -1,0 +1,118 @@
+package diagnosis
+
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// HopCost is one hop of a sampled trace decomposed into its three segments:
+// queue wait (emission → execution start, i.e. transport + prefetch), service
+// (execution span), and ack (execution end → delivery release).
+type HopCost struct {
+	ID       string `json:"id"`
+	PE       string `json:"pe,omitempty"`
+	Worker   int    `json:"worker"`
+	QueueNs  int64  `json:"queue_ns"`
+	SvcNs    int64  `json:"service_ns"`
+	AckNs    int64  `json:"ack_ns"`
+	Replayed bool   `json:"replayed,omitempty"` // >1 recorded execution
+}
+
+// PathCost is one sampled source→sink path's decomposition, root first.
+type PathCost struct {
+	ID       string    `json:"id"`
+	Complete bool      `json:"complete"`
+	TotalNs  int64     `json:"total_ns"`
+	Hops     []HopCost `json:"hops"`
+}
+
+// PEBlame is one PE's aggregate share of sampled path time — the blame
+// ranking's row.
+type PEBlame struct {
+	PE       string  `json:"pe"`
+	Hops     int     `json:"hops"`
+	QueueNs  int64   `json:"queue_ns"`
+	SvcNs    int64   `json:"service_ns"`
+	AckNs    int64   `json:"ack_ns"`
+	TotalNs  int64   `json:"total_ns"`
+	Share    float64 `json:"share"` // of the summed decomposed path time
+	Replayed int     `json:"replayed,omitempty"`
+}
+
+// PathAnalysis is the critical-path view over a set of assembled traces.
+type PathAnalysis struct {
+	// Paths holds at most maxReportPaths decomposed paths (complete first, as
+	// ordered by Tracer.Assemble); Blame aggregates over all of them.
+	Paths         []PathCost `json:"paths,omitempty"`
+	Blame         []PEBlame  `json:"blame,omitempty"`
+	TotalNs       int64      `json:"total_ns"`
+	TotalPaths    int        `json:"total_paths"`
+	CompletePaths int        `json:"complete_paths"`
+}
+
+// maxReportPaths caps how many raw decomposed paths a report embeds (the
+// blame ranking still aggregates every analyzed trace).
+const maxReportPaths = 8
+
+// AnalyzePaths decomposes assembled traces hop by hop and aggregates a per-PE
+// blame ranking. Synthesized hops (the untraced root execution) and hops with
+// incomplete timestamps contribute only the segments they actually carry.
+func AnalyzePaths(traces []telemetry.Trace) PathAnalysis {
+	var out PathAnalysis
+	blame := map[string]*PEBlame{}
+	for _, tr := range traces {
+		pc := PathCost{ID: tr.ID, Complete: tr.Complete}
+		for _, h := range tr.Hops {
+			hc := HopCost{ID: h.ID, PE: h.PE, Worker: h.Worker, Replayed: h.Executions > 1}
+			if h.StartedAt > 0 && h.EnqueuedAt > 0 && h.StartedAt > h.EnqueuedAt {
+				hc.QueueNs = h.StartedAt - h.EnqueuedAt
+			}
+			if h.EndedAt > 0 && h.StartedAt > 0 && h.EndedAt > h.StartedAt {
+				hc.SvcNs = h.EndedAt - h.StartedAt
+			}
+			if h.AckedAt > 0 && h.EndedAt > 0 && h.AckedAt > h.EndedAt {
+				hc.AckNs = h.AckedAt - h.EndedAt
+			}
+			pc.TotalNs += hc.QueueNs + hc.SvcNs + hc.AckNs
+			pc.Hops = append(pc.Hops, hc)
+			if h.Synthesized || h.PE == "" {
+				continue
+			}
+			b, ok := blame[h.PE]
+			if !ok {
+				b = &PEBlame{PE: h.PE}
+				blame[h.PE] = b
+			}
+			b.Hops++
+			b.QueueNs += hc.QueueNs
+			b.SvcNs += hc.SvcNs
+			b.AckNs += hc.AckNs
+			b.TotalNs += hc.QueueNs + hc.SvcNs + hc.AckNs
+			if hc.Replayed {
+				b.Replayed++
+			}
+		}
+		out.TotalNs += pc.TotalNs
+		out.TotalPaths++
+		if tr.Complete {
+			out.CompletePaths++
+		}
+		if len(out.Paths) < maxReportPaths {
+			out.Paths = append(out.Paths, pc)
+		}
+	}
+	for _, b := range blame {
+		if out.TotalNs > 0 {
+			b.Share = float64(b.TotalNs) / float64(out.TotalNs)
+		}
+		out.Blame = append(out.Blame, *b)
+	}
+	sort.Slice(out.Blame, func(i, j int) bool {
+		if out.Blame[i].TotalNs != out.Blame[j].TotalNs {
+			return out.Blame[i].TotalNs > out.Blame[j].TotalNs
+		}
+		return out.Blame[i].PE < out.Blame[j].PE
+	})
+	return out
+}

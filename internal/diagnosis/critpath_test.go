@@ -1,0 +1,98 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestAnalyzePathsGolden decomposes a hand-built two-path trace set and checks
+// every derived number: per-hop segments, path totals, and the blame ranking's
+// aggregation, ordering, and shares.
+func TestAnalyzePathsGolden(t *testing.T) {
+	us := int64(1000) // 1µs in ns, keeps the fixture readable
+	traces := []telemetry.Trace{
+		{
+			ID:       "a:0",
+			Complete: true,
+			Hops: []telemetry.Hop{
+				// Source Generate: synthesized root, carries no timestamps worth
+				// decomposing and must stay out of the blame ranking.
+				{ID: "a:0", PE: "source", Worker: 0, EndedAt: 10 * us, Synthesized: true},
+				// fast: 2µs queue, 3µs service, 1µs ack.
+				{ID: "b:0", PE: "fast", Worker: 1, EnqueuedAt: 10 * us, StartedAt: 12 * us, EndedAt: 15 * us, AckedAt: 16 * us, Executions: 1},
+				// slow: 4µs queue, 20µs service, 2µs ack — replayed once.
+				{ID: "c:0", PE: "slow", Worker: 2, EnqueuedAt: 16 * us, StartedAt: 20 * us, EndedAt: 40 * us, AckedAt: 42 * us, Executions: 2},
+			},
+		},
+		{
+			ID:       "a:1",
+			Complete: false,
+			Hops: []telemetry.Hop{
+				// slow again: 5µs queue, 25µs service, no ack captured.
+				{ID: "d:0", PE: "slow", Worker: 3, EnqueuedAt: 100 * us, StartedAt: 105 * us, EndedAt: 130 * us, Executions: 1},
+			},
+		},
+	}
+
+	pa := AnalyzePaths(traces)
+
+	if pa.CompletePaths != 1 {
+		t.Fatalf("CompletePaths = %d, want 1", pa.CompletePaths)
+	}
+	if pa.TotalPaths != 2 {
+		t.Fatalf("TotalPaths = %d, want 2", pa.TotalPaths)
+	}
+	if len(pa.Paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(pa.Paths))
+	}
+	// Path 1: fast (2+3+1) + slow (4+20+2) = 32µs; the synthesized root adds 0.
+	if want := 32 * us; pa.Paths[0].TotalNs != want {
+		t.Fatalf("path 0 TotalNs = %d, want %d", pa.Paths[0].TotalNs, want)
+	}
+	// Path 2: slow alone, 5+25 = 30µs.
+	if want := 30 * us; pa.Paths[1].TotalNs != want {
+		t.Fatalf("path 1 TotalNs = %d, want %d", pa.Paths[1].TotalNs, want)
+	}
+	if want := 62 * us; pa.TotalNs != want {
+		t.Fatalf("TotalNs = %d, want %d", pa.TotalNs, want)
+	}
+
+	hop := pa.Paths[0].Hops[2]
+	if hop.QueueNs != 4*us || hop.SvcNs != 20*us || hop.AckNs != 2*us || !hop.Replayed {
+		t.Fatalf("slow hop decomposition = %+v, want queue=4µs svc=20µs ack=2µs replayed", hop)
+	}
+
+	// Blame: slow (56µs over 2 hops, 1 replayed) above fast (6µs); the
+	// synthesized source hop is excluded.
+	if len(pa.Blame) != 2 {
+		t.Fatalf("blame has %d rows (%+v), want 2", len(pa.Blame), pa.Blame)
+	}
+	slow, fast := pa.Blame[0], pa.Blame[1]
+	if slow.PE != "slow" || fast.PE != "fast" {
+		t.Fatalf("blame order = [%s %s], want [slow fast]", slow.PE, fast.PE)
+	}
+	if slow.Hops != 2 || slow.QueueNs != 9*us || slow.SvcNs != 45*us || slow.AckNs != 2*us || slow.Replayed != 1 {
+		t.Fatalf("slow blame = %+v, want hops=2 queue=9µs svc=45µs ack=2µs replayed=1", slow)
+	}
+	if got, want := slow.Share, float64(56*us)/float64(62*us); got != want {
+		t.Fatalf("slow share = %v, want %v", got, want)
+	}
+
+	// The verdict built from trace-only evidence (no ledger rows) names the
+	// blame leader with service dominating (45µs svc > 9µs queue).
+	v := verdict(FlowSnapshot{}, pa, nil)
+	if v.Bottleneck != "slow" || v.Stage != "service" {
+		t.Fatalf("trace-only verdict = %+v, want slow/service", v)
+	}
+}
+
+func TestAnalyzePathsEmpty(t *testing.T) {
+	pa := AnalyzePaths(nil)
+	if pa.TotalNs != 0 || len(pa.Blame) != 0 || len(pa.Paths) != 0 {
+		t.Fatalf("empty analysis = %+v, want zero value", pa)
+	}
+	if v := verdict(FlowSnapshot{}, pa, nil); v.Bottleneck != "" {
+		t.Fatalf("verdict on no evidence = %+v, want empty", v)
+	}
+}

@@ -1,0 +1,265 @@
+package diagnosis
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// PEFlow is one PE's row in the flow ledger. The worker loop and router cache
+// the pointer once per worker (no map lookups per task) and update fields with
+// the same lock-free primitives the telemetry shards use. All methods are
+// nil-receiver safe so call sites stay unconditional under the
+// nil-costs-nothing discipline.
+type PEFlow struct {
+	name   string
+	source atomic.Bool // saw a Generate execution (pacing source, not a stage)
+
+	tasksIn  telemetry.Counter
+	tasksOut telemetry.Counter
+	bytesIn  telemetry.Counter
+	bytesOut telemetry.Counter
+
+	// FenceDrops and Replays are exported so the state layer (fence drop
+	// attribution) and the transports (XAUTOCLAIM replay attribution) can be
+	// handed the counters directly without importing this package's internals.
+	FenceDrops telemetry.Counter
+	Replays    telemetry.Counter
+
+	service   *telemetry.Histogram // every Process/Finalize execution
+	queueWait *telemetry.Histogram // sampled: traced deliveries only (emit→start)
+
+	servers atomic.Int64 // worker slots able to execute this PE
+	firstNs atomic.Int64 // first observed execution start (UnixNano)
+	lastNs  atomic.Int64 // last observed execution end (UnixNano)
+}
+
+// AddServer registers one worker slot as able to execute this PE (called once
+// per worker at build time; pool workers register for every pooled PE).
+func (f *PEFlow) AddServer() {
+	if f == nil {
+		return
+	}
+	f.servers.Add(1)
+}
+
+// ObserveExec records one execution span plus the delivered value's
+// approximate payload size. generate marks a source Generate execution, which
+// is excluded from the service histogram (one Generate spans the whole run,
+// so its "service time" would always win the blame ranking by construction).
+func (f *PEFlow) ObserveExec(startNs, endNs, bytes int64, generate bool) {
+	if f == nil {
+		return
+	}
+	f.tasksIn.Inc()
+	f.bytesIn.Add(bytes)
+	f.firstNs.CompareAndSwap(0, startNs)
+	if endNs > f.lastNs.Load() {
+		f.lastNs.Store(endNs)
+	}
+	if generate {
+		f.source.Store(true)
+		return
+	}
+	if d := endNs - startNs; d >= 0 {
+		f.service.Observe(d)
+	}
+}
+
+// ObserveQueueWait records a sampled emit→start wait (traced tasks carry the
+// emission timestamp on the wire; untraced ones don't, so this histogram is a
+// sample, not a census).
+func (f *PEFlow) ObserveQueueWait(ns int64) {
+	if f == nil || ns < 0 {
+		return
+	}
+	f.queueWait.Observe(ns)
+}
+
+// ObserveOut records one task emitted by this PE.
+func (f *PEFlow) ObserveOut(bytes int64) {
+	if f == nil {
+		return
+	}
+	f.tasksOut.Inc()
+	f.bytesOut.Add(bytes)
+}
+
+// EdgeFlow is one graph edge's row in the flow ledger.
+type EdgeFlow struct {
+	name  string
+	tasks telemetry.Counter
+	bytes telemetry.Counter
+}
+
+// ObserveTask records one task routed over this edge.
+func (e *EdgeFlow) ObserveTask(bytes int64) {
+	if e == nil {
+		return
+	}
+	e.tasks.Inc()
+	e.bytes.Add(bytes)
+}
+
+// EdgeName builds the canonical edge key used by the ledger.
+func EdgeName(from, fromPort, to, toPort string) string {
+	return from + ":" + fromPort + "->" + to + ":" + toPort
+}
+
+// FlowLedger keys PEFlow/EdgeFlow rows by PE name and edge. Resolution takes
+// a lock but happens only at worker-build time (rows are cached by the hot
+// paths); Snapshot is the only other locked path.
+type FlowLedger struct {
+	mu    sync.Mutex
+	pes   map[string]*PEFlow
+	edges map[string]*EdgeFlow
+}
+
+// NewFlowLedger creates an empty ledger.
+func NewFlowLedger() *FlowLedger {
+	return &FlowLedger{pes: map[string]*PEFlow{}, edges: map[string]*EdgeFlow{}}
+}
+
+// PE resolves (creating on first use) the ledger row for a PE name.
+func (l *FlowLedger) PE(name string) *PEFlow {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, ok := l.pes[name]
+	if !ok {
+		f = &PEFlow{name: name,
+			service:   telemetry.NewLatencyHistogram(),
+			queueWait: telemetry.NewLatencyHistogram()}
+		l.pes[name] = f
+	}
+	return f
+}
+
+// Edge resolves (creating on first use) the ledger row for an edge key.
+func (l *FlowLedger) Edge(name string) *EdgeFlow {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.edges[name]
+	if !ok {
+		e = &EdgeFlow{name: name}
+		l.edges[name] = e
+	}
+	return e
+}
+
+// PEFlowSnapshot is the JSON view of one PE's ledger row plus the derived
+// capacity figures the verdict is built from.
+type PEFlowSnapshot struct {
+	PE       string `json:"pe"`
+	Source   bool   `json:"source,omitempty"`
+	Servers  int64  `json:"servers"`
+	TasksIn  int64  `json:"tasks_in"`
+	TasksOut int64  `json:"tasks_out"`
+	BytesIn  int64  `json:"bytes_in"`
+	BytesOut int64  `json:"bytes_out"`
+	// FenceDrops counts duplicate mutations the exactly-once fence dropped for
+	// this PE; Replays counts tasks re-delivered to it via XAUTOCLAIM.
+	FenceDrops int64                       `json:"fence_drops,omitempty"`
+	Replays    int64                       `json:"replays,omitempty"`
+	Service    telemetry.HistogramSnapshot `json:"service"`
+	QueueWait  telemetry.HistogramSnapshot `json:"queue_wait"`
+	// Utilization is busy time (service sum) over servers × active window;
+	// CeilingPerSec is the offered-rate ceiling servers/mean-service implies.
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+	Utilization   float64 `json:"utilization,omitempty"`
+	CeilingPerSec float64 `json:"ceiling_per_sec,omitempty"`
+}
+
+// EdgeFlowSnapshot is the JSON view of one edge's ledger row.
+type EdgeFlowSnapshot struct {
+	Edge  string `json:"edge"`
+	Tasks int64  `json:"tasks"`
+	Bytes int64  `json:"bytes"`
+}
+
+// FlowSnapshot is the ledger's point-in-time view, sorted by name.
+type FlowSnapshot struct {
+	PEs   []PEFlowSnapshot   `json:"pes,omitempty"`
+	Edges []EdgeFlowSnapshot `json:"edges,omitempty"`
+}
+
+// Snapshot captures every row. Derived figures (utilization, ceiling) are
+// computed here, on the cold path.
+func (l *FlowLedger) Snapshot() FlowSnapshot {
+	if l == nil {
+		return FlowSnapshot{}
+	}
+	l.mu.Lock()
+	pes := make([]*PEFlow, 0, len(l.pes))
+	for _, f := range l.pes {
+		pes = append(pes, f)
+	}
+	edges := make([]*EdgeFlow, 0, len(l.edges))
+	for _, e := range l.edges {
+		edges = append(edges, e)
+	}
+	l.mu.Unlock()
+
+	var out FlowSnapshot
+	for _, f := range pes {
+		s := PEFlowSnapshot{
+			PE:         f.name,
+			Source:     f.source.Load(),
+			Servers:    f.servers.Load(),
+			TasksIn:    f.tasksIn.Load(),
+			TasksOut:   f.tasksOut.Load(),
+			BytesIn:    f.bytesIn.Load(),
+			BytesOut:   f.bytesOut.Load(),
+			FenceDrops: f.FenceDrops.Load(),
+			Replays:    f.Replays.Load(),
+			Service:    f.service.Snapshot(),
+			QueueWait:  f.queueWait.Snapshot(),
+		}
+		first, last := f.firstNs.Load(), f.lastNs.Load()
+		if last > first && first > 0 {
+			s.WindowSeconds = float64(last-first) / float64(time.Second)
+		}
+		if s.Servers > 0 && s.WindowSeconds > 0 && s.Service.Count > 0 {
+			busy := float64(s.Service.Sum) / float64(time.Second)
+			s.Utilization = busy / (s.WindowSeconds * float64(s.Servers))
+		}
+		if s.Service.Count > 0 && s.Service.Mean > 0 {
+			s.CeilingPerSec = float64(s.Servers) * float64(time.Second) / s.Service.Mean
+		}
+		out.PEs = append(out.PEs, s)
+	}
+	for _, e := range edges {
+		out.Edges = append(out.Edges, EdgeFlowSnapshot{Edge: e.name, Tasks: e.tasks.Load(), Bytes: e.bytes.Load()})
+	}
+	sort.Slice(out.PEs, func(i, j int) bool { return out.PEs[i].PE < out.PEs[j].PE })
+	sort.Slice(out.Edges, func(i, j int) bool { return out.Edges[i].Edge < out.Edges[j].Edge })
+	return out
+}
+
+// ValueBytes approximates a task payload's size: exact for strings and byte
+// slices, scalar width for numbers, and a flat floor for opaque structs — a
+// throughput-shape signal, not an accounting figure.
+func ValueBytes(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case string:
+		return int64(len(x))
+	case []byte:
+		return int64(len(x))
+	case bool:
+		return 1
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, uintptr, float32, float64:
+		return 8
+	default:
+		return 16
+	}
+}

@@ -1,0 +1,72 @@
+package diagnosis
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Attach mounts the /diagnosis and /journal endpoints on a telemetry server.
+// reg may be nil (ledger-only diagnosis). /diagnosis serves the full Report
+// as JSON, or the rendered text block with ?format=text. /journal serves
+// {"total": N, "events": [...]} and supports ?n= (tail), ?since= (resume from
+// a sequence number), and ?kind= (filter).
+func (d *Diag) Attach(srv *telemetry.Server, reg *telemetry.Registry) {
+	srv.Handle("/diagnosis", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := d.Diagnose(reg)
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(Render(rep)))
+			return
+		}
+		writeJSON(w, rep)
+	}))
+	srv.Handle("/journal", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var j *Journal
+		if d != nil {
+			j = d.Journal
+		}
+		evs := j.Events()
+		if s := q.Get("since"); s != "" {
+			seq, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			evs = j.Since(seq)
+		}
+		if kind := q.Get("kind"); kind != "" {
+			kept := evs[:0:0]
+			for _, e := range evs {
+				if e.Kind == kind {
+					kept = append(kept, e)
+				}
+			}
+			evs = kept
+		}
+		if s := q.Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if n >= 0 && len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+		}
+		writeJSON(w, struct {
+			Total  uint64  `json:"total"`
+			Events []Event `json:"events"`
+		}{Total: j.Total(), Events: evs})
+	}))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

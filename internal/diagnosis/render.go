@@ -1,0 +1,73 @@
+package diagnosis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render formats a Report as the text block d4prun/d4pbench print: the
+// verdict line, the blame ranking, the flow ledger, and any stragglers.
+func Render(r Report) string {
+	var b strings.Builder
+	b.WriteString("== diagnosis ==\n")
+	if r.Verdict.Bottleneck == "" {
+		b.WriteString("verdict: no attributable bottleneck (no service time recorded)\n")
+	} else {
+		fmt.Fprintf(&b, "verdict: bottleneck=%s stage=%s", r.Verdict.Bottleneck, r.Verdict.Stage)
+		if r.Verdict.Utilization > 0 {
+			fmt.Fprintf(&b, " util=%.0f%%", 100*r.Verdict.Utilization)
+		}
+		if r.Verdict.CeilingPerSec > 0 {
+			fmt.Fprintf(&b, " ceiling≈%.0f/s", r.Verdict.CeilingPerSec)
+		}
+		b.WriteByte('\n')
+		if r.Verdict.Detail != "" {
+			fmt.Fprintf(&b, "  %s\n", r.Verdict.Detail)
+		}
+	}
+
+	if len(r.Paths.Blame) > 0 {
+		fmt.Fprintf(&b, "blame (over %d sampled paths, %d complete):\n",
+			r.Paths.TotalPaths, r.Paths.CompletePaths)
+		fmt.Fprintf(&b, "  %-16s %6s %10s %10s %10s %7s\n", "pe", "hops", "queue", "service", "ack", "share")
+		for _, bl := range r.Paths.Blame {
+			fmt.Fprintf(&b, "  %-16s %6d %10s %10s %10s %6.1f%%\n",
+				bl.PE, bl.Hops, time.Duration(bl.QueueNs), time.Duration(bl.SvcNs),
+				time.Duration(bl.AckNs), 100*bl.Share)
+		}
+	}
+
+	if len(r.Flow.PEs) > 0 {
+		b.WriteString("flow ledger:\n")
+		fmt.Fprintf(&b, "  %-16s %4s %8s %8s %10s %10s %6s %9s %7s %7s\n",
+			"pe", "srv", "in", "out", "svc.mean", "svc.max", "util", "ceil/s", "replay", "fdrops")
+		for _, pe := range r.Flow.PEs {
+			name := pe.PE
+			if pe.Source {
+				name += "*"
+			}
+			svcMean, svcMax := "-", "-"
+			if pe.Service.Count > 0 {
+				svcMean = time.Duration(int64(pe.Service.Mean)).String()
+				svcMax = time.Duration(pe.Service.Max).String()
+			}
+			fmt.Fprintf(&b, "  %-16s %4d %8d %8d %10s %10s %5.0f%% %9.0f %7d %7d\n",
+				name, pe.Servers, pe.TasksIn, pe.TasksOut, svcMean, svcMax,
+				100*pe.Utilization, pe.CeilingPerSec, pe.Replays, pe.FenceDrops)
+		}
+		b.WriteString("  (* = source; Generate spans excluded from service)\n")
+	}
+	if len(r.Flow.Edges) > 0 {
+		b.WriteString("edges:\n")
+		for _, e := range r.Flow.Edges {
+			fmt.Fprintf(&b, "  %-40s %8d tasks %12d bytes\n", e.Edge, e.Tasks, e.Bytes)
+		}
+	}
+	for _, s := range r.Stragglers {
+		fmt.Fprintf(&b, "straggler: worker %d at %.1f tasks/flight vs pool median %.1f (%.0f%%)\n",
+			s.Worker, s.TasksPerFlight, s.PoolMedian, 100*s.Ratio)
+	}
+	fmt.Fprintf(&b, "journal: %d events\n", r.JournalEvents)
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package diagnosis
+
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// StragglerConfig tunes the detector. The zero value resolves to the
+// defaults.
+type StragglerConfig struct {
+	// MinFlights is the minimum number of flight-recorder snapshots a worker
+	// must span before it can be judged; 0 means 3.
+	MinFlights int
+	// Ratio flags a worker whose per-flight task progress falls below
+	// Ratio × pool median; 0 means 0.5.
+	Ratio float64
+	// MinMedian suppresses verdicts when the pool median progress is below
+	// this many tasks per flight (an idle pool has no stragglers); 0 means 1.
+	MinMedian float64
+}
+
+func (c StragglerConfig) withDefaults() StragglerConfig {
+	if c.MinFlights <= 0 {
+		c.MinFlights = 3
+	}
+	if c.Ratio <= 0 {
+		c.Ratio = 0.5
+	}
+	if c.MinMedian <= 0 {
+		c.MinMedian = 1
+	}
+	return c
+}
+
+// Straggler is one flagged worker: its task cadence diverged below the pool
+// median between flight-recorder snapshots.
+type Straggler struct {
+	Worker         int     `json:"worker"`
+	TasksPerFlight float64 `json:"tasks_per_flight"`
+	PoolMedian     float64 `json:"pool_median"`
+	Ratio          float64 `json:"ratio"` // TasksPerFlight / PoolMedian
+}
+
+// DetectStragglers compares each worker's task-progress rate across the
+// flight-recorder ring against the pool median and flags divergent workers.
+// It is a pure function over recorded flights — no extra goroutine, no races
+// with the run. Note the comparison is pool-wide: under pinned plans where
+// different PEs legitimately run at different rates, read it as "slowest
+// stage's workers", not necessarily a fault.
+func DetectStragglers(flights []telemetry.Snapshot, cfg StragglerConfig) []Straggler {
+	cfg = cfg.withDefaults()
+	if len(flights) < cfg.MinFlights {
+		return nil
+	}
+	// Per worker: task counts are cumulative, so progress between the first
+	// and last flight the worker appears in, divided by the flights spanned,
+	// is its per-flight cadence.
+	type span struct {
+		first, last int
+		firstTasks  int64
+		lastTasks   int64
+	}
+	spans := map[int]*span{}
+	for fi, fl := range flights {
+		for _, ws := range fl.PerWorker {
+			s, ok := spans[ws.Worker]
+			if !ok {
+				spans[ws.Worker] = &span{first: fi, last: fi, firstTasks: ws.Tasks, lastTasks: ws.Tasks}
+				continue
+			}
+			s.last = fi
+			s.lastTasks = ws.Tasks
+		}
+	}
+	type rate struct {
+		worker int
+		perFl  float64
+	}
+	var rates []rate
+	for w, s := range spans {
+		if s.last-s.first < cfg.MinFlights-1 {
+			continue
+		}
+		rates = append(rates, rate{worker: w, perFl: float64(s.lastTasks-s.firstTasks) / float64(s.last-s.first)})
+	}
+	if len(rates) < 2 {
+		return nil
+	}
+	sorted := make([]float64, len(rates))
+	for i, r := range rates {
+		sorted[i] = r.perFl
+	}
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	if median < cfg.MinMedian {
+		return nil
+	}
+	var out []Straggler
+	for _, r := range rates {
+		if r.perFl < cfg.Ratio*median {
+			out = append(out, Straggler{Worker: r.worker, TasksPerFlight: r.perFl,
+				PoolMedian: median, Ratio: r.perFl / median})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}

@@ -1,0 +1,69 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// flightSeq builds a flight-recorder sequence where each worker's cumulative
+// task count advances by its per-flight rate.
+func flightSeq(flights int, rates map[int]int64) []telemetry.Snapshot {
+	out := make([]telemetry.Snapshot, flights)
+	for fi := 0; fi < flights; fi++ {
+		var per []telemetry.WorkerSnapshot
+		for w, r := range rates {
+			per = append(per, telemetry.WorkerSnapshot{Worker: w, Tasks: int64(fi+1) * r})
+		}
+		out[fi] = telemetry.Snapshot{PerWorker: per}
+	}
+	return out
+}
+
+func TestDetectStragglersFlagsSlowWorker(t *testing.T) {
+	// Three healthy workers at 10 tasks/flight, one crawling at 2.
+	flights := flightSeq(5, map[int]int64{0: 10, 1: 10, 2: 10, 3: 2})
+	got := DetectStragglers(flights, StragglerConfig{})
+	if len(got) != 1 {
+		t.Fatalf("flagged %d workers (%+v), want exactly worker 3", len(got), got)
+	}
+	s := got[0]
+	if s.Worker != 3 || s.TasksPerFlight != 2 || s.PoolMedian != 10 || s.Ratio != 0.2 {
+		t.Fatalf("straggler = %+v, want worker=3 rate=2 median=10 ratio=0.2", s)
+	}
+}
+
+func TestDetectStragglersHealthyPool(t *testing.T) {
+	flights := flightSeq(5, map[int]int64{0: 10, 1: 9, 2: 11, 3: 10})
+	if got := DetectStragglers(flights, StragglerConfig{}); len(got) != 0 {
+		t.Fatalf("healthy pool flagged %+v", got)
+	}
+}
+
+func TestDetectStragglersSuppressed(t *testing.T) {
+	// Too few flights to judge.
+	if got := DetectStragglers(flightSeq(2, map[int]int64{0: 10, 1: 1}), StragglerConfig{}); got != nil {
+		t.Fatalf("2 flights should be below MinFlights, got %+v", got)
+	}
+	// Idle pool: median below MinMedian — nothing to diverge from.
+	if got := DetectStragglers(flightSeq(5, map[int]int64{0: 0, 1: 0, 2: 0}), StragglerConfig{}); got != nil {
+		t.Fatalf("idle pool flagged %+v", got)
+	}
+	// A single rated worker has no pool to compare against.
+	if got := DetectStragglers(flightSeq(5, map[int]int64{0: 10}), StragglerConfig{}); got != nil {
+		t.Fatalf("single worker flagged %+v", got)
+	}
+}
+
+func TestDetectStragglersLateJoiner(t *testing.T) {
+	// Worker 4 appears only in the last two flights (autoscale spin-up): its
+	// span is below MinFlights, so it must not be judged against the veterans.
+	flights := flightSeq(5, map[int]int64{0: 10, 1: 10, 2: 10})
+	for fi := 3; fi < 5; fi++ {
+		flights[fi].PerWorker = append(flights[fi].PerWorker,
+			telemetry.WorkerSnapshot{Worker: 4, Tasks: int64(fi-2) * 1})
+	}
+	if got := DetectStragglers(flights, StragglerConfig{}); len(got) != 0 {
+		t.Fatalf("late joiner flagged %+v", got)
+	}
+}

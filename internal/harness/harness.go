@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
@@ -55,6 +56,10 @@ type Runner struct {
 	// accumulates into one registry (counters and histograms sum across
 	// runs; gauge sources re-register per run).
 	Telemetry *telemetry.Registry
+	// Diag, when non-nil, is handed to every run so diagnosis accumulates
+	// like the registry: flow-ledger rows and journal entries sum across the
+	// suite's runs.
+	Diag *diagnosis.Diag
 
 	redis *miniredis.Server
 }
@@ -124,6 +129,7 @@ func (r *Runner) RunExperiment(e Experiment) ([]metrics.Series, error) {
 					Platform:  e.Platform,
 					Seed:      e.Seed + int64(rep),
 					Telemetry: r.Telemetry,
+					Diagnosis: r.Diag,
 				}
 				if needsRedis(tech) {
 					addr, err := r.redisAddr()
@@ -201,6 +207,7 @@ func (r *Runner) RunTrace(e TraceExperiment) (*autoscale.Trace, metrics.Report, 
 		Seed:      e.Seed,
 		Trace:     trace,
 		Telemetry: r.Telemetry,
+		Diagnosis: r.Diag,
 	}
 	if needsRedis(e.Technique) {
 		addr, err := r.redisAddr()

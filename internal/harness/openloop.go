@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/platform"
@@ -108,6 +109,11 @@ type OpenLoopPoint struct {
 	// the latency bound, and the backlog at end-of-generation drained in
 	// ≤ max(duration/10, 1s) — i.e. the system was keeping up, not queueing.
 	Sustainable bool
+	// Verdict is the bottleneck attribution after this run, when the runner
+	// carries a Diag. With a shared Diag the ledger accumulates across the
+	// sweep, so each point's verdict reflects the ladder so far — dominated
+	// by the current (highest-rate) run, which offers the most tasks.
+	Verdict *diagnosis.Verdict `json:",omitempty"`
 }
 
 func (p OpenLoopPoint) String() string {
@@ -251,6 +257,7 @@ func (r *Runner) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopPoint, error) {
 		Platform:  platform.Server,
 		Seed:      cfg.Seed,
 		Telemetry: r.Telemetry,
+		Diagnosis: r.Diag,
 	}
 	if needsRedis(cfg.Mapping) {
 		addr, err := r.redisAddr()
@@ -295,6 +302,10 @@ func (r *Runner) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopPoint, error) {
 	p.Sustainable = p.OfferedRate >= 0.95*cfg.Rate &&
 		p.P99 > 0 && p.P99 <= cfg.LatencyBound &&
 		p.DrainSeconds <= drainBudget
+	if r.Diag != nil {
+		v := r.Diag.Diagnose(r.Telemetry).Verdict
+		p.Verdict = &v
+	}
 	r.printf("  %s\n", p)
 	return p, nil
 }
@@ -341,12 +352,16 @@ func RenderOpenLoop(title string, pts []OpenLoopPoint) string {
 // OpenLoopCSV renders points as CSV.
 func OpenLoopCSV(pts []OpenLoopPoint) string {
 	var b strings.Builder
-	b.WriteString("workload,mapping,processes,target_rate,offered_rate,delivered_rate,offered,delivered,gen_seconds,drain_seconds,p50_ms,p99_ms,max_ms,sustainable\n")
+	b.WriteString("workload,mapping,processes,target_rate,offered_rate,delivered_rate,offered,delivered,gen_seconds,drain_seconds,p50_ms,p99_ms,max_ms,sustainable,bottleneck,stage\n")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%s,%s,%d,%.0f,%.2f,%.2f,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%v\n",
+		bn, stage := "", ""
+		if p.Verdict != nil {
+			bn, stage = p.Verdict.Bottleneck, p.Verdict.Stage
+		}
+		fmt.Fprintf(&b, "%s,%s,%d,%.0f,%.2f,%.2f,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%v,%s,%s\n",
 			p.Workload, p.Mapping, p.Processes, p.TargetRate, p.OfferedRate, p.DeliveredRate,
 			p.Offered, p.Delivered, p.GenSeconds, p.DrainSeconds,
-			float64(p.P50)/1e6, float64(p.P99)/1e6, float64(p.Max)/1e6, p.Sustainable)
+			float64(p.P50)/1e6, float64(p.P99)/1e6, float64(p.Max)/1e6, p.Sustainable, bn, stage)
 	}
 	return b.String()
 }

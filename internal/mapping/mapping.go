@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -133,6 +134,16 @@ type Options struct {
 	// TelemetryEvery, with Telemetry set, records a flight-recorder snapshot
 	// of the registry at this period while the run executes (0 disables).
 	TelemetryEvery time.Duration
+	// Diagnosis, when non-nil, receives bottleneck-attribution signals from
+	// the run: the per-PE/per-edge flow ledger (tasks, bytes, service time,
+	// sampled queue wait, fence drops, replays) fed by the worker loop and
+	// router, and the run-event journal (worker lifecycle, reclaims, lease
+	// extensions, fence drops, pill routing, checkpoints, sizer resizes).
+	// Critical-path decomposition additionally needs Telemetry (it reads the
+	// tracer's assembled paths); the straggler detector needs TelemetryEvery
+	// flights. Like the registry, a Diag may be shared across runs, in which
+	// case ledger rows accumulate. nil costs a pointer test and nothing else.
+	Diagnosis *diagnosis.Diag
 	// EmitFlushEvery bounds how long a partially-filled emit batch may age
 	// before being flushed. The age is checked at each emission (and the
 	// batch always flushes before the worker's prefetch buffer refills, so

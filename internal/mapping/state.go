@@ -3,6 +3,7 @@ package mapping
 import (
 	"fmt"
 
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/state"
@@ -71,7 +72,14 @@ func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Back
 		}
 		chain := st
 		if opts.StateCheckpointEvery > 0 {
-			chain = state.NewCheckpointStore(st, ms.backend, opts.StateCheckpointEvery)
+			cs := state.NewCheckpointStore(st, ms.backend, opts.StateCheckpointEvery)
+			if opts.Diagnosis != nil {
+				nodeName := n.Name
+				cs.OnCheckpoint = func() {
+					opts.Diagnosis.Log(diagnosis.EvCheckpoint, -1, nodeName, "", 1)
+				}
+			}
+			chain = cs
 		}
 		if opts.Telemetry != nil {
 			// Instrumentation sits outside the checkpointing chain so a
@@ -91,6 +99,15 @@ func OpenManagedState(g *graph.Graph, opts Options, newDefault func() state.Back
 			fs := state.NewFencedStore(chain)
 			if opts.Telemetry != nil {
 				fs.SetDropCounter(&opts.Telemetry.State().FenceDrops)
+			}
+			if opts.Diagnosis != nil {
+				// Attribute drops to the PE whose namespace fenced them, and
+				// journal each one (drops are the cold replay path).
+				fs.SetDropCounter(&opts.Diagnosis.PE(n.Name).FenceDrops)
+				nodeName := n.Name
+				fs.SetDropNotify(func() {
+					opts.Diagnosis.Log(diagnosis.EvFenceDrop, -1, nodeName, "duplicate mutation dropped", 1)
+				})
 			}
 			ms.fenced[n.Name] = fs
 		}

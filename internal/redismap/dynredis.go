@@ -69,6 +69,7 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
 	tr.RecoverIdle = opts.RecoverIdle
+	tr.SetDiagnosis(opts.Diagnosis)
 	defer tr.Cleanup(g)
 
 	var ctrl *autoscale.Controller

@@ -144,6 +144,7 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
 	tr.RecoverIdle = opts.RecoverIdle
+	tr.SetDiagnosis(opts.Diagnosis)
 	defer tr.Cleanup(g)
 
 	var ctrl *autoscale.Controller

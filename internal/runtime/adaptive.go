@@ -47,6 +47,12 @@ const (
 // blocking wait rather than by transport cost. The sizer is owned by a
 // single worker goroutine and needs no locking.
 type BatchSizer struct {
+	// OnResize, when set, is called with (old, new) whenever the window
+	// changes — the diagnosis journal's sizer-resize feed. Resizes are
+	// log-bounded (doubling/halving between 1 and the cap), so the callback
+	// is cold. Set it before the first Observe; the sizer is single-owner.
+	OnResize func(oldSize, newSize int)
+
 	size int
 	// Exponentially-weighted moments of the (tasks, duration) stream, in
 	// tasks and nanoseconds: E[n], E[d], E[n·d], E[n²].
@@ -108,8 +114,10 @@ func (s *BatchSizer) refit() {
 // operations (timeouts) contribute no cost sample but count as underfull
 // deliveries for the shrink rule.
 func (s *BatchSizer) Observe(d time.Duration, n int) {
+	old := s.size
 	if n <= 0 {
 		s.size = max(s.size/2, autoBatchMin)
+		s.notifyResize(old)
 		return
 	}
 	fn, fd := float64(n), float64(d)
@@ -128,5 +136,12 @@ func (s *BatchSizer) Observe(d time.Duration, n int) {
 		s.size = min(s.size*2, autoBatchMax)
 	case n <= s.size/4:
 		s.size = max(s.size/2, autoBatchMin)
+	}
+	s.notifyResize(old)
+}
+
+func (s *BatchSizer) notifyResize(old int) {
+	if s.OnResize != nil && s.size != old {
+		s.OnResize(old, s.size)
 	}
 }

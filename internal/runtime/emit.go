@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/telemetry"
@@ -181,11 +182,15 @@ type router struct {
 	curPE     string
 	curTraced bool
 	curIsGen  bool
+
+	// diag (nil when diagnosis is off) feeds the per-PE out counters and
+	// per-edge flow rows; emitFor caches the rows per closure.
+	diag *diagnosis.Diag
 }
 
-func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error, stamped bool, tracer *telemetry.Tracer, worker int) *router {
+func newRouter(g *graph.Graph, plan Plan, outputs *atomic.Int64, out func(Task) error, stamped bool, tracer *telemetry.Tracer, worker int, diag *diagnosis.Diag) *router {
 	return &router{g: g, plan: plan, outputs: outputs, out: out, seq: map[*graph.Edge]uint64{},
-		stamped: stamped, tracer: tracer, worker: worker}
+		stamped: stamped, tracer: tracer, worker: worker, diag: diag}
 }
 
 // begin marks the start of one task execution: subsequent emissions derive
@@ -219,6 +224,17 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 		salts = make([]uint64, len(edges))
 		for i, e := range edges {
 			salts[i] = edgeSalt(e.From, e.FromPort, e.To, e.ToPort)
+		}
+	}
+	// Diagnosis flow rows, resolved once per closure (build time, not emit
+	// time): the sender's ledger row plus one row per out-edge.
+	var outFlow *diagnosis.PEFlow
+	var edgeFlows []*diagnosis.EdgeFlow
+	if r.diag != nil {
+		outFlow = r.diag.PE(node)
+		edgeFlows = make([]*diagnosis.EdgeFlow, len(edges))
+		for i, e := range edges {
+			edgeFlows[i] = r.diag.Edge(diagnosis.EdgeName(e.From, e.FromPort, e.To, e.ToPort))
 		}
 	}
 	stamp := func(t Task, edgeIdx int) Task {
@@ -260,6 +276,11 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 			nInst := r.plan.Instances[e.To]
 			if nInst == 0 {
 				// Pooled destination: any worker may process the task.
+				if outFlow != nil {
+					vb := diagnosis.ValueBytes(value)
+					outFlow.ObserveOut(vb)
+					edgeFlows[ei].ObserveTask(vb)
+				}
 				if err := r.out(stamp(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: -1}, ei)); err != nil {
 					return err
 				}
@@ -269,11 +290,21 @@ func (r *router) emitFor(node string) func(port string, value any) error {
 			r.seq[e]++
 			if idx < 0 { // one-to-all broadcast
 				for i := 0; i < nInst; i++ {
+					if outFlow != nil {
+						vb := diagnosis.ValueBytes(value)
+						outFlow.ObserveOut(vb)
+						edgeFlows[ei].ObserveTask(vb)
+					}
 					if err := r.out(stamp(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: i}, ei)); err != nil {
 						return err
 					}
 				}
 				continue
+			}
+			if outFlow != nil {
+				vb := diagnosis.ValueBytes(value)
+				outFlow.ObserveOut(vb)
+				edgeFlows[ei].ObserveTask(vb)
 			}
 			if err := r.out(stamp(Task{PE: e.To, Port: e.ToPort, Value: value, Instance: idx}, ei)); err != nil {
 				return err

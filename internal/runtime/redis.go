@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/redisclient"
 )
@@ -81,7 +82,15 @@ type RedisTransport struct {
 	// worst-case residency trade duplicate executions (safe under the
 	// exactly-once fence, but wasted work) for faster failure recovery.
 	RecoverIdle time.Duration
+
+	// diag (set via SetDiagnosis; nil keeps the paths cold) journals the
+	// recovery lifecycle — XAUTOCLAIM reclaims and lease extensions — and
+	// attributes reclaimed tasks to their PE's Replays counter.
+	diag *diagnosis.Diag
 }
+
+// SetDiagnosis attaches the diagnosis plane the planners thread through.
+func (t *RedisTransport) SetDiagnosis(d *diagnosis.Diag) { t.diag = d }
 
 // entryState is the per-stream-entry ack bookkeeping.
 type entryState struct {
@@ -244,6 +253,7 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 	if err != nil {
 		return nil, t.maybeClosed(err)
 	}
+	reclaimed := false
 	if len(entries) == 0 && t.recoverStale {
 		// Reclaim tasks whose consumer stopped acknowledging them (crashed
 		// or descheduled). XAUTOCLAIM moves idle pending entries into this
@@ -252,6 +262,7 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, t.minIdle(timeout), "0-0", max)
 		if err == nil && len(claimed) > 0 {
 			entries = claimed
+			reclaimed = true
 		}
 	}
 	if len(entries) == 0 {
@@ -274,9 +285,18 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 			if !task.Poison {
 				nonPoison++
 			}
+			if reclaimed && t.diag != nil && !task.Poison {
+				// Cold path (failure recovery): per-PE replay attribution may
+				// take the ledger lock per task.
+				t.diag.PE(task.PE).Replays.Inc()
+			}
 			envs = append(envs, Env{Task: task, AckID: e.ID})
 		}
 		reg[e.ID] = &entryState{remaining: len(tasks), tasks: nonPoison}
+	}
+	if reclaimed && t.diag != nil {
+		t.diag.Log(diagnosis.EvReclaim, w, "",
+			fmt.Sprintf("%d stalled entries adopted", len(entries)), int64(len(envs)))
 	}
 	return envs, nil
 }
@@ -486,6 +506,9 @@ func (t *RedisTransport) Extend(w int) error {
 		return nil
 	}
 	_, err = t.cl.XClaimJustID(t.keys.Queue, t.keys.Group, consumer, 0, ids)
+	if err == nil && t.diag != nil {
+		t.diag.Log(diagnosis.EvLease, w, "", "heartbeat", int64(len(ids)))
+	}
 	return t.maybeClosed(err)
 }
 

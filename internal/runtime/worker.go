@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/core"
+	"repro/internal/diagnosis"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
@@ -50,7 +51,7 @@ type Config struct {
 // runs the termination coordinator that drains the transport, flushes Final
 // hooks exactly once each (topological order, draining between nodes so
 // flushed values propagate), and finally poisons the workers.
-func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, error) {
+func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (_ metrics.Report, err error) {
 	opts = opts.WithDefaults()
 	if err := opts.ValidateBatching(); err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", cfg.Name, err)
@@ -72,6 +73,25 @@ func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, 
 	// Stamping without fencing is harmless: fence scopes only exist when
 	// fenced stores do.
 	r.stamped = r.fencing || r.tracer != nil
+	r.diag = opts.Diagnosis
+	r.diag.Log(diagnosis.EvRunStart, -1, "", cfg.Name+"/"+g.Name, int64(len(cfg.Plan.Workers)))
+	// Post-mortem observability must exist even when the run errors out: the
+	// final flight (which also seeds the gauge sources' last-good cache while
+	// the transport is still open) and the run_end journal entry are deferred,
+	// so early-return failures — a seed push on a dead transport, a worker
+	// error — still leave a snapshot and a terminal journal event behind.
+	defer func() {
+		if r.tel != nil {
+			r.tel.RecordFlight()
+		}
+		if r.diag != nil {
+			detail := "ok"
+			if err != nil {
+				detail = "error: " + err.Error()
+			}
+			r.diag.Log(diagnosis.EvRunEnd, -1, "", detail, r.tasks.Load())
+		}
+	}()
 	if r.tel != nil {
 		tr := cfg.Transport
 		r.tel.RegisterGauges("transport", func() (map[string]int64, bool) {
@@ -148,13 +168,6 @@ func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (metrics.Report, 
 	}()
 	wg.Wait()
 	elapsed := time.Since(start)
-	if r.tel != nil {
-		// One final flight while the transport is still open seeds the
-		// gauge sources' last-good cache, so post-run snapshots (the CLI
-		// summary, a held /metrics endpoint) still carry gauge values after
-		// the planner tears the transport down.
-		r.tel.RecordFlight()
-	}
 
 	r.errMu.Lock()
 	err = r.firstErr
@@ -194,9 +207,11 @@ type run struct {
 	fencing bool
 	stamped bool
 
-	// tel/tracer mirror Options.Telemetry (nil when uninstrumented).
+	// tel/tracer mirror Options.Telemetry (nil when uninstrumented); diag
+	// mirrors Options.Diagnosis (nil keeps the attribution paths cold).
 	tel    *telemetry.Registry
 	tracer *telemetry.Tracer
+	diag   *diagnosis.Diag
 
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -257,18 +272,29 @@ func (r *run) runWorker(w int) {
 	defer proc.Deactivate()
 
 	// The worker's telemetry shard is resolved once; a nil shard leaves every
-	// hot-path branch on a simple pointer test.
+	// hot-path branch on a simple pointer test. The diagnosis flow rows are
+	// resolved the same way — once per worker at build time, never per task.
 	var wm *telemetry.WorkerMetrics
 	if r.tel != nil {
 		wm = r.tel.Worker(w)
 	}
+	var flows map[string]*diagnosis.PEFlow
+	if r.diag != nil {
+		flows = map[string]*diagnosis.PEFlow{}
+	}
+	r.diag.Log(diagnosis.EvWorkerStart, w, spec.PE, procName, 0)
+	exitReason := "error"
+	defer func() { r.diag.Log(diagnosis.EvWorkerExit, w, spec.PE, exitReason, 0) }()
 
 	b := newBatcher(r.cfg.Transport, r.opts.EmitBatch, r.opts.EmitFlushEvery)
 	if wm != nil {
 		b.flushHist = wm.EmitFlush
 		b.sizeHist = wm.EmitBatch
 	}
-	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push, r.stamped, r.tracer, w)
+	if b.sizer != nil && r.diag != nil {
+		b.sizer.OnResize = resizeLogger(r.diag, w, "emit")
+	}
+	rt := newRouter(r.g, r.cfg.Plan, &r.outputs, b.push, r.stamped, r.tracer, w, r.diag)
 
 	// Build this worker's PE copies and contexts. Under fencing each
 	// managed-state context is routed through a per-worker FenceScope, the
@@ -278,6 +304,11 @@ func (r *run) runWorker(w int) {
 	var scopes map[string]*state.FenceScope
 	build := func(n *graph.Node, instance int, seed int64) {
 		pes[n.Name] = n.Factory()
+		if flows != nil {
+			f := r.diag.PE(n.Name)
+			f.AddServer()
+			flows[n.Name] = f
+		}
 		ctx := core.NewContext(n.Name, instance, r.cfg.Host, synth.NewRand(seed), rt.emitFor(n.Name))
 		if fs := r.ms.Fenced(n.Name); fs != nil {
 			scope := fs.NewScope()
@@ -331,6 +362,9 @@ func (r *run) runWorker(w int) {
 	var pullSizer *BatchSizer
 	if pullWindow == mapping.AutoBatch {
 		pullSizer = NewBatchSizer()
+		if r.diag != nil {
+			pullSizer.OnResize = resizeLogger(r.diag, w, "pull")
+		}
 	} else if pullWindow < 1 {
 		pullWindow = 1
 	}
@@ -356,6 +390,7 @@ func (r *run) runWorker(w int) {
 	var pulledAt int64 // UnixNano of the current buffer's pull (tracing only)
 	for {
 		if r.aborted() {
+			exitReason = "abort"
 			return
 		}
 		if next >= len(buf) {
@@ -375,6 +410,7 @@ func (r *run) runWorker(w int) {
 				// Idle state: stop accruing process time until readmitted.
 				proc.Deactivate()
 				if !ctrl.Admit(w) {
+					exitReason = "idle_release"
 					return
 				}
 				proc.Activate()
@@ -429,6 +465,7 @@ func (r *run) runWorker(w int) {
 			wm.Prefetch.Set(int64(len(buf) - next))
 		}
 		if env.Poison {
+			exitReason = "poison"
 			r.retirePoison(env, buf[next:], b, acks)
 			return
 		}
@@ -438,22 +475,43 @@ func (r *run) runWorker(w int) {
 		if leases != nil {
 			_ = leases.Extend(w)
 		}
-		if r.tracer != nil && env.TraceAt != 0 {
-			// A traced delivery records its execution span even on error, so
-			// a trace ending in a failed hop is still reconstructable.
-			startNs := time.Now().UnixNano()
-			err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env)
-			r.tracer.RecordExec(env.Src, env.Seq, env.PE, w, env.TraceAt, pulledAt, startNs, time.Now().UnixNano())
-			if err != nil {
+		traced := r.tracer != nil && env.TraceAt != 0
+		flow := flows[env.PE] // nil map lookup is fine when diagnosis is off
+		if !traced && flow == nil {
+			if err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env); err != nil {
 				r.workerFail(err)
 				return
 			}
 			continue
 		}
-		if err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env); err != nil {
+		// Timed execution: a traced delivery records its span even on error
+		// (a trace ending in a failed hop is still reconstructable), and the
+		// flow ledger observes every execution's service time — plus, for
+		// traced deliveries, the emit→start queue wait their TraceAt stamp
+		// carries across the wire.
+		startNs := time.Now().UnixNano()
+		err := r.runTask(procName, pes, ctxs, rt, scopes, b, acks, env)
+		endNs := time.Now().UnixNano()
+		if traced {
+			r.tracer.RecordExec(env.Src, env.Seq, env.PE, w, env.TraceAt, pulledAt, startNs, endNs)
+		}
+		if flow != nil {
+			flow.ObserveExec(startNs, endNs, diagnosis.ValueBytes(env.Value), env.Port == "" && !env.Finalize)
+			if env.TraceAt > 0 {
+				flow.ObserveQueueWait(startNs - env.TraceAt)
+			}
+		}
+		if err != nil {
 			r.workerFail(err)
 			return
 		}
+	}
+}
+
+// resizeLogger journals one BatchSizer's window changes.
+func resizeLogger(d *diagnosis.Diag, w int, which string) func(oldSize, newSize int) {
+	return func(oldSize, newSize int) {
+		d.Log(diagnosis.EvResize, w, "", fmt.Sprintf("%s %d→%d", which, oldSize, newSize), int64(newSize))
 	}
 }
 
@@ -465,6 +523,7 @@ func (r *run) runWorker(w int) {
 // non-poison straggler never dips the pending count. Errors are ignored:
 // this path races transport shutdown by design.
 func (r *run) retirePoison(pill Env, rest []Env, b *batcher, acks *ackBatch) {
+	r.diag.Log(diagnosis.EvPill, acks.w, "", "retire", int64(len(rest)))
 	if len(rest) > 0 {
 		tasks := make([]Task, len(rest))
 		for i, env := range rest {
@@ -586,6 +645,7 @@ func (r *run) drainAndFinalize() error {
 	if err := r.awaitDrain(); err != nil {
 		return err
 	}
+	r.diag.Log(diagnosis.EvDrain, -1, "", "stream drained", 0)
 	order, err := r.g.TopoSort()
 	if err != nil {
 		return err
@@ -620,6 +680,7 @@ func (r *run) drainAndFinalize() error {
 		if err := r.cfg.Transport.Push(finals...); err != nil {
 			return err
 		}
+		r.diag.Log(diagnosis.EvDrain, -1, name, "finals pushed", int64(len(finals)))
 		if err := r.awaitDrain(); err != nil {
 			return err
 		}
@@ -675,6 +736,7 @@ func (r *run) poisonAll() {
 		}
 	}
 	if len(pills) > 0 {
+		r.diag.Log(diagnosis.EvPill, -1, "", "poison_all", int64(len(pills)))
 		_ = r.cfg.Transport.Push(pills...)
 	}
 }

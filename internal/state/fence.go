@@ -95,16 +95,39 @@ var errNoFencedAdder = errors.New("state: wrapped store implements no fenced Add
 // both for the remaining mutations needs an apply+record transaction
 // (server-side scripting), noted in ROADMAP.
 type FencedStore struct {
-	inner Store
-	drops *telemetry.Counter
+	inner  Store
+	drops  []*telemetry.Counter
+	notify func()
 }
 
 // NewFencedStore wraps a namespace's store chain with the fence.
 func NewFencedStore(inner Store) *FencedStore { return &FencedStore{inner: inner} }
 
 // SetDropCounter routes a count of dropped (already-applied) mutations into
-// telemetry. Call before any scope is used; nil disables counting.
-func (fs *FencedStore) SetDropCounter(c *telemetry.Counter) { fs.drops = c }
+// telemetry. It may be called more than once — every registered counter is
+// incremented per drop, so the run-wide state counter and a per-PE diagnosis
+// row can both observe the same fence. Call before any scope is used; nil is
+// ignored.
+func (fs *FencedStore) SetDropCounter(c *telemetry.Counter) {
+	if c != nil {
+		fs.drops = append(fs.drops, c)
+	}
+}
+
+// SetDropNotify installs a callback invoked once per dropped mutation, after
+// the counters — the diagnosis journal's fence-drop feed. Drops are the cold
+// replay path, so the callback may allocate. Call before any scope is used.
+func (fs *FencedStore) SetDropNotify(fn func()) { fs.notify = fn }
+
+// dropped records one duplicate application being discarded.
+func (fs *FencedStore) dropped() {
+	for _, c := range fs.drops {
+		c.Inc()
+	}
+	if fs.notify != nil {
+		fs.notify()
+	}
+}
 
 // Inner returns the wrapped store chain (the unfiltered durability view).
 func (fs *FencedStore) Inner() Store { return fs.inner }
@@ -121,8 +144,8 @@ func (fs *FencedStore) acquire(field string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if n != 1 && fs.drops != nil {
-		fs.drops.Inc()
+	if n != 1 {
+		fs.dropped()
 	}
 	return n == 1, nil
 }
@@ -231,8 +254,8 @@ func (s *FenceScope) AddInt(key string, delta int64) (int64, error) {
 	if fa, ok := s.fs.inner.(fencedAdder); ok {
 		applied, n, err := fa.FencedAddInt(field, key, delta)
 		if err == nil || !errors.Is(err, errNoFencedAdder) {
-			if err == nil && !applied && s.fs.drops != nil {
-				s.fs.drops.Inc()
+			if err == nil && !applied {
+				s.fs.dropped()
 			}
 			return n, err
 		}

@@ -242,6 +242,12 @@ type CheckpointStore struct {
 	backend  Backend
 	interval int
 
+	// OnCheckpoint, when set, is called after each successful checkpoint
+	// write — the diagnosis journal's checkpoint feed. It runs under the
+	// checkpoint serialization lock, so it must not re-enter the store. Set
+	// it before the store is shared across workers.
+	OnCheckpoint func()
+
 	mu        sync.Mutex
 	mutations int
 	// ckptMu serializes snapshot+save so concurrent workers cannot overwrite
@@ -276,7 +282,13 @@ func (cs *CheckpointStore) noteMutation() error {
 func (cs *CheckpointStore) checkpoint() error {
 	cs.ckptMu.Lock()
 	defer cs.ckptMu.Unlock()
-	return Checkpoint(cs.backend, cs.Store)
+	if err := Checkpoint(cs.backend, cs.Store); err != nil {
+		return err
+	}
+	if cs.OnCheckpoint != nil {
+		cs.OnCheckpoint()
+	}
+	return nil
 }
 
 // Put implements Store.

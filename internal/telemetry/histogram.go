@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -11,17 +12,22 @@ import (
 // all histograms built by the same constructor share one bounds slice, which
 // is what lets per-worker shards merge bucket-wise into one snapshot.
 // Observe is lock-free: a binary search over ≤25 bounds plus three atomic
-// adds.
+// adds and two bounded CAS loops for the exact running min/max.
 type Histogram struct {
 	unit   string
 	bounds []int64
 	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
 	sum    atomic.Int64
 	n      atomic.Int64
+	min    atomic.Int64 // exact running min; math.MaxInt64 until first Observe
+	max    atomic.Int64 // exact running max; math.MinInt64 until first Observe
 }
 
 func newHistogram(unit string, bounds []int64) *Histogram {
-	return &Histogram{unit: unit, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h := &Histogram{unit: unit, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
 }
 
 // latencyBounds covers 1µs..~16.8s in exponential nanosecond buckets — wide
@@ -49,12 +55,33 @@ func NewLatencyHistogram() *Histogram { return newHistogram("ns", latencyBounds)
 // NewSizeHistogram creates a batch-size histogram (1..4096).
 func NewSizeHistogram() *Histogram { return newHistogram("count", sizeBounds) }
 
-// Observe records one value.
+// Observe records one value. Min/max are updated before the counts so a
+// racing snapshot never sees a non-zero total with sentinel extremes.
 func (h *Histogram) Observe(v int64) {
+	atomicMin(&h.min, v)
+	atomicMax(&h.max, v)
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+}
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // ObserveSince records the elapsed nanoseconds since start.
@@ -74,6 +101,10 @@ type HistogramSnapshot struct {
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
 	P99   int64   `json:"p99"`
+	// Min and Max are exact observed extremes (not bucket bounds), so the
+	// tail is no longer clamped to twice the last finite bucket edge.
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
 }
 
 // Snapshot extracts the histogram's current quantile view.
@@ -90,11 +121,18 @@ func mergeHistograms(hs ...*Histogram) HistogramSnapshot {
 	base := hs[0]
 	counts := make([]int64, len(base.counts))
 	var sum int64
+	obsMin, obsMax := int64(math.MaxInt64), int64(math.MinInt64)
 	for _, h := range hs {
 		for i := range h.counts {
 			counts[i] += h.counts[i].Load()
 		}
 		sum += h.sum.Load()
+		if m := h.min.Load(); m < obsMin {
+			obsMin = m
+		}
+		if m := h.max.Load(); m > obsMax {
+			obsMax = m
+		}
 	}
 	var total int64
 	for _, c := range counts {
@@ -105,15 +143,17 @@ func mergeHistograms(hs ...*Histogram) HistogramSnapshot {
 		return snap
 	}
 	snap.Mean = float64(sum) / float64(total)
-	snap.P50 = bucketQuantile(base.bounds, counts, total, 0.50)
-	snap.P90 = bucketQuantile(base.bounds, counts, total, 0.90)
-	snap.P99 = bucketQuantile(base.bounds, counts, total, 0.99)
+	snap.Min, snap.Max = obsMin, obsMax
+	snap.P50 = bucketQuantile(base.bounds, counts, total, 0.50, obsMin, obsMax)
+	snap.P90 = bucketQuantile(base.bounds, counts, total, 0.90, obsMin, obsMax)
+	snap.P99 = bucketQuantile(base.bounds, counts, total, 0.99, obsMin, obsMax)
 	return snap
 }
 
 // bucketQuantile interpolates the q-quantile from bucket counts. The +Inf
-// bucket is given twice the last finite bound as its upper edge.
-func bucketQuantile(bounds []int64, counts []int64, total int64, q float64) int64 {
+// bucket uses the exact observed max as its upper edge, and results are
+// clamped to the observed [min, max] so estimates never leave the data range.
+func bucketQuantile(bounds []int64, counts []int64, total int64, q float64, obsMin, obsMax int64) int64 {
 	rank := q * float64(total)
 	cum := 0.0
 	for i, c := range counts {
@@ -126,15 +166,25 @@ func bucketQuantile(bounds []int64, counts []int64, total int64, q float64) int6
 		if i > 0 {
 			lo = bounds[i-1]
 		}
-		hi := 2 * bounds[len(bounds)-1]
-		if i < len(bounds) {
+		hi := obsMax
+		if i < len(bounds) && bounds[i] < hi {
 			hi = bounds[i]
 		}
 		frac := (rank - prev) / float64(c)
 		if frac < 0 {
 			frac = 0
 		}
-		return lo + int64(float64(hi-lo)*frac)
+		return clampInt64(lo+int64(float64(hi-lo)*frac), obsMin, obsMax)
 	}
-	return 2 * bounds[len(bounds)-1]
+	return obsMax
+}
+
+func clampInt64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

@@ -8,11 +8,14 @@ import (
 )
 
 // Server is the runtime inspection endpoint: /metrics serves the registry's
-// snapshot as JSON, /flights the flight-recorder ring, and /debug/pprof the
-// standard Go profiling handlers.
+// snapshot as JSON (`?traces=0` skips trace assembly for high-frequency
+// scrapers, `?format=csv` renders the long-form metric CSV), /flights the
+// flight-recorder ring, and /debug/pprof the standard Go profiling handlers.
+// Additional handlers (e.g. diagnosis endpoints) mount via Handle.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 }
 
 // Serve binds addr (host:port; ":0" picks a free port) and serves reg on it.
@@ -30,8 +33,15 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		_ = enc.Encode(v)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, reg.Snapshot())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		snap := reg.snapshot(q.Get("traces") != "0")
+		if q.Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			_, _ = w.Write([]byte(SnapshotCSV(snap)))
+			return
+		}
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/flights", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, reg.Flights())
@@ -41,10 +51,14 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, mux: mux}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
+
+// Handle mounts an extra handler on the server's mux — the seam higher layers
+// (which telemetry must not import) use to add endpoints like /diagnosis.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }

@@ -30,9 +30,12 @@ import (
 	_ "repro/internal/dynamic"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/miniredis"
 	_ "repro/internal/mpi"
 	_ "repro/internal/multiproc"
+	"repro/internal/redisclient"
 	_ "repro/internal/redismap"
+	"repro/internal/state"
 	"repro/internal/telemetry"
 )
 
@@ -147,6 +150,9 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
+	if err := assertFencedRoundTrips(); err != nil {
+		return err
+	}
 	runner := &harness.Runner{Out: os.Stdout, Repetitions: reps, RedisOpDelay: opDelay, Telemetry: reg, Diag: diag}
 	defer runner.Close()
 
@@ -177,6 +183,51 @@ func runRecovery(quick bool, outDir string, reps int, opDelay time.Duration, reg
 		return err
 	}
 	return writeBenchJSON(outDir, "recovery", all, reg, diag)
+}
+
+// assertFencedRoundTrips pins the structural half of the recovery-overhead
+// claim: a fenced Put/AddInt/Delete each costs exactly ONE client round trip
+// (the FENCEAPPLY compound command), down from the two-op record-then-apply
+// sequence the fence originally needed. Wall-clock overhead in the sweep can
+// drown in scheduler noise; the round-trip count cannot.
+func assertFencedRoundTrips() error {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cl := redisclient.Dial(srv.Addr())
+	defer cl.Close()
+	b := state.NewRedisBackend(cl, "rt")
+	st, err := b.Open("probe")
+	if err != nil {
+		return err
+	}
+	scope := state.NewFencedStore(st).NewScope()
+	scope.SetToken(state.Token{Src: 1, Seq: 1})
+	defer scope.ClearToken()
+
+	check := func(op string, fn func() error) error {
+		before := cl.Stats().RoundTrips
+		if err := fn(); err != nil {
+			return fmt.Errorf("fenced %s: %w", op, err)
+		}
+		if got := cl.Stats().RoundTrips - before; got != 1 {
+			return fmt.Errorf("fenced %s cost %d round trips, want 1 (compound write path regressed)", op, got)
+		}
+		return nil
+	}
+	if err := check("Put", func() error { return scope.Put("k", "v") }); err != nil {
+		return err
+	}
+	if err := check("AddInt", func() error { _, err := scope.AddInt("n", 3); return err }); err != nil {
+		return err
+	}
+	if err := check("Delete", func() error { return scope.Delete("k") }); err != nil {
+		return err
+	}
+	fmt.Println("fenced round trips: Put/AddInt/Delete each 1 (compound FENCEAPPLY path)")
+	return nil
 }
 
 // runOpenLoop executes the open-loop steady-state sweep: for each workload, a

@@ -18,6 +18,7 @@ const (
 	EvCheckpoint  = "checkpoint"   // managed-state checkpoint written
 	EvResize      = "resize"       // BatchSizer changed a batch window
 	EvDrain       = "drain"        // coordinator drain/finalize milestones
+	EvFault       = "fault"        // injected fault fired (internal/faultinject)
 )
 
 // Event is one sequence-numbered journal entry. Worker is -1 for events not

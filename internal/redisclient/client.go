@@ -11,8 +11,10 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/resp"
 )
 
@@ -38,6 +40,24 @@ type Client struct {
 	DialTimeout time.Duration
 	// MaxIdle bounds the number of pooled idle connections.
 	MaxIdle int
+	// Dialer, when set, replaces the default TCP dialer — the hook tests and
+	// proxies use to interpose on connection establishment.
+	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// CmdTimeout bounds each command round trip with a connection deadline
+	// (blocking commands add their block duration on top; a block-forever
+	// command runs without a deadline). Zero disables deadlines.
+	CmdTimeout time.Duration
+	// Retries is how many times a failed *retry-safe* command (see Retryable)
+	// is re-sent after a transient failure. Zero disables retries.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it (with jitter) up to RetryMaxBackoff.
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff.
+	RetryMaxBackoff time.Duration
+
+	statRoundTrips atomic.Int64
+	statRetries    atomic.Int64
 }
 
 // conn is one pooled connection.
@@ -48,9 +68,32 @@ type conn struct {
 }
 
 // Dial creates a client for the server at addr. Connections are created
-// lazily.
+// lazily. The returned client retries retry-safe commands twice with
+// exponential backoff and bounds every round trip with a generous deadline;
+// zero any of the knobs to opt out.
 func Dial(addr string) *Client {
-	return &Client{addr: addr, DialTimeout: 5 * time.Second, MaxIdle: 64}
+	return &Client{
+		addr:            addr,
+		DialTimeout:     5 * time.Second,
+		MaxIdle:         64,
+		CmdTimeout:      30 * time.Second,
+		Retries:         2,
+		RetryBackoff:    2 * time.Millisecond,
+		RetryMaxBackoff: 50 * time.Millisecond,
+	}
+}
+
+// Stats are cumulative client-side counters: server round trips attempted
+// (one per Do attempt or pipeline flush) and retries among them.
+type Stats struct {
+	RoundTrips int64
+	Retries    int64
+}
+
+// Stats returns the client's cumulative counters. The recovery bench asserts
+// on round-trip deltas to prove fenced mutations cost one trip, not two.
+func (c *Client) Stats() Stats {
+	return Stats{RoundTrips: c.statRoundTrips.Load(), Retries: c.statRetries.Load()}
 }
 
 // Close releases all pooled connections. In-flight commands fail.
@@ -78,7 +121,11 @@ func (c *Client) getConn() (*conn, error) {
 		return cn, nil
 	}
 	c.mu.Unlock()
-	nc, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	dial := c.Dialer
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	nc, err := dial("tcp", c.addr, c.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("redisclient: dial %s: %w", c.addr, err)
 	}
@@ -99,21 +146,75 @@ func (c *Client) putConn(cn *conn, broken bool) {
 	c.idle = append(c.idle, cn)
 }
 
-// Do sends one command and returns the reply value. Error replies from the
-// server come back as ServerError.
+// Do sends one command and returns the reply value. Failures come back as a
+// *CmdError naming the failing command; server error replies wrap a
+// ServerError. Retry-safe commands (see Retryable) are transparently retried
+// with exponential backoff on transient failures.
 func (c *Client) Do(argv ...string) (resp.Value, error) {
+	return c.do(0, false, argv)
+}
+
+// do is the shared command path. blockFor extends the per-command deadline
+// for blocking commands; noDeadline disables the deadline entirely (a
+// block-forever command must be allowed to outwait CmdTimeout).
+func (c *Client) do(blockFor time.Duration, noDeadline bool, argv []string) (resp.Value, error) {
+	if blockFor < 0 {
+		blockFor = 0
+	}
+	attempts := 1
+	if c.Retries > 0 && Retryable(argv) {
+		attempts = c.Retries + 1
+	}
+	var v resp.Value
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.statRetries.Add(1)
+			time.Sleep(backoff(c.RetryBackoff, c.RetryMaxBackoff, a))
+		}
+		c.statRoundTrips.Add(1)
+		v, err = c.doOnce(blockFor, noDeadline, argv)
+		if err == nil || !retryableError(err) {
+			break
+		}
+	}
+	if err != nil {
+		return resp.Value{}, &CmdError{Cmd: argv[0], Err: err}
+	}
+	return v, nil
+}
+
+// doOnce performs one command round trip on one pooled connection.
+func (c *Client) doOnce(blockFor time.Duration, noDeadline bool, argv []string) (resp.Value, error) {
+	if err := faultinject.FireCmd(faultinject.ProbeConnWrite, argv[0]); err != nil {
+		return resp.Value{}, err
+	}
 	cn, err := c.getConn()
 	if err != nil {
 		return resp.Value{}, err
 	}
+	hasDeadline := c.CmdTimeout > 0 && !noDeadline
+	if hasDeadline {
+		_ = cn.nc.SetDeadline(time.Now().Add(c.CmdTimeout + blockFor))
+	}
 	if err := cn.w.WriteCommand(argv...); err != nil {
 		c.putConn(cn, true)
-		return resp.Value{}, fmt.Errorf("redisclient: write %s: %w", argv[0], err)
+		return resp.Value{}, fmt.Errorf("write: %w", err)
+	}
+	// The command is on the wire: a fault or conn error from here on leaves
+	// the client unable to know whether the server executed it — the window
+	// only retry-safe commands may cross.
+	if err := faultinject.FireCmd(faultinject.ProbeConnRead, argv[0]); err != nil {
+		c.putConn(cn, true)
+		return resp.Value{}, err
 	}
 	v, err := cn.r.ReadValue()
 	if err != nil {
 		c.putConn(cn, true)
-		return resp.Value{}, fmt.Errorf("redisclient: read %s reply: %w", argv[0], err)
+		return resp.Value{}, fmt.Errorf("read reply: %w", err)
+	}
+	if hasDeadline {
+		_ = cn.nc.SetDeadline(time.Time{})
 	}
 	c.putConn(cn, false)
 	if v.Type == resp.Error {
@@ -125,25 +226,70 @@ func (c *Client) Do(argv ...string) (resp.Value, error) {
 // Pipeline writes all commands over one connection before reading any reply,
 // so the batch costs a single network round trip instead of one per command.
 // Replies come back in command order; the first server error reply is
-// returned as a ServerError (later replies are still drained so the
-// connection stays reusable).
+// returned as a *CmdError naming the failing command (later replies are still
+// drained so the connection stays reusable). The whole pipeline is retried on
+// transient transport failures only when every command in it is retry-safe.
 func (c *Client) Pipeline(cmds [][]string) ([]resp.Value, error) {
 	if len(cmds) == 0 {
 		return nil, nil
 	}
+	attempts := 1
+	if c.Retries > 0 {
+		allRetryable := true
+		for _, argv := range cmds {
+			if !Retryable(argv) {
+				allRetryable = false
+				break
+			}
+		}
+		if allRetryable {
+			attempts = c.Retries + 1
+		}
+	}
+	var replies []resp.Value
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.statRetries.Add(1)
+			time.Sleep(backoff(c.RetryBackoff, c.RetryMaxBackoff, a))
+		}
+		c.statRoundTrips.Add(1)
+		replies, err = c.pipelineOnce(cmds)
+		// Retry only transport-level failures (no replies came back); a
+		// server error reply is a delivered result, not a transient fault.
+		if replies != nil || err == nil || !retryableError(err) {
+			break
+		}
+	}
+	return replies, err
+}
+
+// pipelineOnce performs one pipelined round trip.
+func (c *Client) pipelineOnce(cmds [][]string) ([]resp.Value, error) {
+	if err := faultinject.FireCmd(faultinject.ProbeConnWrite, cmds[0][0]); err != nil {
+		return nil, &CmdError{Cmd: cmds[0][0], Err: err}
+	}
 	cn, err := c.getConn()
 	if err != nil {
-		return nil, err
+		return nil, &CmdError{Cmd: cmds[0][0], Err: err}
+	}
+	hasDeadline := c.CmdTimeout > 0
+	if hasDeadline {
+		_ = cn.nc.SetDeadline(time.Now().Add(c.CmdTimeout))
 	}
 	for _, argv := range cmds {
 		if err := cn.w.WriteCommandBuffered(argv...); err != nil {
 			c.putConn(cn, true)
-			return nil, fmt.Errorf("redisclient: pipeline write %s: %w", argv[0], err)
+			return nil, &CmdError{Cmd: argv[0], Err: fmt.Errorf("pipeline write: %w", err)}
 		}
 	}
 	if err := cn.w.Flush(); err != nil {
 		c.putConn(cn, true)
-		return nil, fmt.Errorf("redisclient: pipeline flush: %w", err)
+		return nil, &CmdError{Cmd: cmds[0][0], Err: fmt.Errorf("pipeline flush: %w", err)}
+	}
+	if err := faultinject.FireCmd(faultinject.ProbeConnRead, cmds[0][0]); err != nil {
+		c.putConn(cn, true)
+		return nil, &CmdError{Cmd: cmds[0][0], Err: err}
 	}
 	replies := make([]resp.Value, 0, len(cmds))
 	var firstErr error
@@ -151,12 +297,15 @@ func (c *Client) Pipeline(cmds [][]string) ([]resp.Value, error) {
 		v, err := cn.r.ReadValue()
 		if err != nil {
 			c.putConn(cn, true)
-			return nil, fmt.Errorf("redisclient: pipeline read %s reply: %w", cmds[i][0], err)
+			return nil, &CmdError{Cmd: cmds[i][0], Err: fmt.Errorf("pipeline read reply: %w", err)}
 		}
 		if v.Type == resp.Error && firstErr == nil {
-			firstErr = ServerError(v.Str)
+			firstErr = &CmdError{Cmd: cmds[i][0], Err: ServerError(v.Str)}
 		}
 		replies = append(replies, v)
+	}
+	if hasDeadline {
+		_ = cn.nc.SetDeadline(time.Time{})
 	}
 	c.putConn(cn, false)
 	return replies, firstErr
@@ -244,11 +393,12 @@ func (c *Client) LPopCount(key string, count int) ([]string, error) {
 }
 
 // BLPop blocks until one of keys has an element or the timeout elapses.
-// It returns the key and value; ok=false on timeout.
+// It returns the key and value; ok=false on timeout. A zero or negative
+// timeout blocks forever (matching Redis "0" semantics).
 func (c *Client) BLPop(timeout time.Duration, keys ...string) (key, value string, ok bool, err error) {
 	args := append([]string{"BLPOP"}, keys...)
 	args = append(args, formatSeconds(timeout))
-	v, err := c.Do(args...)
+	v, err := c.do(timeout, timeout <= 0, args)
 	if err != nil {
 		return "", "", false, err
 	}
@@ -258,7 +408,17 @@ func (c *Client) BLPop(timeout time.Duration, keys ...string) (key, value string
 	return v.Array[0].Str, v.Array[1].Str, true, nil
 }
 
+// formatSeconds renders a blocking timeout for the wire. Zero and negative
+// durations mean "block forever", which RESP spells "0" — formatting the raw
+// value would either send a negative float the server rejects or round a
+// sub-millisecond positive timeout to "0.000" and block forever by accident.
 func formatSeconds(d time.Duration) string {
+	if d <= 0 {
+		return "0"
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
 	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
 }
 
@@ -410,7 +570,7 @@ func (c *Client) XReadGroup(group, consumer string, count int, block time.Durati
 		args = append(args, "BLOCK", strconv.FormatInt(block.Milliseconds(), 10))
 	}
 	args = append(args, "STREAMS", key, ">")
-	v, err := c.Do(args...)
+	v, err := c.do(block, false, args)
 	if err != nil {
 		return nil, err
 	}

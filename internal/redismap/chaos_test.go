@@ -1,0 +1,138 @@
+package redismap_test
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/mapping"
+	"repro/internal/miniredis"
+	"repro/internal/state"
+)
+
+// TestKillMidFinalFlushThenResume is the end-to-end crash-consistency
+// proof for the transactional Final path, on both Redis mappings:
+//
+//   - Run 1 executes the workflow against an external state backend with a
+//     kill fault armed inside the Final window (after the Final hook ran,
+//     before its fenced output flush). The run must fail, and because the
+//     gate and the output ride one SINKAPPEND transaction, the sink must
+//     see nothing — a crashed Final leaves no partial output behind.
+//   - Run 2 resumes onto the surviving namespaces with the same seed. Every
+//     task re-executes, the applied ledger drops every duplicate mutation,
+//     the Final re-runs against intact aggregates, and the sink output is
+//     byte-identical to an undisturbed sequential reference run.
+//
+// A second fault stays armed at the legacy record-then-apply window through
+// both runs; it must never fire — on the built-in backends that window no
+// longer exists.
+func TestKillMidFinalFlushThenResume(t *testing.T) {
+	for _, name := range []string{"dyn_redis", "hybrid_redis"} {
+		t.Run(name, func(t *testing.T) {
+			srv, err := miniredis.StartTestServer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			keys := []string{"alpha", "beta", "gamma", "delta"}
+			items := make([]replayItem, 0, 24)
+			for i := 0; i < 24; i++ {
+				items = append(items, replayItem{Key: keys[i%len(keys)], Val: int64(i + 1)})
+			}
+
+			// Undisturbed sequential reference.
+			var mu sync.Mutex
+			var want []string
+			refG := replayAggGraph(items, 0, func(s string) {
+				mu.Lock()
+				want = append(want, s)
+				mu.Unlock()
+			})
+			m, err := mapping.Get("simple")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Execute(refG, mapping.Options{Processes: 1, Platform: platformForTest(), Seed: 31}); err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(want)
+			if len(want) != len(keys) {
+				t.Fatalf("reference run: %v", want)
+			}
+
+			backend := state.DialRedisBackend(srv.Addr(), "chaosbk")
+			defer backend.Close()
+			opts := mapping.Options{
+				Processes:    3,
+				Platform:     platformForTest(),
+				Seed:         31,
+				RedisAddr:    srv.Addr(),
+				RecoverStale: true,
+				PollTimeout:  2 * time.Millisecond,
+				Retries:      40,
+				StateBackend: backend,
+			}
+			m, err = mapping.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Run 1: killed inside the Final window.
+			inj := faultinject.New(1).
+				Schedule(faultinject.Fault{Probe: faultinject.ProbeMidFinalFlush, Kind: faultinject.Kill, Hits: 1}).
+				Schedule(faultinject.Fault{Probe: faultinject.ProbeAfterRecord, Kind: faultinject.Kill, Hits: 1})
+			faultinject.Arm(inj)
+			t.Cleanup(faultinject.Disarm)
+
+			var run1 []string
+			g := replayAggGraph(items, 0, func(s string) {
+				mu.Lock()
+				run1 = append(run1, s)
+				mu.Unlock()
+			})
+			if _, err := m.Execute(g, opts); !errors.Is(err, faultinject.ErrKill) {
+				t.Fatalf("run 1 should die on the injected kill, got %v", err)
+			}
+			if got := inj.FiredCount(faultinject.ProbeMidFinalFlush); got != 1 {
+				t.Fatalf("mid-final-flush fault fired %d times, want 1", got)
+			}
+			mu.Lock()
+			leaked := len(run1)
+			mu.Unlock()
+			if leaked != 0 {
+				t.Fatalf("crashed Final leaked %d sink values: %v", leaked, run1)
+			}
+
+			// Run 2: resume. Only the after-record fault stays armed, and it
+			// must never find its window.
+			inj2 := faultinject.New(1).
+				Schedule(faultinject.Fault{Probe: faultinject.ProbeAfterRecord, Kind: faultinject.Kill, Hits: 1})
+			faultinject.Arm(inj2)
+
+			var got []string
+			opts.StateResume = true
+			g2 := replayAggGraph(items, 0, func(s string) {
+				mu.Lock()
+				got = append(got, s)
+				mu.Unlock()
+			})
+			if _, err := m.Execute(g2, opts); err != nil {
+				t.Fatalf("resume run: %v", err)
+			}
+			mu.Lock()
+			sort.Strings(got)
+			mu.Unlock()
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Fatalf("resumed aggregates diverge:\n got %v\nwant %v", got, want)
+			}
+			if fired := inj.FiredCount(faultinject.ProbeAfterRecord) + inj2.FiredCount(faultinject.ProbeAfterRecord); fired != 0 {
+				t.Fatalf("record-then-apply window fired %d times; it should no longer exist", fired)
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package resp_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"repro/internal/resp"
+)
+
+// FuzzReadValue throws arbitrary bytes at the reader. It must never panic,
+// and anything it accepts must be canonical: re-encoding the parsed value
+// and parsing it again yields the same value.
+func FuzzReadValue(f *testing.F) {
+	seeds := []string{
+		"+OK\r\n",
+		"-ERR boom\r\n",
+		":123\r\n",
+		"$5\r\nhello\r\n",
+		"$-1\r\n",
+		"*-1\r\n",
+		"*2\r\n$1\r\na\r\n:9\r\n",
+		"*1\r\n*1\r\n$0\r\n\r\n",
+		// Malformed shapes: bad prefix, length lies, missing terminators,
+		// oversized headers, bare LF lines.
+		"?huh\r\n",
+		":notanint\r\n",
+		"$5\r\nhi\r\n",
+		"$67108865\r\n",
+		"*3\r\n:1\r\n",
+		"*9999999999\r\n",
+		"$3\r\nabcXY",
+		"+OK\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := resp.NewReader(bytes.NewReader(data)).ReadValue()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := resp.NewWriter(&buf)
+		if err := w.WriteValue(v); err != nil {
+			t.Fatalf("parsed value failed to encode: %v (%+v)", err, v)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		v2, err := resp.NewReader(&buf).ReadValue()
+		if err != nil {
+			t.Fatalf("re-encoded value failed to parse: %v (%+v)", err, v)
+		}
+		if !v.Equal(v2) {
+			t.Fatalf("round trip diverged:\n in %+v\nout %+v", v, v2)
+		}
+	})
+}
+
+// FuzzCommandRoundTrip: any argv the writer emits, the reader hands back
+// verbatim — including empty strings, CRLF payloads, and binary junk.
+func FuzzCommandRoundTrip(f *testing.F) {
+	f.Add("GET", "key", "")
+	f.Add("SET", "k\r\n", "\x00binary\xff")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		argv := []string{a, b, c}
+		var buf bytes.Buffer
+		if err := resp.NewWriter(&buf).WriteCommand(argv...); err != nil {
+			t.Fatal(err)
+		}
+		got, err := resp.NewReader(&buf).ReadCommand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(argv) {
+			t.Fatalf("arity: %v vs %v", got, argv)
+		}
+		for i := range argv {
+			if got[i] != argv[i] {
+				t.Fatalf("argv[%d]: %q vs %q", i, got[i], argv[i])
+			}
+		}
+	})
+}
+
+// TestReaderSurvivesFragmentation: a value delivered one byte at a time —
+// the worst TCP segmentation — parses identically to one delivered whole.
+func TestReaderSurvivesFragmentation(t *testing.T) {
+	want := resp.Arr(
+		resp.Str("hello"),
+		resp.Int(-42),
+		resp.Nil,
+		resp.Arr(resp.Simple("OK"), resp.Err("ERR nested")),
+	)
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	if err := w.WriteValue(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resp.NewReader(iotest.OneByteReader(bytes.NewReader(buf.Bytes()))).ReadValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("fragmented parse diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReaderPipelinedPartialDelivery: several commands written back to back
+// parse in order even when the tail of the stream arrives late; a command
+// cut off mid-frame surfaces an IO error, not a wrong parse.
+func TestReaderPipelinedPartialDelivery(t *testing.T) {
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	for _, argv := range [][]string{
+		{"HSET", "h", "f", "v"},
+		{"HGET", "h", "f"},
+		{"DEL", "h"},
+	} {
+		if err := w.WriteCommandBuffered(argv...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Whole pipeline present: all three commands come back in order.
+	r := resp.NewReader(bytes.NewReader(full))
+	for _, wantCmd := range []string{"HSET", "HGET", "DEL"} {
+		argv, err := r.ReadCommand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if argv[0] != wantCmd {
+			t.Fatalf("command order: got %q want %q", argv[0], wantCmd)
+		}
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("drained pipeline: %v", err)
+	}
+
+	// Cut the stream mid-second-command at every byte offset: the first
+	// command must still parse, the truncated one must fail with an IO
+	// error — never a silent short read or a protocol mis-parse.
+	first := len(full)
+	for i := 1; i < len(full); i++ {
+		if r := resp.NewReader(bytes.NewReader(full[:i])); true {
+			if _, err := r.ReadCommand(); err == nil {
+				first = i
+				break
+			}
+		}
+	}
+	for cut := first; cut < len(full); cut++ {
+		r := resp.NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.ReadCommand(); err != nil {
+			t.Fatalf("cut=%d: first command lost: %v", cut, err)
+		}
+		_, err := r.ReadCommand()
+		if err == nil {
+			continue // cut landed on a later frame boundary
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, resp.ErrProtocol) {
+			t.Fatalf("cut=%d: unexpected error class: %v", cut, err)
+		}
+	}
+}
+
+// TestOversizedHeadersRejectedWithoutAllocation: hostile length headers are
+// rejected by the bound check before any payload buffer is allocated — a
+// multi-gigabyte claim must not cost multi-gigabyte memory.
+func TestOversizedHeadersRejectedWithoutAllocation(t *testing.T) {
+	for _, in := range []string{
+		"$67108865\r\n",    // MaxBulkLen + 1
+		"$99999999999\r\n", // absurd
+		"*1048577\r\n",     // MaxArrayLen + 1
+	} {
+		_, err := resp.NewReader(strings.NewReader(in)).ReadValue()
+		if !errors.Is(err, resp.ErrProtocol) {
+			t.Fatalf("%q: want ErrProtocol, got %v", in, err)
+		}
+	}
+	// At the boundary the reader honestly tries to read the payload and
+	// reports truncation, not a protocol error.
+	_, err := resp.NewReader(strings.NewReader("$67108864\r\n")).ReadValue()
+	if err == nil || errors.Is(err, resp.ErrProtocol) {
+		t.Fatalf("boundary bulk: %v", err)
+	}
+}

@@ -27,6 +27,12 @@ type batcher struct {
 	buf        []Task
 	firstAt    time.Time
 
+	// Hold mode diverts pushed tasks into held instead of the transport — no
+	// size- or age-trigger flushes — so a fenced Final's emissions can be
+	// collected in full and shipped atomically via PushFenced. See hold/take.
+	holding bool
+	held    []Task
+
 	// Telemetry (optional): flush latency and flushed batch sizes. nil keeps
 	// the fast paths free of time.Now calls.
 	flushHist *telemetry.Histogram
@@ -58,8 +64,27 @@ func (b *batcher) window() int {
 	return b.max
 }
 
+// hold starts collecting pushed tasks instead of sending them. The caller
+// must have flushed the batcher first so earlier unfenced emissions cannot
+// leak into the held set.
+func (b *batcher) hold() {
+	b.holding = true
+	b.held = b.held[:0]
+}
+
+// take ends hold mode and returns the collected tasks (valid until the next
+// hold).
+func (b *batcher) take() []Task {
+	b.holding = false
+	return b.held
+}
+
 // push buffers one task, flushing on size or age.
 func (b *batcher) push(t Task) error {
+	if b.holding {
+		b.held = append(b.held, t)
+		return nil
+	}
 	if b.sizer == nil && b.max <= 1 {
 		// Unbatched passthrough: each emission is its own flush.
 		if b.flushHist == nil {

@@ -138,6 +138,46 @@ func (t *RedisTransport) Push(tasks ...Task) error {
 	if t.closed.Load() {
 		return errTransportClosed
 	}
+	cmds, err := t.pushCmds(tasks, 0)
+	if err != nil || len(cmds) == 0 {
+		return err
+	}
+	_, err = t.cl.Pipeline(cmds)
+	return err
+}
+
+// PushFenced implements FencedPusher: the whole output batch of one fenced
+// Final — pending-counter increment, packed stream entries, private-list
+// frames — rides a single SINKAPPEND transaction gated on the delivery's
+// task-gate ledger field inside the state hash. Either the gate records and
+// every task lands, or the gate was already recorded (a duplicate Final) and
+// nothing does. This is the emit half of exactly-once, atomic with the state
+// fence that guards the mutations; it requires the transport and the state
+// backend to share one server, which TaskGateRef only affirms when true.
+//
+// entryCap chunks the batch's pool tasks into stream entries of at most
+// that many tasks (the caller's emit window). The transaction is atomic
+// either way; without the cap the whole Final output would land as one
+// packed entry and its downstream fan-out would serialize on whichever
+// single consumer pulls it.
+func (t *RedisTransport) PushFenced(hashKey, field string, entryCap int, tasks ...Task) (bool, error) {
+	if t.closed.Load() {
+		return false, errTransportClosed
+	}
+	cmds, err := t.pushCmds(tasks, entryCap)
+	if err != nil {
+		return false, err
+	}
+	// An empty batch still records the gate: a Final with no emissions must
+	// be marked done exactly once too.
+	return t.cl.SinkAppend(hashKey, field, cmds)
+}
+
+// pushCmds packs a task batch into its command sequence: one INCRBY for the
+// pending counter, one XADD per contiguous pool run (poison pills get their
+// own entries), one RPUSH batch frame per private list. entryCap > 0 bounds
+// the tasks packed into one pool-run entry.
+func (t *RedisTransport) pushCmds(tasks []Task, entryCap int) ([][]string, error) {
 	cmds := make([][]string, 0, 8)
 	counted := 0
 	for _, task := range tasks {
@@ -176,31 +216,35 @@ func (t *RedisTransport) Push(tasks ...Task) error {
 		}
 		if task.Poison {
 			if err := flushRun(); err != nil {
-				return err
+				return nil, err
 			}
 			b, err := codec.AppendTask(buf.B[:0], task)
 			buf.B = b[:0]
 			if err != nil {
-				return err
+				return nil, err
 			}
 			cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
 			continue
 		}
 		run = append(run, task)
+		if entryCap > 0 && len(run) >= entryCap {
+			if err := flushRun(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := flushRun(); err != nil {
-		return err
+		return nil, err
 	}
 	for key, group := range priv {
 		b, err := codec.AppendBatch(buf.B[:0], group)
 		buf.B = b[:0]
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cmds = append(cmds, []string{"RPUSH", key, string(b)})
 	}
-	_, err := t.cl.Pipeline(cmds)
-	return err
+	return cmds, nil
 }
 
 // PullBatch implements Transport. Pool workers read XREADGROUP COUNT max;
@@ -312,9 +356,9 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 // worker was still processing it, and the original's late XACK + decrement
 // landing anyway would under-count the shared pending counter — the
 // coordinator would observe a drained transport while the claimed task is
-// still in flight and start terminating early. See fencedAck for the two
-// properties (exact decrements unconditionally; late releases narrowed to
-// a one-round-trip window) and their limits.
+// still in flight and start terminating early. fencedAck closes this with
+// one atomic FENCEXACK: ownership check, PEL removal and counter decrement
+// in a single server-side step, no window between them.
 func (t *RedisTransport) Ack(w int, envs ...Env) error {
 	reg := t.frames[w]
 	direct := 0      // non-poison private-list tasks: not claimable, decrement as-is
@@ -387,62 +431,41 @@ type doneEntry struct {
 	tasks int
 }
 
-// fencedAck releases completed entries under at-least-once replay. Two
-// properties address the two halves of the late-ack hazard:
+// fencedAck releases completed entries under at-least-once replay with one
+// FENCEXACK compound command: ownership filter, PEL removal and
+// pending-counter decrement execute as a single atomic server-side step.
+// Two properties fall out directly:
 //
-//   - no double decrement, unconditionally: every counter decrement is
-//     backed by the server-confirmed XACK removal count of its entry —
-//     XACK removal is atomic, so however checks and claims interleave,
-//     exactly one acker's XACK removes each entry and exactly one
-//     decrement (of the entry's packed task count) lands;
-//   - no late release, up to one round trip: only entries this consumer
-//     still owns per a fresh PEL read are acknowledged, so a delivery
-//     claimed away while this worker was processing (the seconds-wide
-//     window the hazard lives in) stays pending until its new owner
-//     releases it. XACK itself carries no consumer condition, so a claim
-//     landing between the PEL read and the XACK still releases the entry
-//     early — the owned-filter narrows that window from the whole
-//     processing time to one round trip; duplicates executing past a drain
-//     are then absorbed by the state fence, not by the counter.
+//   - no double decrement: the server removes each entry from the PEL and
+//     credits its packed task weight in the same atomic section, so however
+//     duplicate ackers interleave, exactly one decrement lands per entry;
+//   - no late release at all: an entry is acknowledged only while this
+//     consumer owns it per the server's own PEL at execution time, so a
+//     delivery claimed away mid-processing stays pending until its new
+//     owner releases it. The old read-filter-then-XACK sequence left a
+//     one-round-trip window where a claim could slip between the check and
+//     the ack; the compound command has no between.
 //
 // Under fencing, stream tasks therefore decrement in whole-entry units when
 // their entry completes — never per env — so a partially acked frame holds
 // its full weight on the pending counter until its last task releases.
+// The command is retried by the client only when its direct decrement is
+// zero (the PEL half is ownership-fenced and idempotent; the direct counter
+// adjustment is not).
 func (t *RedisTransport) fencedAck(w int, direct int, completed []doneEntry) error {
-	dec := int64(direct)
-	if len(completed) > 0 {
-		owned, err := t.cl.XPendingIDs(t.keys.Queue, t.keys.Group, fmt.Sprintf("w%d", w), len(completed)+256)
-		if err != nil {
-			return err
-		}
-		ownedSet := make(map[string]bool, len(owned))
-		for _, id := range owned {
-			ownedSet[id] = true
-		}
-		var ids []string
-		var weights []int
-		for _, d := range completed {
-			if !ownedSet[d.id] {
-				continue // claimed away: the new owner releases it
-			}
-			ids = append(ids, d.id)
-			weights = append(weights, d.tasks)
-		}
-		if len(ids) > 0 {
-			removed, err := t.cl.XAckEach(t.keys.Queue, t.keys.Group, ids)
-			if err != nil {
-				return err
-			}
-			for j, r := range removed {
-				dec += r * int64(weights[j])
-			}
-		}
+	if direct == 0 && len(completed) == 0 {
+		return nil
 	}
-	if dec > 0 {
-		_, err := t.cl.IncrBy(t.keys.PendingKey, -dec)
-		return err
+	ids := make([]string, len(completed))
+	weights := make([]int64, len(completed))
+	for i, d := range completed {
+		ids[i] = d.id
+		weights[i] = int64(d.tasks)
 	}
-	return nil
+	_, _, _, err := t.cl.FenceXAck(
+		t.keys.Queue, t.keys.Group, fmt.Sprintf("w%d", w),
+		t.keys.PendingKey, int64(direct), ids, weights)
+	return err
 }
 
 // minIdle resolves the recovery idle threshold for a pull with the given
@@ -467,10 +490,10 @@ func (t *RedisTransport) minIdle(timeout time.Duration) time.Duration {
 // extending and its frames age out exactly as before.
 //
 // The ownership read and the claim are not atomic: an entry claimed away
-// between them is stolen back. That is the same one-round-trip race window
-// fencedAck documents, and it is safe for the same reason — the thief's
-// duplicate execution is absorbed by the state fence, exactly one XACK
-// removes the entry, and both contenders are by construction alive.
+// between them is stolen back. That one-round-trip race is safe — the
+// thief's duplicate execution is absorbed by the state fence, the atomic
+// FENCEXACK lets exactly one owner release the entry, and both contenders
+// are by construction alive.
 // Heartbeats are throttled to a quarter of the idle threshold, so the
 // steady-state cost is two round trips per threshold-quarter, not per task.
 func (t *RedisTransport) Extend(w int) error {

@@ -89,6 +89,23 @@ type DepthReporter interface {
 	QueueDepths() map[string]int64
 }
 
+// FencedPusher is an optional Transport extension for transports that can
+// gate a push on a state-fence ledger field living on the same server: the
+// whole batch and the gate record land in one server-side transaction
+// (SINKAPPEND on Redis), or — when the gate was already recorded by a
+// duplicate execution — nothing lands and applied is false. The worker loop
+// uses it to make a fenced Final's emissions atomic with its
+// exactly-once decision; hashKey/field come from the state layer's
+// TaskGateRef, which only yields an address when transport and state share
+// the server.
+// entryCap bounds how many pool tasks pack into one queue entry so the
+// atomic batch keeps the normal emit path's delivery granularity — a
+// fenced Final's whole output in one entry would serialize its downstream
+// fan-out on a single consumer. <=0 means unbounded.
+type FencedPusher interface {
+	PushFenced(hashKey, field string, entryCap int, tasks ...Task) (applied bool, err error)
+}
+
 // LeaseExtender is an optional Transport extension for transports whose
 // recovery mechanism reclaims deliveries by idle time. The worker loop calls
 // Extend between tasks of a pulled batch to signal it is still making

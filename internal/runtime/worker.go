@@ -10,6 +10,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/diagnosis"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
@@ -75,6 +76,15 @@ func Execute(g *graph.Graph, opts mapping.Options, cfg Config) (_ metrics.Report
 	r.stamped = r.fencing || r.tracer != nil
 	r.diag = opts.Diagnosis
 	r.diag.Log(diagnosis.EvRunStart, -1, "", cfg.Name+"/"+g.Name, int64(len(cfg.Plan.Workers)))
+	// An armed fault injector journals every fired fault as a run event, so
+	// /journal?kind=fault shows exactly which faults a chaos run saw and when
+	// relative to the lifecycle events around them.
+	if inj := faultinject.Active(); inj != nil && r.diag != nil {
+		diag := r.diag
+		inj.SetJournal(func(probe, detail string) {
+			diag.Log(diagnosis.EvFault, -1, "", detail, 1)
+		})
+	}
 	// Post-mortem observability must exist even when the run errors out: the
 	// final flight (which also seeds the gauge sources' last-good cache while
 	// the transport is still open) and the run_end journal entry are deferred,
@@ -566,19 +576,74 @@ func (r *run) runTask(procName string, pes map[string]core.PE, ctxs map[string]*
 			// A Final's effect is its emissions, not store writes, so the
 			// whole delivery is gated: a replayed Finalize that raced its
 			// original must not flush (and double-emit) the namespace again.
-			// The gate is at-most-once by construction — a worker killed
-			// between acquiring it and the flush below loses some or all
-			// of the final output, because the replay will not redo it
-			// (emissions cannot be retracted, so the inverse order would
-			// double-count rows at the sink). The immediate flush shrinks
-			// that window to the Final call itself; the aggregates survive
-			// in the managed store either way.
-			first, aerr := scope.AcquireTask(state.Token{Src: env.Src, Seq: env.Seq})
+			tok := state.Token{Src: env.Src, Seq: env.Seq}
+			fs := r.ms.Fenced(env.PE)
+			fp, canPush := r.cfg.Transport.(FencedPusher)
+			var gateKey, gateField string
+			var gated bool
+			if canPush && fs != nil {
+				gateKey, gateField, gated = fs.TaskGateRef(tok)
+			}
+			if gated {
+				// Atomic path: the transport and the state backend share a
+				// server, so the Final's whole output batch and the task-gate
+				// record ship as one SINKAPPEND transaction. The Final runs
+				// with the batcher in hold mode (earlier emissions flushed
+				// first, so nothing unfenced can leak into the held set); a
+				// worker killed anywhere before the push leaves no gate
+				// record, and the replayed Finalize redoes the flush in full —
+				// exactly-once with no lost-output window at all. A duplicate
+				// (gate already recorded) pushes nothing and is counted as a
+				// fence drop.
+				if err = b.flush(); err != nil {
+					break
+				}
+				b.hold()
+				if fin, isFin := pe.(core.Finalizer); isFin {
+					if err = fin.Final(ctxs[env.PE]); err != nil {
+						b.take()
+						break
+					}
+				}
+				held := b.take()
+				if err = faultinject.Fire(faultinject.ProbeMidFinalFlush); err != nil {
+					break
+				}
+				// Entries are capped at the emit window so the atomic batch
+				// keeps the normal path's delivery granularity downstream.
+				cap := b.window()
+				if cap < 1 {
+					cap = 1
+				}
+				applied, perr := fp.PushFenced(gateKey, gateField, cap, held...)
+				if perr != nil {
+					err = perr
+					break
+				}
+				if !applied {
+					fs.ObserveDrop()
+				}
+				break
+			}
+			// Two-step fallback (memory-backed state, or a transport without
+			// fenced pushes): the gate is at-most-once by construction — a
+			// worker killed between acquiring it and the flush below loses
+			// some or all of the final output, because the replay will not
+			// redo it (emissions cannot be retracted, so the inverse order
+			// would double-count rows at the sink). The immediate flush
+			// shrinks that window to the Final call itself; the aggregates
+			// survive in the managed store either way. In-process transports
+			// don't crash independently of their state, so the window only
+			// matters for split Redis deployments.
+			first, aerr := scope.AcquireTask(tok)
 			if aerr != nil {
 				err = aerr
 				break
 			}
 			if !first {
+				break
+			}
+			if err = faultinject.Fire(faultinject.ProbeMidFinalFlush); err != nil {
 				break
 			}
 			if fin, isFin := pe.(core.Finalizer); isFin {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -51,8 +52,8 @@ func taskFenceField(tok Token) string {
 
 // fencedAdder is the atomic fast path a store may implement: record the
 // ledger entry and apply the increment in one operation (the Redis store
-// pipelines both HINCRBYs into one round trip, the memory store holds both
-// shard locks; CheckpointStore forwards to whichever it wraps).
+// sends one FENCEAPPLY compound command, the memory store holds both shard
+// locks; CheckpointStore forwards to whichever it wraps).
 type fencedAdder interface {
 	// FencedAddInt applies delta to key iff ledgerField was never recorded,
 	// recording it. It returns whether the delta was applied and the key's
@@ -63,6 +64,34 @@ type fencedAdder interface {
 // errNoFencedAdder reports that a forwarding wrapper's inner store has no
 // atomic fenced-increment; the scope falls back to the two-operation path.
 var errNoFencedAdder = errors.New("state: wrapped store implements no fenced AddInt")
+
+// fencedMutator is the atomic compound path for the remaining mutation
+// shapes: ledger record plus Put/Delete/Update in one indivisible operation.
+// Both backends implement it (FENCEAPPLY on Redis, dual shard locks in
+// memory); CheckpointStore and the instrumentation wrapper forward it, so a
+// full store chain keeps the atomicity end to end.
+type fencedMutator interface {
+	// FencedPut sets key iff ledgerField was never recorded, recording it.
+	FencedPut(ledgerField, key, value string) (applied bool, err error)
+	// FencedDelete removes key iff ledgerField was never recorded, recording it.
+	FencedDelete(ledgerField, key string) (applied bool, err error)
+	// FencedUpdate runs the read-modify-write iff ledgerField was never
+	// recorded; a duplicate returns applied=false without invoking fn.
+	FencedUpdate(ledgerField, key string, fn func(cur string, exists bool) (next string, keep bool, err error)) (applied bool, err error)
+}
+
+// errNoFencedMutator reports that a forwarding wrapper's inner store has no
+// atomic fenced mutations; the scope falls back to the two-operation path.
+var errNoFencedMutator = errors.New("state: wrapped store implements no fenced mutations")
+
+// TaskGater is implemented by stores that can name the storage-level address
+// of a delivery's task gate — the (hash key, ledger field) pair a transport
+// speaking to the same server can record inside an atomic output flush
+// (SINKAPPEND). The address is only meaningful when transport and state share
+// one server, which every Redis mapping in this repository does.
+type TaskGater interface {
+	TaskGateRef(tok Token) (hashKey, field string, ok bool)
+}
 
 // FencedStore guards one namespace's mutations against duplicate
 // application under at-least-once replay. It wraps the namespace's store
@@ -76,24 +105,22 @@ var errNoFencedAdder = errors.New("state: wrapped store implements no fenced Add
 // consumption. Entries live in the namespace itself (see fencePrefix) and
 // are filtered from the user-facing key/snapshot views.
 //
-// Atomicity scope: AddInt records and applies indivisibly on both backends
-// — one pipelined server round trip on Redis (redisStore.FencedAddInt), a
-// double-shard-locked section in memory (memStore.FencedAddInt), forwarded
-// through CheckpointStore — so the hot aggregation path has no
-// record/apply gap at all. The path for Put/Delete/Update records the
-// ledger entry first and applies second, two store operations: racing
-// duplicate executions still resolve exactly-once (the record step is
-// atomic), but a worker killed *between* its record and its apply loses
-// that one mutation — the replay sees it recorded and drops it.
-// Record-first is the deliberate bias: the inverse order would
-// double-apply on the same crash, which is the corruption this subsystem
-// exists to prevent, and a lost tail mutation is bounded by the crashed
-// task while a double-apply silently skews aggregates forever. The same
-// gap admits a reorder: an execution descheduled between record and apply
-// can land a same-key mutation *after* the replay applied a later one, so
-// multi-write-per-key tasks should prefer AddInt/Update shapes. Closing
-// both for the remaining mutations needs an apply+record transaction
-// (server-side scripting), noted in ROADMAP.
+// Atomicity scope: every mutation shape records its ledger entry and
+// applies its effect in one indivisible operation on both backends — a
+// single FENCEAPPLY compound command on Redis (fence-check + record +
+// HSET/HDEL/HINCRBY under the server's one dispatch lock), a
+// double-shard-locked section in memory — forwarded through
+// CheckpointStore and the instrumentation wrapper, so no crash point
+// between "recorded" and "applied" exists: a worker killed mid-mutation
+// either left no record (the replay re-applies) or left record+effect
+// together (the replay drops). Only a third-party Store that implements
+// neither fencedAdder nor fencedMutator falls back to the generic
+// record-first, apply-second sequence, which keeps exactly-once under
+// racing duplicates (the record step is atomic) but can lose the one
+// in-flight mutation of a worker killed between the two steps.
+// Record-first is the deliberate bias for that fallback: the inverse
+// order would double-apply on the same crash, which is the corruption
+// this subsystem exists to prevent.
 type FencedStore struct {
 	inner  Store
 	drops  []*telemetry.Counter
@@ -127,6 +154,26 @@ func (fs *FencedStore) dropped() {
 	if fs.notify != nil {
 		fs.notify()
 	}
+}
+
+// ObserveDrop records a duplicate detected outside the store path — the
+// transport's fenced sink flush (SINKAPPEND) arbitrates the task gate on the
+// server and reports the loss here so the drop counters and journal stay the
+// single source of truth for fence activity.
+func (fs *FencedStore) ObserveDrop() { fs.dropped() }
+
+// TaskGateRef exposes the storage address of a delivery's task gate when the
+// wrapped chain can name one (the Redis backend can; memory cannot). A
+// transport sharing the server can then record the gate inside its own atomic
+// flush instead of the two-step acquire-then-emit sequence.
+func (fs *FencedStore) TaskGateRef(tok Token) (hashKey, field string, ok bool) {
+	if tok.IsZero() {
+		return "", "", false
+	}
+	if tg, ok := fs.inner.(TaskGater); ok {
+		return tg.TaskGateRef(tok)
+	}
+	return "", "", false
 }
 
 // Inner returns the wrapped store chain (the unfiltered durability view).
@@ -192,14 +239,30 @@ func (s *FenceScope) Namespace() string { return s.fs.inner.Namespace() }
 // Get implements Store.
 func (s *FenceScope) Get(key string) (string, bool, error) { return s.fs.inner.Get(key) }
 
-// Put implements Store: a duplicate execution's Put is dropped.
+// Put implements Store: a duplicate execution's Put is dropped. Both
+// backends apply record+set atomically (fencedMutator); the generic
+// fallback records first, with the fault probe marking the crash window the
+// compound path does not have.
 func (s *FenceScope) Put(key, value string) error {
 	if s.tok.IsZero() {
 		return s.fs.inner.Put(key, value)
 	}
-	applied, err := s.fs.acquire(s.nextField())
+	field := s.nextField()
+	if fm, ok := s.fs.inner.(fencedMutator); ok {
+		applied, err := fm.FencedPut(field, key, value)
+		if err == nil || !errors.Is(err, errNoFencedMutator) {
+			if err == nil && !applied {
+				s.fs.dropped()
+			}
+			return err
+		}
+	}
+	applied, err := s.fs.acquire(field)
 	if err != nil || !applied {
 		return err
+	}
+	if ferr := faultinject.Fire(faultinject.ProbeAfterRecord); ferr != nil {
+		return ferr
 	}
 	return s.fs.inner.Put(key, value)
 }
@@ -209,9 +272,22 @@ func (s *FenceScope) Delete(key string) error {
 	if s.tok.IsZero() {
 		return s.fs.inner.Delete(key)
 	}
-	applied, err := s.fs.acquire(s.nextField())
+	field := s.nextField()
+	if fm, ok := s.fs.inner.(fencedMutator); ok {
+		applied, err := fm.FencedDelete(field, key)
+		if err == nil || !errors.Is(err, errNoFencedMutator) {
+			if err == nil && !applied {
+				s.fs.dropped()
+			}
+			return err
+		}
+	}
+	applied, err := s.fs.acquire(field)
 	if err != nil || !applied {
 		return err
+	}
+	if ferr := faultinject.Fire(faultinject.ProbeAfterRecord); ferr != nil {
+		return ferr
 	}
 	return s.fs.inner.Delete(key)
 }
@@ -275,6 +351,9 @@ func (s *FenceScope) AddInt(key string, delta int64) (int64, error) {
 		}
 		return n, nil
 	}
+	if ferr := faultinject.Fire(faultinject.ProbeAfterRecord); ferr != nil {
+		return 0, ferr
+	}
 	return s.fs.inner.AddInt(key, delta)
 }
 
@@ -284,9 +363,22 @@ func (s *FenceScope) Update(key string, fn func(string, bool) (string, bool, err
 	if s.tok.IsZero() {
 		return s.fs.inner.Update(key, fn)
 	}
-	applied, err := s.fs.acquire(s.nextField())
+	field := s.nextField()
+	if fm, ok := s.fs.inner.(fencedMutator); ok {
+		applied, err := fm.FencedUpdate(field, key, fn)
+		if err == nil || !errors.Is(err, errNoFencedMutator) {
+			if err == nil && !applied {
+				s.fs.dropped()
+			}
+			return err
+		}
+	}
+	applied, err := s.fs.acquire(field)
 	if err != nil || !applied {
 		return err
+	}
+	if ferr := faultinject.Fire(faultinject.ProbeAfterRecord); ferr != nil {
+		return ferr
 	}
 	return s.fs.inner.Update(key, fn)
 }

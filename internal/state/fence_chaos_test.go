@@ -1,0 +1,234 @@
+package state_test
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/miniredis"
+	"repro/internal/state"
+	"repro/internal/telemetry"
+)
+
+// armInj installs a process-global injector for one test; chaos tests must
+// therefore not run in parallel.
+func armInj(t *testing.T, faults ...faultinject.Fault) *faultinject.Injector {
+	t.Helper()
+	inj := faultinject.New(1)
+	for _, f := range faults {
+		inj.Schedule(f)
+	}
+	faultinject.Arm(inj)
+	t.Cleanup(faultinject.Disarm)
+	return inj
+}
+
+// TestFencedMutationsSurviveConnDrops: every fenced mutation shape on the
+// Redis backend lands exactly once even when the reply to its compound
+// command is lost and the client retries against a server that already
+// executed it.
+func TestFencedMutationsSurviveConnDrops(t *testing.T) {
+	srv, err := miniredis.StartTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	b := state.DialRedisBackend(srv.Addr(), "chaos")
+	defer b.Close()
+	st, err := b.Open("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := state.NewFencedStore(st)
+	scope := fs.NewScope()
+
+	// Drop the reply of every first FENCEAPPLY occurrence three times over
+	// the run: each fenced write crosses the lost-reply window at least once.
+	armInj(t,
+		faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 1, Kind: faultinject.ConnDrop},
+		faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 3, Kind: faultinject.ConnDrop},
+		faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 5, Kind: faultinject.ConnDrop},
+	)
+
+	for seq := uint64(1); seq <= 4; seq++ {
+		scope.SetToken(state.Token{Src: 1, Seq: seq})
+		if _, err := scope.AddInt("sum", 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := scope.Put("last", strconv.FormatUint(seq, 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := scope.Update("sq", func(cur string, exists bool) (string, bool, error) {
+			n := int64(0)
+			if exists {
+				n, _ = strconv.ParseInt(cur, 10, 64)
+			}
+			return strconv.FormatInt(n+int64(seq), 10), true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		scope.ClearToken()
+	}
+
+	if n, _ := scope.AddInt("sum", 0); n != 40 {
+		t.Fatalf("sum=%d want 40", n)
+	}
+	if v, _, _ := scope.Get("last"); v != "4" {
+		t.Fatalf("last=%q want 4", v)
+	}
+	if v, _, _ := scope.Get("sq"); v != "10" {
+		t.Fatalf("sq=%q want 10", v)
+	}
+	if err := scope.Delete("last"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := scope.Get("last"); ok {
+		t.Fatal("delete lost")
+	}
+}
+
+// TestAfterRecordWindowClosed: on both built-in backends the record-then-
+// apply crash window no longer exists — mutations ride one compound
+// operation, so a kill scheduled between record and apply can never fire.
+func TestAfterRecordWindowClosed(t *testing.T) {
+	fenceBackends(t, func(t *testing.T, b state.Backend) {
+		st, err := b.Open("ns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := state.NewFencedStore(st)
+		scope := fs.NewScope()
+		inj := armInj(t, faultinject.Fault{
+			Probe: faultinject.ProbeAfterRecord, Kind: faultinject.Kill, Hits: 1,
+		})
+
+		scope.SetToken(state.Token{Src: 2, Seq: 9})
+		defer scope.ClearToken()
+		if err := scope.Put("k", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := scope.AddInt("n", 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := scope.Update("k", func(cur string, exists bool) (string, bool, error) {
+			return cur + "!", true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := scope.Delete("n"); err != nil {
+			t.Fatal(err)
+		}
+		if got := inj.FiredCount(faultinject.ProbeAfterRecord); got != 0 {
+			t.Fatalf("after-record probe fired %d times on a built-in backend", got)
+		}
+	})
+}
+
+// bareStore strips the fenced fast path: it forwards only the base Store
+// interface, modelling a third-party Store with no compound support.
+type bareStore struct{ inner state.Store }
+
+func (s bareStore) Namespace() string                       { return s.inner.Namespace() }
+func (s bareStore) Get(k string) (string, bool, error)      { return s.inner.Get(k) }
+func (s bareStore) Put(k, v string) error                   { return s.inner.Put(k, v) }
+func (s bareStore) Delete(k string) error                   { return s.inner.Delete(k) }
+func (s bareStore) Keys() ([]string, error)                 { return s.inner.Keys() }
+func (s bareStore) Len() (int, error)                       { return s.inner.Len() }
+func (s bareStore) AddInt(k string, d int64) (int64, error) { return s.inner.AddInt(k, d) }
+func (s bareStore) Snapshot() (state.Snapshot, error)       { return s.inner.Snapshot() }
+func (s bareStore) Restore(sn state.Snapshot) error         { return s.inner.Restore(sn) }
+func (s bareStore) Clear() error                            { return s.inner.Clear() }
+func (s bareStore) Update(k string, fn func(string, bool) (string, bool, error)) error {
+	return s.inner.Update(k, fn)
+}
+
+// TestThirdPartyFallbackKeepsWindow documents the flip side: a Store without
+// compound support falls back to record-then-apply, where the injected kill
+// does land — and a retry of the same token is then (conservatively)
+// dropped by the ledger record that survived.
+func TestThirdPartyFallbackKeepsWindow(t *testing.T) {
+	mb := state.NewMemoryBackend()
+	defer mb.Close()
+	st, err := mb.Open("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := state.NewFencedStore(bareStore{inner: st})
+	scope := fs.NewScope()
+	inj := armInj(t, faultinject.Fault{
+		Probe: faultinject.ProbeAfterRecord, Kind: faultinject.Kill, Hits: 1,
+	})
+
+	scope.SetToken(state.Token{Src: 3, Seq: 1})
+	defer scope.ClearToken()
+	if err := scope.Put("k", "v"); !errors.Is(err, faultinject.ErrKill) {
+		t.Fatalf("want ErrKill through the fallback window, got %v", err)
+	}
+	if got := inj.FiredCount(faultinject.ProbeAfterRecord); got != 1 {
+		t.Fatalf("fallback probe fired %d times, want 1", got)
+	}
+	if _, ok, _ := scope.Get("k"); ok {
+		t.Fatal("killed fallback applied its write")
+	}
+}
+
+// TestMemoryFencedMutatorSemantics pins the memory backend's compound
+// behavior: duplicate drops, and an Update whose fn errors leaves no ledger
+// record so a retry can still apply.
+func TestMemoryFencedMutatorSemantics(t *testing.T) {
+	mb := state.NewMemoryBackend()
+	defer mb.Close()
+	st, err := mb.Open("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := state.NewFencedStore(st)
+	drops := &telemetry.Counter{}
+	fs.SetDropCounter(drops)
+	scope := fs.NewScope()
+	tok := state.Token{Src: 4, Seq: 1}
+
+	boom := errors.New("boom")
+	scope.SetToken(tok)
+	if err := scope.Update("k", func(string, bool) (string, bool, error) {
+		return "", false, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("fn error: %v", err)
+	}
+	scope.ClearToken()
+
+	// The failed attempt must not have burned the token's ledger slots:
+	// replaying the task applies cleanly.
+	scope.SetToken(tok)
+	if err := scope.Update("k", func(cur string, exists bool) (string, bool, error) {
+		if exists {
+			t.Fatalf("phantom value %q", cur)
+		}
+		return "ok", true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	scope.ClearToken()
+	if v, _, _ := scope.Get("k"); v != "ok" {
+		t.Fatalf("k=%q want ok", v)
+	}
+
+	// Duplicate delivery of the whole task: the mutation drops.
+	if got := drops.Load(); got != 0 {
+		t.Fatalf("premature drops: %d", got)
+	}
+	scope.SetToken(tok)
+	if err := scope.Update("k", func(string, bool) (string, bool, error) {
+		return "clobbered", true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	scope.ClearToken()
+	if v, _, _ := scope.Get("k"); v != "ok" {
+		t.Fatalf("duplicate applied: k=%q", v)
+	}
+	if got := drops.Load(); got != 1 {
+		t.Fatalf("drops=%d want 1", got)
+	}
+}

@@ -85,6 +85,51 @@ func (s *instrumentedStore) FencedAddInt(ledgerField, key string, delta int64) (
 	return applied, n, err
 }
 
+// FencedPut forwards the atomic fenced set, timed as a Put.
+func (s *instrumentedStore) FencedPut(ledgerField, key, value string) (bool, error) {
+	fm, ok := s.inner.(fencedMutator)
+	if !ok {
+		return false, errNoFencedMutator
+	}
+	start := time.Now()
+	applied, err := fm.FencedPut(ledgerField, key, value)
+	s.sm.Put.ObserveSince(start)
+	return applied, err
+}
+
+// FencedDelete forwards the atomic fenced delete, timed as a Delete.
+func (s *instrumentedStore) FencedDelete(ledgerField, key string) (bool, error) {
+	fm, ok := s.inner.(fencedMutator)
+	if !ok {
+		return false, errNoFencedMutator
+	}
+	start := time.Now()
+	applied, err := fm.FencedDelete(ledgerField, key)
+	s.sm.Delete.ObserveSince(start)
+	return applied, err
+}
+
+// FencedUpdate forwards the atomic fenced read-modify-write, timed as an
+// Update.
+func (s *instrumentedStore) FencedUpdate(ledgerField, key string, fn func(string, bool) (string, bool, error)) (bool, error) {
+	fm, ok := s.inner.(fencedMutator)
+	if !ok {
+		return false, errNoFencedMutator
+	}
+	start := time.Now()
+	applied, err := fm.FencedUpdate(ledgerField, key, fn)
+	s.sm.Update.ObserveSince(start)
+	return applied, err
+}
+
+// TaskGateRef implements TaskGater by forwarding to the wrapped chain.
+func (s *instrumentedStore) TaskGateRef(tok Token) (hashKey, field string, ok bool) {
+	if tg, ok := s.inner.(TaskGater); ok {
+		return tg.TaskGateRef(tok)
+	}
+	return "", "", false
+}
+
 // Update implements Store.
 func (s *instrumentedStore) Update(key string, fn func(string, bool) (string, bool, error)) error {
 	start := time.Now()
@@ -114,3 +159,4 @@ func (s *instrumentedStore) Clear() error { return s.inner.Clear() }
 
 var _ Store = (*instrumentedStore)(nil)
 var _ fencedAdder = (*instrumentedStore)(nil)
+var _ fencedMutator = (*instrumentedStore)(nil)

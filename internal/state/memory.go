@@ -210,35 +210,65 @@ func (st *memStore) AddInt(key string, delta int64) (int64, error) {
 	return cur, nil
 }
 
-// FencedAddInt implements the fence's atomic fast path in process: the
-// ledger check-and-record and the data increment happen under both shard
-// locks at once (ordered by shard index to rule out lock cycles), so a
-// racing duplicate execution can neither double-apply nor observe the gap
-// between record and apply.
-func (st *memStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
-	st.counter.IncAdd()
+// lockPair locks the ledger field's and the data key's shards together
+// (ordered by shard index to rule out lock cycles), returning both shards
+// and the unlock. Everything done before unlock is one atomic section: the
+// in-process analogue of a FENCEAPPLY compound command.
+func (st *memStore) lockPair(ledgerField, key string) (la, da *memShard, unlock func()) {
 	li, di := shardIndexOf(ledgerField), shardIndexOf(key)
-	la, da := &st.shards[li], &st.shards[di]
+	la, da = &st.shards[li], &st.shards[di]
 	first, second := la, da
 	if li > di {
 		first, second = second, first
 	}
 	first.mu.Lock()
-	defer first.mu.Unlock()
-	if second != first {
-		second.mu.Lock()
-		defer second.mu.Unlock()
+	if second == first {
+		return la, da, first.mu.Unlock
 	}
-	count := int64(0)
-	if s, ok := la.m[ledgerField]; ok {
-		n, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return false, 0, fmt.Errorf("state: fence ledger holds non-integer %q", s)
-		}
-		count = n
+	second.mu.Lock()
+	return la, da, func() {
+		second.mu.Unlock()
+		first.mu.Unlock()
 	}
-	count++
-	la.m[ledgerField] = strconv.FormatInt(count, 10)
+}
+
+// ledgerCount reads the applied-ledger count under the caller's lock.
+func ledgerCount(la *memShard, ledgerField string) (int64, error) {
+	s, ok := la.m[ledgerField]
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("state: fence ledger holds non-integer %q", s)
+	}
+	return n, nil
+}
+
+// ledgerBump records one more execution in the applied ledger under the
+// caller's lock, returning the pre-bump count (0 = first record, the
+// mutation must be applied).
+func ledgerBump(la *memShard, ledgerField string) (int64, error) {
+	cnt, err := ledgerCount(la, ledgerField)
+	if err != nil {
+		return 0, err
+	}
+	la.m[ledgerField] = strconv.FormatInt(cnt+1, 10)
+	return cnt, nil
+}
+
+// FencedAddInt implements the fence's atomic fast path in process: the
+// ledger check-and-record and the data increment happen under both shard
+// locks at once, so a racing duplicate execution can neither double-apply
+// nor observe the gap between record and apply.
+func (st *memStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
+	st.counter.IncAdd()
+	la, da, unlock := st.lockPair(ledgerField, key)
+	defer unlock()
+	cnt, err := ledgerBump(la, ledgerField)
+	if err != nil {
+		return false, 0, err
+	}
 	cur := int64(0)
 	if s, ok := da.m[key]; ok {
 		n, err := strconv.ParseInt(s, 10, 64)
@@ -247,12 +277,69 @@ func (st *memStore) FencedAddInt(ledgerField, key string, delta int64) (bool, in
 		}
 		cur = n
 	}
-	if count > 1 {
+	if cnt > 0 {
 		return false, cur, nil
 	}
 	cur += delta
 	da.m[key] = strconv.FormatInt(cur, 10)
 	return true, cur, nil
+}
+
+// FencedPut implements fencedMutator: ledger record + set in one
+// double-locked section.
+func (st *memStore) FencedPut(ledgerField, key, value string) (bool, error) {
+	st.counter.IncPut()
+	la, da, unlock := st.lockPair(ledgerField, key)
+	defer unlock()
+	cnt, err := ledgerBump(la, ledgerField)
+	if err != nil || cnt > 0 {
+		return false, err
+	}
+	da.m[key] = value
+	return true, nil
+}
+
+// FencedDelete implements fencedMutator: ledger record + delete in one
+// double-locked section.
+func (st *memStore) FencedDelete(ledgerField, key string) (bool, error) {
+	st.counter.IncDelete()
+	la, da, unlock := st.lockPair(ledgerField, key)
+	defer unlock()
+	cnt, err := ledgerBump(la, ledgerField)
+	if err != nil || cnt > 0 {
+		return false, err
+	}
+	delete(da.m, key)
+	return true, nil
+}
+
+// FencedUpdate implements fencedMutator. A duplicate bumps the ledger and
+// returns without invoking fn; an error from fn leaves no record, so a
+// clean retry of the same delivery can re-run the update.
+func (st *memStore) FencedUpdate(ledgerField, key string, fn func(string, bool) (string, bool, error)) (bool, error) {
+	st.counter.IncUpdate()
+	la, da, unlock := st.lockPair(ledgerField, key)
+	defer unlock()
+	cnt, err := ledgerCount(la, ledgerField)
+	if err != nil {
+		return false, err
+	}
+	if cnt > 0 {
+		la.m[ledgerField] = strconv.FormatInt(cnt+1, 10)
+		return false, nil
+	}
+	cur, ok := da.m[key]
+	next, keep, err := fn(cur, ok)
+	if err != nil {
+		return false, err
+	}
+	la.m[ledgerField] = "1"
+	if !keep {
+		delete(da.m, key)
+	} else {
+		da.m[key] = next
+	}
+	return true, nil
 }
 
 // Update implements Store. The shard stays locked for the duration of fn,

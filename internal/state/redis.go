@@ -3,7 +3,6 @@ package state
 import (
 	"fmt"
 	"os"
-	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -186,35 +185,64 @@ func (st *redisStore) AddInt(key string, delta int64) (int64, error) {
 	return st.b.cl.HIncrBy(st.b.liveKey(st.namespace), key, delta)
 }
 
-// FencedAddInt implements the fence's single-round-trip fast path: the
-// ledger HINCRBY and the data HINCRBY ride one pipeline, so enabling
-// exactly-once fencing costs one extra command in an existing round trip
-// rather than a second round trip per mutation, and record+apply land
-// atomically with respect to client crashes (no lost-mutation window).
-// A duplicate (ledger count > 1) is compensated with an exact inverse
-// increment; between the pipeline and the undo the duplicate's delta is
-// transiently visible to concurrent readers of the key — harmless to other
-// AddInts (commutative) but a non-additive Update interleaving exactly
-// there would fold the transient into its result, and a duplicate executor
-// crashing in that window leaves its delta standing. Both need the
-// duplicate execution *plus* a microsecond-scale coincidence; a
-// check-before-apply form would close them at the cost of a second round
-// trip on every fenced increment (see the scripting note in ROADMAP).
+// FencedAddInt implements the fence's atomic fast path: one FENCEAPPLY
+// compound command checks the ledger, records it, and applies the increment
+// under the server's dispatch lock — a single round trip with no
+// record/apply gap, no duplicate-delta transient, and no compensating undo.
+// A duplicate applies nothing and the server reports the field's current
+// value, so the caller always observes the effective count. The command is
+// ledger-gated and therefore retry-safe: the client re-sends it across a
+// lost reply without risk of double application.
 func (st *redisStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
 	st.b.counter.IncAdd()
+	return st.b.cl.FenceApplyIncr(st.b.liveKey(st.namespace), ledgerField, key, delta)
+}
+
+// FencedPut implements the atomic fenced set: ledger record + HSET in one
+// FENCEAPPLY round trip.
+func (st *redisStore) FencedPut(ledgerField, key, value string) (bool, error) {
+	st.b.counter.IncPut()
+	return st.b.cl.FenceApplySet(st.b.liveKey(st.namespace), ledgerField, key, value)
+}
+
+// FencedDelete implements the atomic fenced delete: ledger record + HDEL in
+// one FENCEAPPLY round trip.
+func (st *redisStore) FencedDelete(ledgerField, key string) (bool, error) {
+	st.b.counter.IncDelete()
+	return st.b.cl.FenceApplyDel(st.b.liveKey(st.namespace), ledgerField, key)
+}
+
+// FencedUpdate implements the fenced read-modify-write. The per-key spin
+// lock serializes concurrent updaters as in Update; under the lock the
+// ledger is consulted first (stable: ledger counts only grow, so a recorded
+// duplicate stays recorded) and a duplicate returns without invoking fn.
+// The final write rides FENCEAPPLY, so record and apply land atomically
+// even if the lock TTL were breached mid-section — the server, not the
+// lock, arbitrates the exactly-once decision.
+func (st *redisStore) FencedUpdate(ledgerField, key string, fn func(string, bool) (string, bool, error)) (bool, error) {
+	st.b.counter.IncUpdate()
 	live := st.b.liveKey(st.namespace)
-	replies, err := st.b.cl.Pipeline([][]string{
-		{"HINCRBY", live, ledgerField, "1"},
-		{"HINCRBY", live, key, strconv.FormatInt(delta, 10)},
+	applied := false
+	err := st.withKeyLock(key, func() error {
+		if _, recorded, err := st.b.cl.HGet(live, ledgerField); err != nil || recorded {
+			return err
+		}
+		cur, exists, err := st.b.cl.HGet(live, key)
+		if err != nil {
+			return err
+		}
+		next, keep, err := fn(cur, exists)
+		if err != nil {
+			return err
+		}
+		if keep {
+			applied, err = st.b.cl.FenceApplySet(live, ledgerField, key, next)
+		} else {
+			applied, err = st.b.cl.FenceApplyDel(live, ledgerField, key)
+		}
+		return err
 	})
-	if err != nil {
-		return false, 0, err
-	}
-	if replies[0].Int == 1 {
-		return true, replies[1].Int, nil
-	}
-	n, err := st.b.cl.HIncrBy(live, key, -delta)
-	return false, n, err
+	return applied, err
 }
 
 // Update implements Store. The read-modify-write is guarded by a per-key
@@ -226,13 +254,33 @@ func (st *redisStore) FencedAddInt(ledgerField, key string, delta int64) (bool, 
 // update sections.
 func (st *redisStore) Update(key string, fn func(string, bool) (string, bool, error)) error {
 	st.b.counter.IncUpdate()
+	live := st.b.liveKey(st.namespace)
+	return st.withKeyLock(key, func() error {
+		cur, exists, err := st.b.cl.HGet(live, key)
+		if err != nil {
+			return err
+		}
+		next, keep, err := fn(cur, exists)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			_, err = st.b.cl.HDel(live, key)
+			return err
+		}
+		return st.b.cl.HSet(live, key, next)
+	})
+}
+
+// withKeyLock runs body under the per-key SET NX PX spin lock. The lock
+// value is an ownership token: release only deletes the lock while it still
+// holds our token, so a holder that outlived the TTL cannot delete a
+// successor's lock and cascade the breach to a third writer. (GET+DEL is not
+// atomic without scripting, but it shrinks the misrelease window from
+// "always after TTL expiry" to one round trip.)
+func (st *redisStore) withKeyLock(key string, body func() error) error {
 	lock := st.b.lockKey(st.namespace, key)
 	retry, attempts, ttl := st.b.lockParams()
-	// The lock value is an ownership token: release only deletes the lock
-	// while it still holds our token, so a holder that outlived the TTL
-	// cannot delete a successor's lock and cascade the breach to a third
-	// writer. (GET+DEL is not atomic without scripting, but it shrinks the
-	// misrelease window from "always after TTL expiry" to one round trip.)
 	token := fmt.Sprintf("%d-%d-%d", os.Getpid(), lockNonce, lockToken.Add(1))
 	acquired := false
 	for i := 0; i < attempts; i++ {
@@ -254,21 +302,19 @@ func (st *redisStore) Update(key string, fn func(string, bool) (string, bool, er
 			_, _ = st.b.cl.Del(lock)
 		}
 	}()
+	return body()
+}
 
-	live := st.b.liveKey(st.namespace)
-	cur, exists, err := st.b.cl.HGet(live, key)
-	if err != nil {
-		return err
+// TaskGateRef implements TaskGater: it names the (hash key, ledger field)
+// address of a delivery's task gate so a transport on the same server can
+// record the gate inside its own atomic SINKAPPEND flush. Valid only when
+// the transport and this backend share one server — true for every mapping
+// in this repository that pairs a Redis transport with a Redis backend.
+func (st *redisStore) TaskGateRef(tok Token) (hashKey, field string, ok bool) {
+	if tok.IsZero() {
+		return "", "", false
 	}
-	next, keep, err := fn(cur, exists)
-	if err != nil {
-		return err
-	}
-	if !keep {
-		_, err = st.b.cl.HDel(live, key)
-		return err
-	}
-	return st.b.cl.HSet(live, key, next)
+	return st.b.liveKey(st.namespace), taskFenceField(tok), true
 }
 
 // Snapshot implements Store.

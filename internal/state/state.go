@@ -332,6 +332,54 @@ func (cs *CheckpointStore) FencedAddInt(ledgerField, key string, delta int64) (b
 	return applied, n, cs.noteMutation()
 }
 
+// FencedPut forwards the atomic fenced set, counting one mutation.
+func (cs *CheckpointStore) FencedPut(ledgerField, key, value string) (bool, error) {
+	fm, ok := cs.Store.(fencedMutator)
+	if !ok {
+		return false, errNoFencedMutator
+	}
+	applied, err := fm.FencedPut(ledgerField, key, value)
+	if err != nil {
+		return false, err
+	}
+	return applied, cs.noteMutation()
+}
+
+// FencedDelete forwards the atomic fenced delete, counting one mutation.
+func (cs *CheckpointStore) FencedDelete(ledgerField, key string) (bool, error) {
+	fm, ok := cs.Store.(fencedMutator)
+	if !ok {
+		return false, errNoFencedMutator
+	}
+	applied, err := fm.FencedDelete(ledgerField, key)
+	if err != nil {
+		return false, err
+	}
+	return applied, cs.noteMutation()
+}
+
+// FencedUpdate forwards the atomic fenced read-modify-write, counting one
+// mutation.
+func (cs *CheckpointStore) FencedUpdate(ledgerField, key string, fn func(string, bool) (string, bool, error)) (bool, error) {
+	fm, ok := cs.Store.(fencedMutator)
+	if !ok {
+		return false, errNoFencedMutator
+	}
+	applied, err := fm.FencedUpdate(ledgerField, key, fn)
+	if err != nil {
+		return false, err
+	}
+	return applied, cs.noteMutation()
+}
+
+// TaskGateRef implements TaskGater by forwarding to the wrapped store.
+func (cs *CheckpointStore) TaskGateRef(tok Token) (hashKey, field string, ok bool) {
+	if tg, ok := cs.Store.(TaskGater); ok {
+		return tg.TaskGateRef(tok)
+	}
+	return "", "", false
+}
+
 // Update implements Store.
 func (cs *CheckpointStore) Update(key string, fn func(string, bool) (string, bool, error)) error {
 	if err := cs.Store.Update(key, fn); err != nil {

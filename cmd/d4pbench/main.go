@@ -15,6 +15,9 @@
 //	d4pbench -openloop        # open-loop steady-state sweep (paced arrival
 //	                          # rates, p50/p99 latency, max sustainable
 //	                          # throughput), writes BENCH_codec.json
+//	d4pbench -shards          # shard-scaling sweep: the zipfian sessionization
+//	                          # open-loop ladder at 1, 2, and 4 Redis shards,
+//	                          # writes BENCH_shard.json
 package main
 
 import (
@@ -51,6 +54,8 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the batching sweep (batch sizes 1, 8, 64, auto) and write BENCH_batching.json instead of the figure suite")
 		recovery = flag.Bool("recovery", false, "run the exactly-once recovery scenario (fenced vs unfenced managed state on the batched Redis path) and write BENCH_recovery.json")
 		openloop = flag.Bool("openloop", false, "run the open-loop steady-state sweep (paced arrival rates over the packed-frame Redis path) and write BENCH_codec.json")
+		shards   = flag.Bool("shards", false, "run the shard-scaling sweep (sessionization rate ladder at 1, 2, 4 Redis shards) and write BENCH_shard.json")
+		dispatch = flag.Duration("redis-dispatch-delay", 120*time.Microsecond, "per-shard single-threaded service time modeled by the shard sweep (held under the embedded server's dispatch lock)")
 		telAddr  = flag.String("telemetry-addr", "", "serve the suite's live telemetry on this address (/metrics, /flights, /debug/pprof); empty disables")
 	)
 	flag.Parse()
@@ -88,6 +93,13 @@ func main() {
 	}
 	if *openloop {
 		if err := runOpenLoop(*quick, *outDir, *opDelay, reg, diag); err != nil {
+			fmt.Fprintln(os.Stderr, "d4pbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shards {
+		if err := runShards(*quick, *outDir, *dispatch, reg, diag); err != nil {
 			fmt.Fprintln(os.Stderr, "d4pbench:", err)
 			os.Exit(1)
 		}
@@ -359,6 +371,137 @@ func writeOpenLoopJSON(dir string, pts []harness.OpenLoopPoint, maxSustainable m
 		return err
 	}
 	return writeFile(dir, "BENCH_codec.json", string(body))
+}
+
+// runShards executes the shard-scaling sweep: the zipfian sessionization
+// open-loop ladder at 1, 2, and 4 Redis shards, with AddInt coalescing on
+// (the hot path this workload exercises). Each shard is an embedded server
+// whose dispatch lock holds a fixed per-command service time — the
+// single-threaded bandwidth model of a real Redis shard, which in-process
+// servers sharing this machine's CPUs cannot exhibit natively. Adding shards
+// multiplies that aggregate bandwidth exactly the way added Redis servers
+// would, so the max-sustainable-rate ratio across shard counts measures what
+// the consistent-hash data plane actually buys: whether routing, packing,
+// per-shard acks and scatter-gather drains spread the command stream evenly
+// enough to harvest the added capacity. Writes shard.txt/csv and
+// BENCH_shard.json.
+func runShards(quick bool, outDir string, dispatchDelay time.Duration, reg *telemetry.Registry, diag *diagnosis.Diag) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	base := harness.OpenLoopConfig{
+		Mapping:       "dyn_redis",
+		Workload:      "session",
+		Processes:     8,
+		Duration:      8 * time.Second,
+		Users:         200_000,
+		Seed:          17,
+		StateCoalesce: true,
+	}
+	rates := []float64{100, 200, 300, 400, 600, 800, 1200, 1600, 2400, 3200}
+	if quick {
+		base.Duration = 1500 * time.Millisecond
+		base.Users = 20_000
+		rates = []float64{150, 300, 600}
+	}
+
+	shardCounts := []int{1, 2, 4}
+	type ladder struct {
+		shards int
+		pts    []harness.OpenLoopPoint
+		max    float64
+	}
+	var ladders []ladder
+	for _, n := range shardCounts {
+		fmt.Printf("== shard-%d: paced session workload on %s, %d shard(s), dispatch delay %v\n",
+			n, base.Mapping, n, dispatchDelay)
+		runner := &harness.Runner{
+			Out:                os.Stdout,
+			Shards:             n,
+			RedisDispatchDelay: dispatchDelay,
+			Telemetry:          reg,
+			Diag:               diag,
+		}
+		pts, max, err := runner.OpenLoopSweep(base, rates)
+		runner.Close()
+		if err != nil {
+			return err
+		}
+		ladders = append(ladders, ladder{shards: n, pts: pts, max: max})
+		fmt.Printf("max sustainable at %d shard(s): %.0f events/s\n", n, max)
+	}
+
+	speedup := 0.0
+	if first, last := ladders[0], ladders[len(ladders)-1]; first.max > 0 {
+		speedup = last.max / first.max
+		fmt.Printf("shard scaling: %.2fx max sustainable rate at %d shards vs %d\n",
+			speedup, last.shards, first.shards)
+	}
+
+	var txt, csv strings.Builder
+	csv.WriteString("shards,workload,mapping,processes,target_rate,offered_rate,delivered_rate,p50_ms,p99_ms,drain_seconds,sustainable\n")
+	for _, l := range ladders {
+		txt.WriteString(harness.RenderOpenLoop(fmt.Sprintf("%d shard(s)", l.shards), l.pts))
+		for _, p := range l.pts {
+			fmt.Fprintf(&csv, "%d,%s,%s,%d,%.0f,%.2f,%.2f,%.3f,%.3f,%.3f,%v\n",
+				l.shards, p.Workload, p.Mapping, p.Processes, p.TargetRate, p.OfferedRate,
+				p.DeliveredRate, float64(p.P50)/1e6, float64(p.P99)/1e6, p.DrainSeconds, p.Sustainable)
+		}
+	}
+	title := fmt.Sprintf("Shard scaling (%s session, %d workers, coalesced state, %v dispatch delay)",
+		base.Mapping, base.Processes, dispatchDelay)
+	if err := writeFile(outDir, "shard.txt", title+"\n"+txt.String()); err != nil {
+		return err
+	}
+	if err := writeFile(outDir, "shard.csv", csv.String()); err != nil {
+		return err
+	}
+
+	out := struct {
+		Name            string              `json:"name"`
+		DispatchDelayMs float64             `json:"dispatch_delay_ms"`
+		Ladders         []shardLadderJSON   `json:"ladders"`
+		Speedup         float64             `json:"speedup_max_shards_vs_one"`
+		Telemetry       *telemetry.Snapshot `json:"telemetry,omitempty"`
+	}{Name: "shard", DispatchDelayMs: float64(dispatchDelay) / 1e6, Speedup: speedup}
+	for _, l := range ladders {
+		lj := shardLadderJSON{Shards: l.shards, MaxSustainableRate: l.max}
+		for _, p := range l.pts {
+			lj.Points = append(lj.Points, openLoopJSONPoint{
+				Workload:      p.Workload,
+				Mapping:       p.Mapping,
+				Processes:     p.Processes,
+				TargetRate:    p.TargetRate,
+				OfferedRate:   p.OfferedRate,
+				DeliveredRate: p.DeliveredRate,
+				Offered:       p.Offered,
+				Delivered:     p.Delivered,
+				GenSeconds:    p.GenSeconds,
+				DrainSeconds:  p.DrainSeconds,
+				P50Millis:     float64(p.P50) / 1e6,
+				P99Millis:     float64(p.P99) / 1e6,
+				MaxMillis:     float64(p.Max) / 1e6,
+				Sustainable:   p.Sustainable,
+			})
+		}
+		out.Ladders = append(out.Ladders, lj)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		out.Telemetry = &snap
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFile(outDir, "BENCH_shard.json", string(body))
+}
+
+// shardLadderJSON is one shard count's rate ladder in BENCH_shard.json.
+type shardLadderJSON struct {
+	Shards             int                 `json:"shards"`
+	MaxSustainableRate float64             `json:"max_sustainable_rate"`
+	Points             []openLoopJSONPoint `json:"points"`
 }
 
 func run(quick bool, fig, table int, outDir string, reps int, opDelay time.Duration, jsonOut bool, reg *telemetry.Registry, diag *diagnosis.Diag) error {

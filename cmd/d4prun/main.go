@@ -48,7 +48,8 @@ func main() {
 		stations     = flag.Int("stations", 50, "seismic station count")
 		articles     = flag.Int("articles", 120, "sentiment article count")
 		managed      = flag.Bool("managed", false, "sentiment: declare managed state (required for the dynamic Redis mappings)")
-		redisAddr    = flag.String("redis", "", "external Redis address (empty = embedded mini-Redis)")
+		redisAddr    = flag.String("redis", "", "external Redis address(es), comma-separated in shard ring order (empty = embedded mini-Redis)")
+		shards       = flag.Int("shards", 0, "embedded Redis shard count for the Redis mappings (0/1 = single server; ignored with -redis)")
 		staging      = flag.Bool("staging", false, "apply the static staging optimization before mapping")
 		dot          = flag.Bool("dot", false, "print the abstract workflow in Graphviz dot format and exit")
 		list         = flag.Bool("list", false, "list available mappings and exit")
@@ -67,7 +68,7 @@ func main() {
 	}
 	tel := telemetryConfig{Addr: *telAddr, Every: *telEvery, SampleEvery: *telSample, Hold: *telHold, JournalRing: *journalRing}
 	if err := run(*workflowName, *mappingName, *processes, *platformName, *seed,
-		*scaleX, *heavy, *stations, *articles, *managed, *redisAddr, *staging, *dot, tel); err != nil {
+		*scaleX, *heavy, *stations, *articles, *managed, *redisAddr, *shards, *staging, *dot, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "d4prun:", err)
 		os.Exit(1)
 	}
@@ -87,7 +88,7 @@ func (tc telemetryConfig) enabled() bool {
 }
 
 func run(workflowName, mappingName string, processes int, platformName string, seed int64,
-	scaleX int, heavy bool, stations, articles int, managed bool, redisAddr string, staging, dot bool,
+	scaleX int, heavy bool, stations, articles int, managed bool, redisAddr string, shards int, staging, dot bool,
 	tel telemetryConfig) error {
 
 	plat, err := platform.ByName(platformName)
@@ -134,15 +135,30 @@ func run(workflowName, mappingName string, processes int, platformName string, s
 		return nil
 	}
 
-	opts := mapping.Options{Processes: processes, Platform: plat, Seed: seed, RedisAddr: redisAddr}
-	if strings.Contains(mappingName, "redis") && redisAddr == "" {
-		srv, err := miniredis.StartTestServer()
-		if err != nil {
-			return fmt.Errorf("start embedded redis: %w", err)
+	opts := mapping.Options{Processes: processes, Platform: plat, Seed: seed}
+	if redisAddr != "" {
+		// A comma-separated -redis list is the external form of a shard ring;
+		// a single address keeps the classic one-server data plane.
+		addrs := strings.Split(redisAddr, ",")
+		opts.RedisAddr = addrs[0]
+		opts.RedisAddrs = addrs
+	} else if strings.Contains(mappingName, "redis") {
+		n := shards
+		if n <= 0 {
+			n = 1
 		}
-		defer srv.Close()
-		opts.RedisAddr = srv.Addr()
-		fmt.Printf("embedded mini-redis at %s\n", srv.Addr())
+		addrs := make([]string, n)
+		for i := range addrs {
+			srv, err := miniredis.StartTestServer()
+			if err != nil {
+				return fmt.Errorf("start embedded redis: %w", err)
+			}
+			defer srv.Close()
+			addrs[i] = srv.Addr()
+		}
+		opts.RedisAddr = addrs[0]
+		opts.RedisAddrs = addrs
+		fmt.Printf("embedded mini-redis shards at %s\n", strings.Join(addrs, ", "))
 	}
 
 	var reg *telemetry.Registry

@@ -50,6 +50,14 @@ type Runner struct {
 	// RedisOpDelay configures the embedded server's per-command service
 	// delay (the Redis-weight ablation knob).
 	RedisOpDelay time.Duration
+	// RedisDispatchDelay configures the embedded servers' per-command delay
+	// held under the dispatch lock — the per-shard bandwidth model the shard
+	// sweep uses (see miniredis.Options.DispatchDelay).
+	RedisDispatchDelay time.Duration
+	// Shards is how many embedded Redis servers back the Redis techniques;
+	// 0 or 1 means the classic single server. Runs receive all shard
+	// addresses via Options.RedisAddrs (ring order = start order).
+	Shards int
 	// Repetitions averages each point over this many runs; 0 means 1.
 	Repetitions int
 	// Telemetry, when non-nil, is handed to every run so the whole suite
@@ -61,15 +69,15 @@ type Runner struct {
 	// suite's runs.
 	Diag *diagnosis.Diag
 
-	redis *miniredis.Server
+	redis []*miniredis.Server
 }
 
-// Close shuts down the embedded Redis server if one was started.
+// Close shuts down the embedded Redis servers if any were started.
 func (r *Runner) Close() {
-	if r.redis != nil {
-		r.redis.Close()
-		r.redis = nil
+	for _, srv := range r.redis {
+		srv.Close()
 	}
+	r.redis = nil
 }
 
 func (r *Runner) printf(format string, args ...any) {
@@ -78,15 +86,34 @@ func (r *Runner) printf(format string, args ...any) {
 	}
 }
 
-func (r *Runner) redisAddr() (string, error) {
-	if r.redis == nil {
-		srv := miniredis.NewServer(miniredis.Options{OpDelay: r.RedisOpDelay})
-		if err := srv.Start(); err != nil {
-			return "", err
-		}
-		r.redis = srv
+func (r *Runner) redisAddrs() ([]string, error) {
+	n := r.Shards
+	if n <= 0 {
+		n = 1
 	}
-	return r.redis.Addr(), nil
+	for len(r.redis) < n {
+		srv := miniredis.NewServer(miniredis.Options{
+			OpDelay:       r.RedisOpDelay,
+			DispatchDelay: r.RedisDispatchDelay,
+		})
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		r.redis = append(r.redis, srv)
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = r.redis[i].Addr()
+	}
+	return addrs, nil
+}
+
+// setRedis wires the shard addresses into a run's options: RedisAddrs
+// carries the ring, RedisAddr keeps the first shard for anything still
+// reading the single-server field.
+func setRedis(opts *mapping.Options, addrs []string) {
+	opts.RedisAddr = addrs[0]
+	opts.RedisAddrs = addrs
 }
 
 // needsRedis reports whether a technique runs against Redis.
@@ -132,11 +159,11 @@ func (r *Runner) RunExperiment(e Experiment) ([]metrics.Series, error) {
 					Diagnosis: r.Diag,
 				}
 				if needsRedis(tech) {
-					addr, err := r.redisAddr()
+					addrs, err := r.redisAddrs()
 					if err != nil {
 						return nil, fmt.Errorf("harness %s: start redis: %w", e.ID, err)
 					}
-					opts.RedisAddr = addr
+					setRedis(&opts, addrs)
 				}
 				if e.Configure != nil {
 					e.Configure(&opts)
@@ -210,11 +237,11 @@ func (r *Runner) RunTrace(e TraceExperiment) (*autoscale.Trace, metrics.Report, 
 		Diagnosis: r.Diag,
 	}
 	if needsRedis(e.Technique) {
-		addr, err := r.redisAddr()
+		addrs, err := r.redisAddrs()
 		if err != nil {
 			return nil, metrics.Report{}, err
 		}
-		opts.RedisAddr = addr
+		setRedis(&opts, addrs)
 	}
 	rep, err := m.Execute(e.MakeGraph(), opts)
 	if err != nil {

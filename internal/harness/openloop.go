@@ -49,6 +49,10 @@ type OpenLoopConfig struct {
 	LatencyBound time.Duration
 	// Seed drives determinism of keys and actions (not of pacing).
 	Seed int64
+	// StateCoalesce switches on per-shard AddInt group commit in the run's
+	// state backend (mapping.Options.StateCoalesce) — the sessionize hot
+	// path's batching lever.
+	StateCoalesce bool
 }
 
 // withDefaults fills the zero fields.
@@ -253,18 +257,19 @@ func (r *Runner) RunOpenLoop(cfg OpenLoopConfig) (OpenLoopPoint, error) {
 	col := &olCollector{}
 	g := openLoopGraph(cfg, col)
 	opts := mapping.Options{
-		Processes: cfg.Processes,
-		Platform:  platform.Server,
-		Seed:      cfg.Seed,
-		Telemetry: r.Telemetry,
-		Diagnosis: r.Diag,
+		Processes:     cfg.Processes,
+		Platform:      platform.Server,
+		Seed:          cfg.Seed,
+		Telemetry:     r.Telemetry,
+		Diagnosis:     r.Diag,
+		StateCoalesce: cfg.StateCoalesce,
 	}
 	if needsRedis(cfg.Mapping) {
-		addr, err := r.redisAddr()
+		addrs, err := r.redisAddrs()
 		if err != nil {
 			return OpenLoopPoint{}, fmt.Errorf("openloop: start redis: %w", err)
 		}
-		opts.RedisAddr = addr
+		setRedis(&opts, addrs)
 	}
 	if _, err := m.Execute(g, opts); err != nil {
 		return OpenLoopPoint{}, fmt.Errorf("openloop %s %s @%.0f/s: %w", cfg.Workload, cfg.Mapping, cfg.Rate, err)

@@ -50,6 +50,21 @@ type Options struct {
 	Seed int64
 	// RedisAddr is the server address for Redis-backed mappings.
 	RedisAddr string
+	// RedisAddrs lists the shard servers of a sharded Redis data plane, in
+	// ring order (the order is part of the placement: shard i's ring arc is
+	// derived from its index). Empty falls back to the single RedisAddr.
+	// The Redis planners route the task stream, state namespaces, fence
+	// ledgers and telemetry gauges across these shards through one shared
+	// redisclient.Cluster.
+	RedisAddrs []string
+	// StateCoalesce group-commits unfenced AddInt state ops per shard: all
+	// increments concurrently in flight across workers merge into one
+	// pipelined HINCRBY flush on the namespace's shard, while each caller
+	// still observes its exact intermediate value. Worth switching on for
+	// high-rate keyed-counter workloads (the zipfian sessionization hot
+	// path); off by default because it reorders independent keys' round
+	// trips, which microbenchmarks asserting exact trip counts care about.
+	StateCoalesce bool
 	// PollTimeout is how long dynamic workers block on an empty queue before
 	// counting a retry. Zero means 2ms.
 	PollTimeout time.Duration
@@ -173,6 +188,20 @@ func (o Options) WithDefaults() Options {
 		o.EmitFlushEvery = 2 * time.Millisecond
 	}
 	return o
+}
+
+// ShardAddrs resolves the Redis data-plane addresses: RedisAddrs when set,
+// else the single RedisAddr (nil when neither is configured). Every layer
+// that dials Redis goes through this, so a run cannot end up with its
+// transport and state backend on different shard sets.
+func (o Options) ShardAddrs() []string {
+	if len(o.RedisAddrs) > 0 {
+		return o.RedisAddrs
+	}
+	if o.RedisAddr != "" {
+		return []string{o.RedisAddr}
+	}
+	return nil
 }
 
 // ResolveBatching fills zero-valued batch knobs with a mapping's defaults

@@ -1,6 +1,7 @@
 package mapping_test
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -123,6 +124,56 @@ func (c *chaosTransport) Issued() int {
 	return c.issued
 }
 
+// shardLeakBackend wraps the run's state backend to check the co-location
+// invariant while the data still exists: a run's namespaces are dropped on
+// success, so the check rides the drop — just before a namespace's live hash
+// (state entries plus the fence-ledger fields living inside it) is removed,
+// it must be non-empty on exactly one shard, the one the cluster's ring names
+// for its key. A hash on two shards means some writer routed around the
+// shared cluster, so the exactly-once fence was checking a different ledger
+// than the one being written.
+type shardLeakBackend struct {
+	state.Backend
+	t       *testing.T
+	cluster *redisclient.Cluster
+	prefix  string
+
+	mu      sync.Mutex
+	checked int
+}
+
+func (b *shardLeakBackend) DropNamespace(ns string) error {
+	key := b.prefix + ":st:{" + ns + "}"
+	var found []int
+	for s := 0; s < b.cluster.NumShards(); s++ {
+		if n, err := b.cluster.Shard(s).HLen(key); err == nil && n > 0 {
+			found = append(found, s)
+		}
+	}
+	// Empty everywhere is the pre-run hygiene drop (or a namespace that
+	// never wrote); only populated hashes witness placement.
+	if len(found) > 0 {
+		b.mu.Lock()
+		b.checked++
+		b.mu.Unlock()
+		if len(found) > 1 {
+			b.t.Errorf("state hash %q present on shards %v — cross-shard fence leak", key, found)
+		} else if home := b.cluster.ShardFor(key); found[0] != home {
+			b.t.Errorf("state hash %q on shard %d but the ring places it on %d", key, found[0], home)
+		}
+	}
+	return b.Backend.DropNamespace(ns)
+}
+
+// verify fails the test when no populated namespace was ever checked.
+func (b *shardLeakBackend) verify() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.checked == 0 {
+		b.t.Error("no populated state hash was dropped; the leak assertion exercised nothing")
+	}
+}
+
 // TestKillAndReplayExactlyOnceAcrossTransports is the kill-and-replay chaos
 // property of the keyed-state conformance suite: on every transport, a
 // managed keyed aggregation whose deliveries are replayed mid-run — source
@@ -176,6 +227,54 @@ func TestKillAndReplayExactlyOnceAcrossTransports(t *testing.T) {
 	// poolTarget: any other pool worker holds every pooled PE.
 	poolTarget := func(env runtime.Env, from, workers int) int { return (from + 1) % workers }
 
+	// redisFixture builds the redis chaos run over an n-shard embedded
+	// cluster. recoverStale is on: duplicate acks of real entry IDs must be
+	// absorbed by the transport's consumer-fenced ack path, per shard.
+	redisFixture := func(shards int, items []keyedItem, eligible func(runtime.Env) bool,
+		target func(env runtime.Env, from, workers int) int) fixture {
+		return fixture{name: fmt.Sprintf("redis-%dshard", shards), run: func(t *testing.T, collect func(string)) *chaosTransport {
+			addrs := make([]string, shards)
+			for i := range addrs {
+				srv, err := miniredis.StartTestServer()
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { srv.Close() })
+				addrs[i] = srv.Addr()
+			}
+			cluster, err := redisclient.NewCluster(addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cluster.Close() })
+			g := keyedAggGraph(items, 0, collect)
+			plan := runtime.PoolPlan(g, 3)
+			keys := runtime.NewRunKeys(g.Name, 5)
+			tr, err := runtime.NewRedisTransport(cluster, keys, plan, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { tr.Cleanup(g) })
+			chaos := newChaosTransport(tr, 3, 16, false, eligible, target)
+			opts := testOpts(3)
+			opts.ExactlyOnceState = true
+			opts.Retries = 20
+			leak := &shardLeakBackend{
+				Backend: state.NewRedisClusterBackend(cluster, keys.Prefix+":state"),
+				t:       t, cluster: cluster, prefix: keys.Prefix + ":state",
+			}
+			if _, err := runtime.Execute(g, opts, runtime.Config{
+				Name: fmt.Sprintf("chaos-redis-%dshard", shards), Plan: plan, Transport: chaos,
+				Host:            platform.NewHost(opts.Platform),
+				NewStateBackend: func() state.Backend { return leak },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			leak.verify()
+			return chaos
+		}}
+	}
+
 	fixtures := []fixture{
 		{name: "chan", run: func(t *testing.T, collect func(string)) *chaosTransport {
 			g := keyedAggGraph(items, 2, collect)
@@ -209,37 +308,12 @@ func TestKillAndReplayExactlyOnceAcrossTransports(t *testing.T) {
 			}
 			return chaos
 		}},
-		{name: "redis", run: func(t *testing.T, collect func(string)) *chaosTransport {
-			srv, err := miniredis.StartTestServer()
-			if err != nil {
-				t.Fatal(err)
-			}
-			t.Cleanup(func() { srv.Close() })
-			cl := redisclient.Dial(srv.Addr())
-			t.Cleanup(func() { cl.Close() })
-			g := keyedAggGraph(items, 0, collect)
-			plan := runtime.PoolPlan(g, 3)
-			keys := runtime.NewRunKeys(g.Name, 5)
-			// recoverStale on: duplicate acks of real entry IDs must be
-			// absorbed by the transport's consumer-fenced ack path.
-			tr, err := runtime.NewRedisTransport(cl, keys, plan, true)
-			if err != nil {
-				t.Fatal(err)
-			}
-			t.Cleanup(func() { tr.Cleanup(g) })
-			chaos := newChaosTransport(tr, 3, 16, false, eligible, poolTarget)
-			opts := testOpts(3)
-			opts.ExactlyOnceState = true
-			opts.Retries = 20
-			if _, err := runtime.Execute(g, opts, runtime.Config{
-				Name: "chaos-redis", Plan: plan, Transport: chaos,
-				Host:            platform.NewHost(opts.Platform),
-				NewStateBackend: func() state.Backend { return state.NewRedisBackend(cl, keys.Prefix+":state") },
-			}); err != nil {
-				t.Fatal(err)
-			}
-			return chaos
-		}},
+		// redis at 1, 2 and 4 shards: the same chaos must hold on the
+		// single-server layout and across a sharded data plane, where the
+		// duplicate flows additionally cross shard boundaries.
+		redisFixture(1, items, eligible, poolTarget),
+		redisFixture(2, items, eligible, poolTarget),
+		redisFixture(4, items, eligible, poolTarget),
 		{name: "rank", run: func(t *testing.T, collect func(string)) *chaosTransport {
 			g := keyedAggGraph(items, 2, collect)
 			plan := runtime.PinnedPlan(g, map[string]int{"gen": 1, "count": 2, "sink": 1})

@@ -25,6 +25,15 @@ type Options struct {
 	// resource-intensive"); OpDelay lets the benchmark harness model that
 	// extra cost explicitly and lets the ablation bench sweep it.
 	OpDelay time.Duration
+	// DispatchDelay is an artificial per-command delay held *inside* the
+	// dispatch lock. Where OpDelay models per-connection latency (sleeps
+	// overlap across connections), DispatchDelay models the server's bounded
+	// single-threaded command bandwidth: real Redis executes commands on one
+	// thread, so a shard caps out near 1/serviceTime ops/s no matter how many
+	// clients pipeline at it. The shard-scaling bench sets it so that adding
+	// shards multiplies aggregate bandwidth the way added Redis servers would,
+	// which an in-process server on shared CPUs otherwise cannot exhibit.
+	DispatchDelay time.Duration
 	// Logf receives server diagnostics. Nil silences logging.
 	Logf func(format string, args ...any)
 }
@@ -249,6 +258,9 @@ func (s *Server) dispatch(argv []string) (resp.Value, bool) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.opts.DispatchDelay > 0 {
+		time.Sleep(s.opts.DispatchDelay)
+	}
 
 	h, ok := commandTable[cmd]
 	if !ok {

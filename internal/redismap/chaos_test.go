@@ -31,13 +31,26 @@ import (
 // both runs; it must never fire — on the built-in backends that window no
 // longer exists.
 func TestKillMidFinalFlushThenResume(t *testing.T) {
-	for _, name := range []string{"dyn_redis", "hybrid_redis"} {
-		t.Run(name, func(t *testing.T) {
-			srv, err := miniredis.StartTestServer()
-			if err != nil {
-				t.Fatal(err)
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"dyn_redis", 1},
+		{"hybrid_redis", 1},
+		{"dyn_redis-2shard", 2},
+		{"dyn_redis-4shard", 4},
+	} {
+		name := strings.TrimSuffix(strings.TrimSuffix(tc.name, "-2shard"), "-4shard")
+		t.Run(tc.name, func(t *testing.T) {
+			addrs := make([]string, tc.shards)
+			for i := range addrs {
+				srv, err := miniredis.StartTestServer()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
 			}
-			defer srv.Close()
 
 			keys := []string{"alpha", "beta", "gamma", "delta"}
 			items := make([]replayItem, 0, 24)
@@ -65,13 +78,14 @@ func TestKillMidFinalFlushThenResume(t *testing.T) {
 				t.Fatalf("reference run: %v", want)
 			}
 
-			backend := state.DialRedisBackend(srv.Addr(), "chaosbk")
+			backend := state.DialRedisClusterBackend(addrs, "chaosbk")
 			defer backend.Close()
 			opts := mapping.Options{
 				Processes:    3,
 				Platform:     platformForTest(),
 				Seed:         31,
-				RedisAddr:    srv.Addr(),
+				RedisAddr:    addrs[0],
+				RedisAddrs:   addrs,
 				RecoverStale: true,
 				PollTimeout:  2 * time.Millisecond,
 				Retries:      40,

@@ -6,18 +6,25 @@
 //   - dyn_auto_redis (Section 3.2.2): dyn_redis plus the Algorithm 1
 //     auto-scaler driven by the consumer group's average idle time;
 //   - hybrid_redis (Section 3.1.2): stateful PE instances pinned to
-//     dedicated processes with private Redis list queues, while stateless
-//     PEs keep dynamic scheduling on the global stream;
+//     dedicated processes with private Redis stream partitions, while
+//     stateless PEs keep dynamic scheduling on the global stream;
 //   - hybrid_auto_redis: hybrid_redis with the auto-scaler on its stateless
 //     pool.
 //
 // The mappings are planners over runtime.RedisTransport: tasks are
-// gob-encoded (package codec) and shipped through a real TCP connection to
-// the Redis server (internal/miniredis in this repository, or any
-// RESP2-compatible server), so the cost structure of the Redis mappings —
-// heavier than in-process queues, as the paper observes — is physically
-// present rather than assumed. With Options.EmitBatch the transport
-// pipelines the XADD/RPUSH commands of a batch into one round trip.
+// flat-binary-encoded (package codec) and shipped through real TCP
+// connections to the Redis servers (internal/miniredis in this repository,
+// or any RESP2-compatible server), so the cost structure of the Redis
+// mappings — heavier than in-process queues, as the paper observes — is
+// physically present rather than assumed. With Options.EmitBatch the
+// transport pipelines the XADD commands of a batch into one round trip per
+// shard.
+//
+// Every Redis-touching component of a run — transport, state backend, fence
+// ledger, autoscale monitor — shares one redisclient.Cluster built here, so
+// they agree on shard placement (the co-location invariant behind
+// single-shard FENCEAPPLY/SINKAPPEND transactions) and no code path opens
+// its own unrouted connection.
 package redismap
 
 import (
@@ -27,15 +34,20 @@ import (
 	"repro/internal/redisclient"
 )
 
-// requireRedis validates the Redis address option.
-func requireRedis(opts mapping.Options, technique string) (*redisclient.Client, error) {
-	if opts.RedisAddr == "" {
-		return nil, fmt.Errorf("%s: Options.RedisAddr is required (start internal/miniredis or point at a Redis server)", technique)
+// requireCluster validates the Redis data-plane addresses and dials the
+// run's shared shard cluster. The caller owns the handle (defer Close).
+func requireCluster(opts mapping.Options, technique string) (*redisclient.Cluster, error) {
+	addrs := opts.ShardAddrs()
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%s: Options.RedisAddr or RedisAddrs is required (start internal/miniredis or point at Redis servers)", technique)
 	}
-	cl := redisclient.Dial(opts.RedisAddr)
-	if err := cl.Ping(); err != nil {
-		cl.Close()
-		return nil, fmt.Errorf("%s: redis unreachable at %s: %w", technique, opts.RedisAddr, err)
+	cluster, err := redisclient.NewCluster(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", technique, err)
 	}
-	return cl, nil
+	if err := cluster.Ping(); err != nil {
+		cluster.Close()
+		return nil, fmt.Errorf("%s: redis unreachable: %w", technique, err)
+	}
+	return cluster, nil
 }

@@ -56,15 +56,15 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 	// store mutations a replayed execution already applied, while the
 	// transport's fenced acknowledgements keep the pending counter exact
 	// when a claimed-away consumer's late XACK lands.
-	cl, err := requireRedis(opts, name)
+	cluster, err := requireCluster(opts, name)
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	defer cl.Close()
+	defer cluster.Close()
 
 	plan := runtime.PoolPlan(g, opts.Processes)
 	keys := runtime.NewRunKeys(g.Name, opts.Seed)
-	tr, err := runtime.NewRedisTransport(cl, keys, plan, opts.RecoverStale)
+	tr, err := runtime.NewRedisTransport(cluster, keys, plan, opts.RecoverStale)
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -87,9 +87,7 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 			strategy = &autoscale.IdleTimeStrategy{Threshold: 4 * opts.PollTimeout}
 		}
 		ctrl = autoscale.NewController(cfg, strategy, opts.Trace)
-		monCl := redisclient.Dial(opts.RedisAddr)
-		defer monCl.Close()
-		go ctrl.RunMonitor(consumerIdleMonitor(monCl, keys, ctrl))
+		go ctrl.RunMonitor(consumerIdleMonitor(cluster, keys, ctrl))
 		defer ctrl.Terminate()
 	}
 
@@ -100,33 +98,55 @@ func executeDynRedis(g *graph.Graph, opts mapping.Options, name string, auto boo
 		Host:       platform.NewHost(opts.Platform),
 		Controller: ctrl,
 		NewStateBackend: func() state.Backend {
-			return state.NewRedisBackend(cl, keys.Prefix+":state")
+			return newStateBackend(cluster, keys, opts)
 		},
 	})
 }
 
+// newStateBackend builds the run's private state backend on the shared
+// cluster, with hot-path AddInt coalescing when the options ask for it.
+func newStateBackend(cluster *redisclient.Cluster, keys runtime.RedisKeys, opts mapping.Options) state.Backend {
+	b := state.NewRedisClusterBackend(cluster, keys.Prefix+":state")
+	if opts.StateCoalesce {
+		b.EnableCoalescing()
+	}
+	return b
+}
+
 // consumerIdleMonitor builds the dyn_auto_redis monitoring metric: the mean
 // Inactive time of the pool's active consumers in the run's consumer group.
-func consumerIdleMonitor(monCl *redisclient.Client, keys runtime.RedisKeys, ctrl *autoscale.Controller) func() float64 {
+// The stream is partitioned per shard and a consumer is active wherever it
+// last found work, so the probe scatter-gathers XINFO CONSUMERS across the
+// shards and scores each consumer by its most recent activity anywhere
+// (minimum Inactive across shards) — a worker busy draining shard 1 is not
+// idle just because shard 0 hasn't seen it lately.
+func consumerIdleMonitor(cluster *redisclient.Cluster, keys runtime.RedisKeys, ctrl *autoscale.Controller) func() float64 {
 	return func() float64 {
-		infos, err := monCl.XInfoConsumers(keys.Queue, keys.Group)
-		if err != nil || len(infos) == 0 {
-			return 0
-		}
 		active := ctrl.ActiveSize()
-		var sum float64
-		var n int
-		for _, info := range infos {
-			var w int
-			if _, err := fmt.Sscanf(info.Name, "w%d", &w); err != nil || w >= active {
+		idle := map[int]float64{}
+		for s := 0; s < cluster.NumShards(); s++ {
+			infos, err := cluster.Shard(s).XInfoConsumers(keys.Queue, keys.Group)
+			if err != nil {
 				continue
 			}
-			sum += float64(info.Inactive.Milliseconds())
-			n++
+			for _, info := range infos {
+				var w int
+				if _, err := fmt.Sscanf(info.Name, "w%d", &w); err != nil || w >= active {
+					continue
+				}
+				ms := float64(info.Inactive.Milliseconds())
+				if cur, ok := idle[w]; !ok || ms < cur {
+					idle[w] = ms
+				}
+			}
 		}
-		if n == 0 {
+		if len(idle) == 0 {
 			return 0
 		}
-		return sum / float64(n)
+		var sum float64
+		for _, ms := range idle {
+			sum += ms
+		}
+		return sum / float64(len(idle))
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/platform"
-	"repro/internal/redisclient"
 	"repro/internal/runtime"
 	"repro/internal/state"
 )
@@ -127,19 +126,20 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	cl, err := requireRedis(opts, name)
+	cluster, err := requireCluster(opts, name)
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	defer cl.Close()
+	defer cluster.Close()
 
-	// RecoverStale covers the stream-scheduled pool half of the hybrid:
-	// stale pool deliveries are reclaimed via XAUTOCLAIM (with fenced acks
-	// and, for managed-state PEs, fenced store writes). Pinned private
-	// lists have no pending-entry list to reclaim from — a killed pinned
-	// worker's pulled tasks are lost with it (see ROADMAP).
+	// RecoverStale covers both halves of the hybrid: stale pool deliveries
+	// are reclaimed via XAUTOCLAIM (with fenced acks and, for managed-state
+	// PEs, fenced store writes), and the pinned private queues are now
+	// per-shard stream partitions with the same consumer-group PEL — pulled
+	// frames sit pending until acked, so a stalled delivery is reclaimable
+	// instead of lost with its list element.
 	keys := runtime.NewRunKeys(g.Name, opts.Seed)
-	tr, err := runtime.NewRedisTransport(cl, keys, plan, opts.RecoverStale)
+	tr, err := runtime.NewRedisTransport(cluster, keys, plan, opts.RecoverStale)
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -159,9 +159,7 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 			strategy = &autoscale.IdleTimeStrategy{Threshold: 4 * opts.PollTimeout}
 		}
 		ctrl = autoscale.NewController(cfg, strategy, opts.Trace)
-		monCl := redisclient.Dial(opts.RedisAddr)
-		defer monCl.Close()
-		go ctrl.RunMonitor(consumerIdleMonitor(monCl, keys, ctrl))
+		go ctrl.RunMonitor(consumerIdleMonitor(cluster, keys, ctrl))
 		defer ctrl.Terminate()
 	}
 
@@ -172,7 +170,7 @@ func executeHybrid(g *graph.Graph, opts mapping.Options, name string, auto bool)
 		Host:       platform.NewHost(opts.Platform),
 		Controller: ctrl,
 		NewStateBackend: func() state.Backend {
-			return state.NewRedisBackend(cl, keys.Prefix+":state")
+			return newStateBackend(cluster, keys, opts)
 		},
 	})
 }

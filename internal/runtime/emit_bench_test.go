@@ -64,7 +64,7 @@ func BenchmarkEmitBatching(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) {
 				keys := runtime.NewRunKeys("bench", int64(batch))
-				tr, err := runtime.NewRedisTransport(cl, keys, poolPlan, false)
+				tr, err := runtime.NewRedisTransport(redisclient.Single(cl), keys, poolPlan, false)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -22,7 +22,7 @@ func newEntryFixture(t *testing.T, workers int, recoverStale bool) (*runtime.Red
 	t.Cleanup(func() { cl.Close() })
 	keys := runtime.NewRunKeys("entrytest", 1)
 	plan := runtime.NewPlan(make([]runtime.WorkerSpec, workers), map[string]int{"pe": 0})
-	tr, err := runtime.NewRedisTransport(cl, keys, plan, recoverStale)
+	tr, err := runtime.NewRedisTransport(redisclient.Single(cl), keys, plan, recoverStale)
 	if err != nil {
 		t.Fatal(err)
 	}

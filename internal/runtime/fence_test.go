@@ -20,7 +20,7 @@ func newRedisFixture(t *testing.T, plan runtime.Plan, recoverStale bool) (*runti
 	t.Cleanup(func() { srv.Close() })
 	cl := redisclient.Dial(srv.Addr())
 	t.Cleanup(func() { cl.Close() })
-	tr, err := runtime.NewRedisTransport(cl, runtime.NewRunKeys("fencetest", 1), plan, recoverStale)
+	tr, err := runtime.NewRedisTransport(redisclient.Single(cl), runtime.NewRunKeys("fencetest", 1), plan, recoverStale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,7 +94,7 @@ func BenchmarkPullBatching(b *testing.B) {
 			window := window
 			b.Run(name(window), func(b *testing.B) {
 				keys := runtime.NewRunKeys("pullbench", int64(window))
-				tr, err := runtime.NewRedisTransport(cl, keys, poolPlan, false)
+				tr, err := runtime.NewRedisTransport(redisclient.Single(cl), keys, poolPlan, false)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -15,15 +15,20 @@ import (
 // runNonce disambiguates concurrent runs against one server.
 var runNonce atomic.Int64
 
-// RedisKeys holds the Redis key names of one execution.
+// RedisKeys holds the Redis key names of one execution. The same names are
+// used on every shard of the data plane: a key names a partition, the shard
+// index says which server holds it, so a single-shard cluster reproduces the
+// exact single-server layout.
 type RedisKeys struct {
 	// Prefix namespaces every key of the run.
 	Prefix string
-	// Queue is the global stream consumed through Group.
+	// Queue is the pool stream, one partition per shard, consumed through
+	// Group.
 	Queue string
 	// Group is the consumer group name.
 	Group string
-	// PendingKey is the outstanding-task counter.
+	// PendingKey is the outstanding-task counter, sharded: each shard counts
+	// the tasks stored on it and Pending() scatter-gathers the sum.
 	PendingKey string
 }
 
@@ -38,7 +43,8 @@ func NewRunKeys(workflow string, seed int64) RedisKeys {
 	}
 }
 
-// PrivKey is the private queue (Redis list) of one pinned PE instance.
+// PrivKey is the private stream of one pinned PE instance (one reclaimable
+// partition per shard, consumed through Group by that instance's worker).
 func (k RedisKeys) PrivKey(pe string, instance int) string {
 	return fmt.Sprintf("%s:priv:%s:%d", k.Prefix, pe, instance)
 }
@@ -46,30 +52,45 @@ func (k RedisKeys) PrivKey(pe string, instance int) string {
 // taskField is the stream entry field carrying the encoded task.
 const taskField = "task"
 
-// RedisTransport carries tasks through a Redis server: pool tasks on a
-// stream consumed by a consumer group (consumer "w<index>" per pool worker),
-// pinned tasks on per-instance private lists — the paper's dyn_redis and
-// hybrid_redis storage layout behind one Transport.
+// RedisTransport carries tasks through a sharded Redis data plane: pool
+// tasks on per-shard stream partitions consumed by a consumer group
+// (consumer "w<index>" per pool worker), pinned tasks on per-instance
+// private streams partitioned the same way — the paper's dyn_redis and
+// hybrid_redis storage layout behind one Transport, spread over
+// N servers by a redisclient.Cluster.
 //
-// Batched pushes are pipelined and frame-packed: one INCRBY for the pending
-// counter, one XADD per contiguous run of pool tasks (the whole emit batch,
-// in the common case), and one RPUSH per private list share a single network
-// round trip. Acknowledgement is entry-range: a stream entry is XACKed only
-// once every task delivered from it has been acked, so the consumer group's
-// bookkeeping stays per entry while the worker loop keeps acking per task.
+// Placement: unfenced pool batches round-robin across shards per packed
+// entry; unfenced private frames go to the hash-ring home shard of their
+// stream key; fenced batches land entirely on the shard of their task gate
+// so the SINKAPPEND transaction stays single-shard (the co-location
+// invariant — see PushFenced). Each worker therefore blocking-reads its home
+// shard and sweeps the others non-blocking, so work is found wherever
+// routing put it.
+//
+// Batched pushes are pipelined per shard and frame-packed: one INCRBY for
+// the shard's pending counter, one XADD per contiguous run of pool tasks
+// (the whole emit batch, in the common case), and one XADD batch frame per
+// private stream share a round trip per shard. Acknowledgement is
+// entry-range: a stream entry is XACKed on its own shard only once every
+// task delivered from it has been acked, so the consumer group's bookkeeping
+// stays per entry while the worker loop keeps acking per task.
 type RedisTransport struct {
-	cl           *redisclient.Client
+	cluster      *redisclient.Cluster
 	keys         RedisKeys
 	plan         Plan
 	recoverStale bool
 	closed       atomic.Bool
 
+	// rr round-robins unfenced pool entries across shards.
+	rr atomic.Uint64
+
 	// frames[w] tracks the stream entries worker w has pulled but not fully
-	// acknowledged: entry ID → how many of its delivered tasks are still
-	// unacked, and the pending-counter weight the entry releases when its
-	// XACK removes it. Each map is touched only by worker w's goroutine
+	// acknowledged: (shard, entry ID) → how many of its delivered tasks are
+	// still unacked, and the pending-counter weight the entry releases when
+	// its XACK removes it. Entry IDs are only unique per shard, hence the
+	// compound key. Each map is touched only by worker w's goroutine
 	// (PullBatch and Ack for w run on it), so no locking.
-	frames []map[string]*entryState
+	frames []map[frameKey]*entryState
 
 	// leases[w] throttles worker w's Extend heartbeats (same single-goroutine
 	// ownership as frames[w]).
@@ -84,13 +105,21 @@ type RedisTransport struct {
 	RecoverIdle time.Duration
 
 	// diag (set via SetDiagnosis; nil keeps the paths cold) journals the
-	// recovery lifecycle — XAUTOCLAIM reclaims and lease extensions — and
-	// attributes reclaimed tasks to their PE's Replays counter.
+	// recovery lifecycle — per-shard XAUTOCLAIM reclaims and lease
+	// extensions — and attributes reclaimed tasks to their PE's Replays
+	// counter.
 	diag *diagnosis.Diag
 }
 
 // SetDiagnosis attaches the diagnosis plane the planners thread through.
 func (t *RedisTransport) SetDiagnosis(d *diagnosis.Diag) { t.diag = d }
+
+// frameKey identifies one pulled stream entry: entry IDs are server-local,
+// so the shard index is part of the identity.
+type frameKey struct {
+	shard int
+	id    string
+}
 
 // entryState is the per-stream-entry ack bookkeeping.
 type entryState struct {
@@ -109,51 +138,138 @@ type leaseState struct {
 	timeout time.Duration
 }
 
-// NewRedisTransport creates the consumer group and wraps the client. With
-// recoverStale, empty-handed pool pulls XAUTOCLAIM tasks whose consumer
-// stopped acknowledging them (at-least-once execution).
-func NewRedisTransport(cl *redisclient.Client, keys RedisKeys, plan Plan, recoverStale bool) (*RedisTransport, error) {
-	if err := cl.XGroupCreate(keys.Queue, keys.Group, "0"); err != nil {
-		return nil, fmt.Errorf("runtime: create consumer group: %w", err)
+// NewRedisTransport creates the consumer groups on every shard and wraps the
+// cluster. With recoverStale, empty-handed pulls XAUTOCLAIM tasks whose
+// consumer stopped acknowledging them (at-least-once execution), sweeping
+// shard by shard. A Single-wrapped client reproduces the old single-server
+// transport exactly.
+func NewRedisTransport(cluster *redisclient.Cluster, keys RedisKeys, plan Plan, recoverStale bool) (*RedisTransport, error) {
+	streams := []string{keys.Queue}
+	for _, spec := range plan.Workers {
+		if spec.Pinned() {
+			streams = append(streams, keys.PrivKey(spec.PE, spec.Instance))
+		}
 	}
-	frames := make([]map[string]*entryState, len(plan.Workers))
+	err := cluster.Each(func(shard int, cl *redisclient.Client) error {
+		for _, stream := range streams {
+			if err := cl.XGroupCreate(stream, keys.Group, "0"); err != nil {
+				return fmt.Errorf("runtime: create consumer group on shard %d: %w", shard, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]map[frameKey]*entryState, len(plan.Workers))
 	for i := range frames {
-		frames[i] = map[string]*entryState{}
+		frames[i] = map[frameKey]*entryState{}
 	}
 	return &RedisTransport{
-		cl: cl, keys: keys, plan: plan, recoverStale: recoverStale,
+		cluster: cluster, keys: keys, plan: plan, recoverStale: recoverStale,
 		frames: frames, leases: make([]leaseState, len(plan.Workers)),
 	}, nil
 }
 
-// Push implements Transport. The pending counter is incremented before any
-// task becomes readable, preserving the pending == 0 ⇒ fully drained
-// invariant across the whole pipelined batch. Contiguous runs of pool tasks
-// pack into a single stream entry each (one XADD per emit batch instead of
-// one per task); a poison pill always gets its own entry so delivery order
+// streamFor is the stream key worker w consumes: pool workers share the
+// queue partitions, pinned workers own their private stream's partitions.
+func (t *RedisTransport) streamFor(w int) string {
+	spec := t.plan.Workers[w]
+	if spec.Pinned() {
+		return t.keys.PrivKey(spec.PE, spec.Instance)
+	}
+	return t.keys.Queue
+}
+
+// homeShard is the shard worker w blocking-reads: pinned workers wait on the
+// ring home of their private stream (where unfenced pushes place frames),
+// pool workers spread round-robin so the blocking load covers every shard.
+func (t *RedisTransport) homeShard(w int) int {
+	n := t.cluster.NumShards()
+	spec := t.plan.Workers[w]
+	if spec.Pinned() {
+		return t.cluster.ShardFor(t.keys.PrivKey(spec.PE, spec.Instance))
+	}
+	return w % n
+}
+
+// shardCmds accumulates one shard's slice of a push batch.
+type shardCmds struct {
+	// counted is the batch's non-poison task count landing on the shard —
+	// the shard's pending-counter increment.
+	counted int
+	cmds    [][]string
+}
+
+// Push implements Transport. Each shard's pending counter is incremented
+// before any task on any shard becomes readable, preserving the
+// sum(pending) == 0 ⇒ fully drained invariant across the whole batch: when
+// the batch spans shards, the counter increments land as a first
+// scatter-gather phase and the task entries only ship after every increment
+// is durable (a task acked on a fast shard can then never outrun a slow
+// shard's increment and expose a transient zero). A single-shard batch —
+// always, at one shard — keeps the original one-pipeline fast path.
+//
+// Contiguous runs of pool tasks pack into a single stream entry each (one
+// XADD per emit batch instead of one per task), round-robined across
+// shards; a poison pill always gets its own entry so delivery order
 // survives the packing and pills spread across consumers instead of riding
-// one frame. Tasks sharing a private list ship as a single batch frame in
-// one RPUSH element.
+// one frame. Tasks sharing a private stream ship as a single batch frame in
+// one XADD on the stream's home shard.
 func (t *RedisTransport) Push(tasks ...Task) error {
 	if t.closed.Load() {
 		return errTransportClosed
 	}
-	cmds, err := t.pushCmds(tasks, 0)
-	if err != nil || len(cmds) == 0 {
+	batches, err := t.pushCmds(tasks, 0, -1)
+	if err != nil || len(batches) == 0 {
 		return err
 	}
-	_, err = t.cl.Pipeline(cmds)
-	return err
+	if len(batches) == 1 {
+		for shard, sc := range batches {
+			_, err := t.cluster.Shard(shard).Pipeline(sc.assemble(t.keys.PendingKey))
+			return err
+		}
+	}
+	// Phase 1: pending increments on every involved shard — all durable
+	// before any entry ships.
+	err = t.cluster.Gather(func(shard int, cl *redisclient.Client) error {
+		sc, ok := batches[shard]
+		if !ok || sc.counted == 0 {
+			return nil
+		}
+		_, err := cl.IncrBy(t.keys.PendingKey, int64(sc.counted))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	// Phase 2: the entry pipelines, scatter-gathered per shard.
+	return t.cluster.Gather(func(shard int, cl *redisclient.Client) error {
+		sc, ok := batches[shard]
+		if !ok || len(sc.cmds) == 0 {
+			return nil
+		}
+		_, err := cl.Pipeline(sc.cmds)
+		return err
+	})
 }
 
 // PushFenced implements FencedPusher: the whole output batch of one fenced
-// Final — pending-counter increment, packed stream entries, private-list
+// Final — pending-counter increment, packed stream entries, private-stream
 // frames — rides a single SINKAPPEND transaction gated on the delivery's
 // task-gate ledger field inside the state hash. Either the gate records and
 // every task lands, or the gate was already recorded (a duplicate Final) and
 // nothing does. This is the emit half of exactly-once, atomic with the state
-// fence that guards the mutations; it requires the transport and the state
-// backend to share one server, which TaskGateRef only affirms when true.
+// fence that guards the mutations.
+//
+// Sharding is what makes the routing here load-bearing: SINKAPPEND is a
+// single-server transaction, so the entire batch is placed on the shard that
+// owns the gate's hash key — the co-location invariant. The gate, its ledger
+// entry (fields of the same state hash) and the sink entries written here
+// hash together by construction, because the state backend routes the hash
+// by its {namespace} tag and this method routes by the same key through the
+// same ring. It requires the transport and the state backend to share one
+// cluster, which TaskGateRef only affirms when true.
 //
 // entryCap chunks the batch's pool tasks into stream entries of at most
 // that many tasks (the caller's emit window). The transaction is atomic
@@ -164,29 +280,59 @@ func (t *RedisTransport) PushFenced(hashKey, field string, entryCap int, tasks .
 	if t.closed.Load() {
 		return false, errTransportClosed
 	}
-	cmds, err := t.pushCmds(tasks, entryCap)
+	gateShard := t.cluster.ShardFor(hashKey)
+	batches, err := t.pushCmds(tasks, entryCap, gateShard)
 	if err != nil {
 		return false, err
 	}
+	var cmds [][]string
+	if sc, ok := batches[gateShard]; ok {
+		cmds = sc.assemble(t.keys.PendingKey)
+	}
 	// An empty batch still records the gate: a Final with no emissions must
 	// be marked done exactly once too.
-	return t.cl.SinkAppend(hashKey, field, cmds)
+	return t.cluster.Shard(gateShard).SinkAppend(hashKey, field, cmds)
 }
 
-// pushCmds packs a task batch into its command sequence: one INCRBY for the
-// pending counter, one XADD per contiguous pool run (poison pills get their
-// own entries), one RPUSH batch frame per private list. entryCap > 0 bounds
-// the tasks packed into one pool-run entry.
-func (t *RedisTransport) pushCmds(tasks []Task, entryCap int) ([][]string, error) {
-	cmds := make([][]string, 0, 8)
-	counted := 0
-	for _, task := range tasks {
-		if !task.Poison {
-			counted++
-		}
+// assemble prepends the shard's pending-counter increment to its entry
+// commands — the increment must execute first within the pipeline so the
+// count is visible before any of the shard's tasks are readable.
+func (sc *shardCmds) assemble(pendingKey string) [][]string {
+	if sc.counted == 0 {
+		return sc.cmds
 	}
-	if counted > 0 {
-		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(counted)})
+	out := make([][]string, 0, len(sc.cmds)+1)
+	out = append(out, []string{"INCRBY", pendingKey, strconv.Itoa(sc.counted)})
+	return append(out, sc.cmds...)
+}
+
+// pushCmds packs a task batch into per-shard command sequences: one XADD per
+// contiguous pool run (poison pills get their own entries), one XADD batch
+// frame per private stream. entryCap > 0 bounds the tasks packed into one
+// pool-run entry. fixedShard >= 0 pins every command to that shard (the
+// fenced single-shard path); otherwise pool entries round-robin and private
+// frames follow the ring.
+func (t *RedisTransport) pushCmds(tasks []Task, entryCap, fixedShard int) (map[int]*shardCmds, error) {
+	batches := map[int]*shardCmds{}
+	shardOf := func(key string) int {
+		if fixedShard >= 0 {
+			return fixedShard
+		}
+		return t.cluster.ShardFor(key)
+	}
+	nextPool := func() int {
+		if fixedShard >= 0 {
+			return fixedShard
+		}
+		return int((t.rr.Add(1) - 1) % uint64(t.cluster.NumShards()))
+	}
+	get := func(shard int) *shardCmds {
+		sc := batches[shard]
+		if sc == nil {
+			sc = &shardCmds{}
+			batches[shard] = sc
+		}
+		return sc
 	}
 	buf := codec.GetBuffer()
 	defer buf.Release()
@@ -200,7 +346,9 @@ func (t *RedisTransport) pushCmds(tasks []Task, entryCap int) ([][]string, error
 		if err != nil {
 			return err
 		}
-		cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
+		sc := get(nextPool())
+		sc.cmds = append(sc.cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
+		sc.counted += len(run)
 		run = run[:0]
 		return nil
 	}
@@ -223,7 +371,8 @@ func (t *RedisTransport) pushCmds(tasks []Task, entryCap int) ([][]string, error
 			if err != nil {
 				return nil, err
 			}
-			cmds = append(cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
+			sc := get(nextPool())
+			sc.cmds = append(sc.cmds, []string{"XADD", t.keys.Queue, "*", taskField, string(b)})
 			continue
 		}
 		run = append(run, task)
@@ -242,17 +391,26 @@ func (t *RedisTransport) pushCmds(tasks []Task, entryCap int) ([][]string, error
 		if err != nil {
 			return nil, err
 		}
-		cmds = append(cmds, []string{"RPUSH", key, string(b)})
+		sc := get(shardOf(key))
+		sc.cmds = append(sc.cmds, []string{"XADD", key, "*", taskField, string(b)})
+		for _, task := range group {
+			if !task.Poison {
+				sc.counted++
+			}
+		}
 	}
-	return cmds, nil
+	return batches, nil
 }
 
-// PullBatch implements Transport. Pool workers read XREADGROUP COUNT max;
-// pinned workers block on their private list and top the window up with one
-// non-blocking LPOP count round trip (each popped element may itself be a
-// batch frame, so the returned batch can exceed max — max is advisory).
+// PullBatch implements Transport. Every worker consumes its stream's
+// partitions home-shard-first: a non-blocking sweep over all shards
+// (home, home+1, …) picks up work wherever routing placed it, then an
+// empty-handed worker parks in a blocking XREADGROUP on its home shard for
+// the poll timeout. Each entry may itself be a packed batch frame, so the
+// returned batch can exceed max — max is advisory.
+//
 // Because stream deliveries are irreversible (entries enter this consumer's
-// PEL), a batch read off the stream may carry several poison pills; the
+// PEL on their shard), a batch read may carry several poison pills; the
 // worker loop re-routes any surplus to its siblings.
 func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, error) {
 	if t.closed.Load() {
@@ -261,62 +419,55 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 	if max < 1 {
 		max = 1
 	}
-	spec := t.plan.Workers[w]
-	if spec.Pinned() {
-		key := t.keys.PrivKey(spec.PE, spec.Instance)
-		_, payload, ok, err := t.cl.BLPop(timeout, key)
-		if err != nil || !ok {
+	stream := t.streamFor(w)
+	consumer := fmt.Sprintf("w%d", w)
+	home := t.homeShard(w)
+	n := t.cluster.NumShards()
+	t.leases[w].timeout = timeout
+
+	var entries []redisclient.StreamEntry
+	shard := home
+	for i := 0; i < n; i++ {
+		s := (home + i) % n
+		es, err := t.cluster.Shard(s).XReadGroup(t.keys.Group, consumer, max, 0, stream)
+		if err != nil {
 			return nil, t.maybeClosed(err)
 		}
-		tasks, err := codec.DecodeBatch(payload)
-		if err != nil {
-			return nil, err
+		if len(es) > 0 {
+			entries, shard = es, s
+			break
 		}
-		if len(tasks) < max {
-			frames, err := t.cl.LPopCount(key, max-len(tasks))
-			if err != nil {
-				return nil, t.maybeClosed(err)
-			}
-			for _, f := range frames {
-				more, err := codec.DecodeBatch(f)
-				if err != nil {
-					return nil, err
-				}
-				tasks = append(tasks, more...)
-			}
-		}
-		envs := make([]Env, len(tasks))
-		for i, task := range tasks {
-			envs[i] = Env{Task: task}
-		}
-		return envs, nil
 	}
-	consumer := fmt.Sprintf("w%d", w)
-	t.leases[w].timeout = timeout
-	entries, err := t.cl.XReadGroup(t.keys.Group, consumer, max, timeout, t.keys.Queue)
-	if err != nil {
-		return nil, t.maybeClosed(err)
+	if len(entries) == 0 && timeout > 0 {
+		es, err := t.cluster.Shard(home).XReadGroup(t.keys.Group, consumer, max, timeout, stream)
+		if err != nil {
+			return nil, t.maybeClosed(err)
+		}
+		entries = es
 	}
 	reclaimed := false
 	if len(entries) == 0 && t.recoverStale {
 		// Reclaim tasks whose consumer stopped acknowledging them (crashed
-		// or descheduled). XAUTOCLAIM moves idle pending entries into this
-		// worker's PEL so the stream's at-least-once guarantee actually
-		// holds under failures.
-		_, claimed, err := t.cl.XAutoClaim(t.keys.Queue, t.keys.Group, consumer, t.minIdle(timeout), "0-0", max)
-		if err == nil && len(claimed) > 0 {
-			entries = claimed
-			reclaimed = true
+		// or descheduled), sweeping shard by shard: XAUTOCLAIM moves idle
+		// pending entries of the shard's partition into this worker's PEL so
+		// the stream's at-least-once guarantee actually holds under failures.
+		for i := 0; i < n; i++ {
+			s := (home + i) % n
+			_, claimed, err := t.cluster.Shard(s).XAutoClaim(stream, t.keys.Group, consumer, t.minIdle(timeout), "0-0", max)
+			if err == nil && len(claimed) > 0 {
+				entries, shard, reclaimed = claimed, s, true
+				break
+			}
 		}
 	}
 	if len(entries) == 0 {
 		return nil, nil
 	}
 	// Each entry may be a packed frame; fan its tasks out as one env per
-	// task, all sharing the entry ID, and register the entry so Ack can
-	// XACK it once the last of them is released. A re-delivered entry
-	// (XAUTOCLAIM bouncing it back to this worker) resets its bookkeeping —
-	// redelivery means full re-execution.
+	// task, all sharing the entry's (shard, ID), and register the entry so
+	// Ack can XACK it once the last of them is released. A re-delivered
+	// entry (XAUTOCLAIM bouncing it back to this worker) resets its
+	// bookkeeping — redelivery means full re-execution.
 	reg := t.frames[w]
 	envs := make([]Env, 0, len(entries))
 	for _, e := range entries {
@@ -334,36 +485,56 @@ func (t *RedisTransport) PullBatch(w, max int, timeout time.Duration) ([]Env, er
 				// take the ledger lock per task.
 				t.diag.PE(task.PE).Replays.Inc()
 			}
-			envs = append(envs, Env{Task: task, AckID: e.ID})
+			envs = append(envs, Env{Task: task, AckID: e.ID, Shard: shard})
 		}
-		reg[e.ID] = &entryState{remaining: len(tasks), tasks: nonPoison}
+		reg[frameKey{shard: shard, id: e.ID}] = &entryState{remaining: len(tasks), tasks: nonPoison}
 	}
 	if reclaimed && t.diag != nil {
 		t.diag.Log(diagnosis.EvReclaim, w, "",
-			fmt.Sprintf("%d stalled entries adopted", len(entries)), int64(len(envs)))
+			fmt.Sprintf("%d stalled entries adopted on shard %d", len(entries), shard), int64(len(envs)))
 	}
 	return envs, nil
 }
 
+// ackShard accumulates one shard's slice of an Ack call.
+type ackShard struct {
+	// direct counts non-poison envs without a delivery ID (duplicate
+	// deliveries stripped of their entry identity): not claimable, their
+	// decrement lands as-is.
+	direct int
+	// streamTasks counts the non-poison stream tasks released by this call.
+	streamTasks int
+	completed   []doneEntry
+}
+
 // Ack implements Transport at entry-range granularity: each env releases one
-// task of its stream entry, and the entry's XACK is issued only when every
-// task delivered from it has been released. Unfenced, one pipelined round
-// trip carries the multi-ID XACK of the completed entries plus a single
-// pending-counter decrement for every non-poison task.
+// task of its stream entry, and the entry's XACK is issued on the entry's
+// own shard only when every task delivered from it has been released.
+// Unfenced, one pipelined round trip per involved shard carries the
+// multi-ID XACK of the shard's completed entries plus a single
+// pending-counter decrement for its released tasks. A shard's decrement
+// always lands on the shard whose counter the task incremented — the env's
+// Shard, stamped at pull time.
 //
 // With recoverStale on, stream acknowledgements are fenced by consumer: an
 // XAUTOCLAIM may have moved a delivery to another consumer while this
 // worker was still processing it, and the original's late XACK + decrement
-// landing anyway would under-count the shared pending counter — the
+// landing anyway would under-count the shard's pending counter — the
 // coordinator would observe a drained transport while the claimed task is
 // still in flight and start terminating early. fencedAck closes this with
-// one atomic FENCEXACK: ownership check, PEL removal and counter decrement
-// in a single server-side step, no window between them.
+// one atomic FENCEXACK per shard: ownership check, PEL removal and counter
+// decrement in a single server-side step, no window between them.
 func (t *RedisTransport) Ack(w int, envs ...Env) error {
 	reg := t.frames[w]
-	direct := 0      // non-poison private-list tasks: not claimable, decrement as-is
-	streamTasks := 0 // non-poison stream tasks released by this call
-	var completed []doneEntry
+	shards := map[int]*ackShard{}
+	get := func(shard int) *ackShard {
+		a := shards[shard]
+		if a == nil {
+			a = &ackShard{}
+			shards[shard] = a
+		}
+		return a
+	}
 	// Envs from one entry arrive contiguously (PullBatch fans frames out in
 	// order and the worker loop preserves it), so a linear run-group scan
 	// replaces a map.
@@ -371,57 +542,70 @@ func (t *RedisTransport) Ack(w int, envs ...Env) error {
 		env := envs[i]
 		if env.AckID == "" {
 			if !env.Poison {
-				direct++
+				get(env.Shard).direct++
 			}
 			i++
 			continue
 		}
-		id := env.AckID
+		id, shard := env.AckID, env.Shard
 		acked, nonPoison := 0, 0
-		for i < len(envs) && envs[i].AckID == id {
+		for i < len(envs) && envs[i].AckID == id && envs[i].Shard == shard {
 			acked++
 			if !envs[i].Poison {
 				nonPoison++
 			}
 			i++
 		}
-		streamTasks += nonPoison
-		es, ok := reg[id]
+		a := get(shard)
+		a.streamTasks += nonPoison
+		es, ok := reg[frameKey{shard: shard, id: id}]
 		if !ok {
 			// Not in this worker's registry: a duplicate delivery or a
 			// repeated ack of an entry already completed. Treat it as a
 			// self-contained completed entry weighted by what this call saw;
 			// under fencing the ownership filter and the XACK removal count
 			// decide whether anything actually lands.
-			completed = append(completed, doneEntry{id: id, tasks: nonPoison})
+			a.completed = append(a.completed, doneEntry{id: id, tasks: nonPoison})
 			continue
 		}
 		es.remaining -= acked
 		if es.remaining <= 0 {
-			completed = append(completed, doneEntry{id: id, tasks: es.tasks})
-			delete(reg, id)
+			a.completed = append(a.completed, doneEntry{id: id, tasks: es.tasks})
+			delete(reg, frameKey{shard: shard, id: id})
 		}
 	}
-	if t.recoverStale && (len(completed) > 0 || streamTasks > 0) {
-		return t.maybeClosed(t.fencedAck(w, direct, completed))
+	stream := t.streamFor(w)
+	for shard, a := range shards {
+		if err := t.ackShard(w, shard, stream, a); err != nil {
+			return t.maybeClosed(err)
+		}
 	}
+	return nil
+}
+
+// ackShard releases one shard's slice of an Ack call.
+func (t *RedisTransport) ackShard(w, shard int, stream string, a *ackShard) error {
+	if t.recoverStale && (len(a.completed) > 0 || a.streamTasks > 0) {
+		return t.fencedAck(w, shard, stream, a.direct, a.completed)
+	}
+	cl := t.cluster.Shard(shard)
 	cmds := make([][]string, 0, 2)
-	if len(completed) > 0 {
-		xack := make([]string, 0, len(completed)+3)
-		xack = append(xack, "XACK", t.keys.Queue, t.keys.Group)
-		for _, d := range completed {
+	if len(a.completed) > 0 {
+		xack := make([]string, 0, len(a.completed)+3)
+		xack = append(xack, "XACK", stream, t.keys.Group)
+		for _, d := range a.completed {
 			xack = append(xack, d.id)
 		}
 		cmds = append(cmds, xack)
 	}
-	if direct+streamTasks > 0 {
-		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(-(direct + streamTasks))})
+	if a.direct+a.streamTasks > 0 {
+		cmds = append(cmds, []string{"INCRBY", t.keys.PendingKey, strconv.Itoa(-(a.direct + a.streamTasks))})
 	}
 	if len(cmds) == 0 {
 		return nil
 	}
-	_, err := t.cl.Pipeline(cmds)
-	return t.maybeClosed(err)
+	_, err := cl.Pipeline(cmds)
+	return err
 }
 
 // doneEntry is a stream entry whose delivered tasks are all released:
@@ -431,9 +615,9 @@ type doneEntry struct {
 	tasks int
 }
 
-// fencedAck releases completed entries under at-least-once replay with one
-// FENCEXACK compound command: ownership filter, PEL removal and
-// pending-counter decrement execute as a single atomic server-side step.
+// fencedAck releases one shard's completed entries under at-least-once
+// replay with one FENCEXACK compound command: ownership filter, PEL removal
+// and pending-counter decrement execute as a single atomic server-side step.
 // Two properties fall out directly:
 //
 //   - no double decrement: the server removes each entry from the PEL and
@@ -452,7 +636,7 @@ type doneEntry struct {
 // The command is retried by the client only when its direct decrement is
 // zero (the PEL half is ownership-fenced and idempotent; the direct counter
 // adjustment is not).
-func (t *RedisTransport) fencedAck(w int, direct int, completed []doneEntry) error {
+func (t *RedisTransport) fencedAck(w, shard int, stream string, direct int, completed []doneEntry) error {
 	if direct == 0 && len(completed) == 0 {
 		return nil
 	}
@@ -462,8 +646,8 @@ func (t *RedisTransport) fencedAck(w int, direct int, completed []doneEntry) err
 		ids[i] = d.id
 		weights[i] = int64(d.tasks)
 	}
-	_, _, _, err := t.cl.FenceXAck(
-		t.keys.Queue, t.keys.Group, fmt.Sprintf("w%d", w),
+	_, _, _, err := t.cluster.Shard(shard).FenceXAck(
+		stream, t.keys.Group, fmt.Sprintf("w%d", w),
 		t.keys.PendingKey, int64(direct), ids, weights)
 	return err
 }
@@ -478,16 +662,17 @@ func (t *RedisTransport) minIdle(timeout time.Duration) time.Duration {
 }
 
 // Extend implements LeaseExtender: it refreshes the idle clock of every
-// stream entry worker w still owns, via a self-targeted XCLAIM ... JUSTID.
-// Packing made this load-bearing — the unit XAUTOCLAIM reclaims is now a
-// whole frame whose processing time scales with its task count, so without a
-// progress heartbeat any frame slower than the idle threshold would be
-// claimed away mid-processing, redelivered in full to the claimer, go stale
-// there too, and ping-pong between live workers forever (the fenced pending
-// counter, decremented only by the XACK that removes an entry, would never
-// drain). With the heartbeat, reclaim keys on lack of progress rather than
-// lack of completion: a worker that dies or stalls between tasks stops
-// extending and its frames age out exactly as before.
+// stream entry worker w still owns, via a self-targeted XCLAIM ... JUSTID
+// on each shard holding some of them. Packing made this load-bearing — the
+// unit XAUTOCLAIM reclaims is a whole frame whose processing time scales
+// with its task count, so without a progress heartbeat any frame slower
+// than the idle threshold would be claimed away mid-processing, redelivered
+// in full to the claimer, go stale there too, and ping-pong between live
+// workers forever (the fenced pending counter, decremented only by the XACK
+// that removes an entry, would never drain). With the heartbeat, reclaim
+// keys on lack of progress rather than lack of completion: a worker that
+// dies or stalls between tasks stops extending and its frames age out
+// exactly as before.
 //
 // The ownership read and the claim are not atomic: an entry claimed away
 // between them is stolen back. That one-round-trip race is safe — the
@@ -514,67 +699,98 @@ func (t *RedisTransport) Extend(w int) error {
 		return nil
 	}
 	ls.last = now
+	stream := t.streamFor(w)
 	consumer := fmt.Sprintf("w%d", w)
-	owned, err := t.cl.XPendingIDs(t.keys.Queue, t.keys.Group, consumer, len(reg)+256)
-	if err != nil {
-		return t.maybeClosed(err)
+	perShard := map[int]int{}
+	for fk := range reg {
+		perShard[fk.shard]++
 	}
-	ids := owned[:0]
-	for _, id := range owned {
-		if _, ok := reg[id]; ok {
-			ids = append(ids, id)
+	extended := int64(0)
+	for shard, count := range perShard {
+		cl := t.cluster.Shard(shard)
+		owned, err := cl.XPendingIDs(stream, t.keys.Group, consumer, count+256)
+		if err != nil {
+			return t.maybeClosed(err)
 		}
-	}
-	if len(ids) == 0 {
-		return nil
-	}
-	_, err = t.cl.XClaimJustID(t.keys.Queue, t.keys.Group, consumer, 0, ids)
-	if err == nil && t.diag != nil {
-		t.diag.Log(diagnosis.EvLease, w, "", "heartbeat", int64(len(ids)))
-	}
-	return t.maybeClosed(err)
-}
-
-// QueueDepths implements DepthReporter: the global stream's entry count plus
-// one "priv:<pe>:<i>" list length per pinned instance. Sampling errors skip
-// the affected entry (the gauge set shrinks rather than failing the sample).
-func (t *RedisTransport) QueueDepths() map[string]int64 {
-	out := map[string]int64{}
-	if n, err := t.cl.XLen(t.keys.Queue); err == nil {
-		out["stream"] = n
-	}
-	for _, spec := range t.plan.Workers {
-		if !spec.Pinned() {
+		ids := owned[:0]
+		for _, id := range owned {
+			if _, ok := reg[frameKey{shard: shard, id: id}]; ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
 			continue
 		}
-		if n, err := t.cl.LLen(t.keys.PrivKey(spec.PE, spec.Instance)); err == nil {
-			out[fmt.Sprintf("priv:%s:%d", spec.PE, spec.Instance)] = n
+		if _, err := cl.XClaimJustID(stream, t.keys.Group, consumer, 0, ids); err != nil {
+			return t.maybeClosed(err)
+		}
+		extended += int64(len(ids))
+	}
+	if extended > 0 && t.diag != nil {
+		t.diag.Log(diagnosis.EvLease, w, "", "heartbeat", extended)
+	}
+	return nil
+}
+
+// QueueDepths implements DepthReporter: each partition's entry count —
+// the pool stream plus one "priv:<pe>:<i>" stream per pinned instance. On a
+// multi-shard cluster every gauge is reported per shard under an "s<i>:"
+// prefix ("s0:stream", "s1:priv:pe:0", …) so a hot shard is visible as
+// such; a single-shard cluster keeps the legacy unprefixed names. Sampling
+// errors skip the affected entry (the gauge set shrinks rather than failing
+// the sample).
+func (t *RedisTransport) QueueDepths() map[string]int64 {
+	out := map[string]int64{}
+	n := t.cluster.NumShards()
+	for s := 0; s < n; s++ {
+		cl := t.cluster.Shard(s)
+		prefix := ""
+		if n > 1 {
+			prefix = fmt.Sprintf("s%d:", s)
+		}
+		if v, err := cl.XLen(t.keys.Queue); err == nil {
+			out[prefix+"stream"] = v
+		}
+		for _, spec := range t.plan.Workers {
+			if !spec.Pinned() {
+				continue
+			}
+			if v, err := cl.XLen(t.keys.PrivKey(spec.PE, spec.Instance)); err == nil {
+				out[fmt.Sprintf("%spriv:%s:%d", prefix, spec.PE, spec.Instance)] = v
+			}
 		}
 	}
 	return out
 }
 
-// Pending implements Transport.
+// Pending implements Transport: the scatter-gathered sum of the per-shard
+// outstanding-task counters. The sum is safe as a termination signal
+// because a task's decrement (on its own shard, at ack time) is only issued
+// after its children's increments (on whatever shards routing chose) have
+// durably landed — a transient cross-shard zero cannot hide in-flight work.
 func (t *RedisTransport) Pending() (int64, error) {
-	s, ok, err := t.cl.Get(t.keys.PendingKey)
-	if err != nil || !ok {
+	total, err := t.cluster.SumInt(func(_ int, cl *redisclient.Client) (int64, error) {
+		s, ok, err := cl.Get(t.keys.PendingKey)
+		if err != nil || !ok {
+			return 0, err
+		}
+		return strconv.ParseInt(s, 10, 64)
+	})
+	if err != nil {
 		return 0, t.maybeClosed(err)
 	}
-	n, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		return 0, err
-	}
-	return n, nil
+	return total, nil
 }
 
-// Done implements Transport. The client itself stays open — the planner owns
-// it and still needs it for cleanup.
+// Done implements Transport. The cluster itself stays open — the planner
+// owns it and still needs it for cleanup.
 func (t *RedisTransport) Done() error {
 	t.closed.Store(true)
 	return nil
 }
 
-// Cleanup removes the run's queue, counter and private-list keys.
+// Cleanup removes the run's queue, counter and private-stream keys from
+// every shard.
 func (t *RedisTransport) Cleanup(g *graph.Graph) {
 	keys := []string{t.keys.Queue, t.keys.PendingKey}
 	for _, spec := range t.plan.Workers {
@@ -582,7 +798,10 @@ func (t *RedisTransport) Cleanup(g *graph.Graph) {
 			keys = append(keys, t.keys.PrivKey(spec.PE, spec.Instance))
 		}
 	}
-	_, _ = t.cl.Del(keys...)
+	_ = t.cluster.Each(func(_ int, cl *redisclient.Client) error {
+		_, _ = cl.Del(keys...)
+		return nil
+	})
 }
 
 // maybeClosed maps client errors after shutdown onto the closed sentinel so

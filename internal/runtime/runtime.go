@@ -41,6 +41,11 @@ type Env struct {
 	// AckID identifies the delivery for transports with explicit
 	// acknowledgement (the Redis stream entry ID); empty elsewhere.
 	AckID string
+	// Shard is the data-plane shard the delivery was pulled from, for
+	// transports that partition their queues across servers. Entry IDs are
+	// only unique per shard, so (Shard, AckID) is the delivery identity;
+	// single-server and in-process transports leave it 0.
+	Shard int
 }
 
 // Transport moves tasks between workers. Implementations must be safe for

@@ -40,7 +40,7 @@ func transportFixtures() []transportFixture {
 			t.Cleanup(func() { srv.Close() })
 			cl := redisclient.Dial(srv.Addr())
 			t.Cleanup(func() { cl.Close() })
-			tr, err := runtime.NewRedisTransport(cl, runtime.NewRunKeys("tconf", 1), pinnedPlan(), false)
+			tr, err := runtime.NewRedisTransport(redisclient.Single(cl), runtime.NewRunKeys("tconf", 1), pinnedPlan(), false)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -807,15 +807,16 @@ func (r *run) poisonAll() {
 }
 
 // countFrames counts the wire frames behind a pulled batch: a run of envs
-// sharing a non-empty AckID came from one packed stream entry; envs without
-// an AckID (private-list and in-process deliveries) count one each, so the
-// frame count degrades to the task count on transports that don't pack. The
-// pull sizer observes frames because its window (XREADGROUP COUNT) is
-// denominated in entries.
+// sharing a non-empty (Shard, AckID) came from one packed stream entry; envs
+// without an AckID (in-process deliveries) count one each, so the frame
+// count degrades to the task count on transports that don't pack. The pull
+// sizer observes frames because its window (XREADGROUP COUNT) is denominated
+// in entries.
 func countFrames(envs []Env) int {
 	n := 0
 	for i, env := range envs {
-		if env.AckID == "" || i == 0 || envs[i-1].AckID != env.AckID {
+		if env.AckID == "" || i == 0 ||
+			envs[i-1].AckID != env.AckID || envs[i-1].Shard != env.Shard {
 			n++
 		}
 	}

@@ -1,0 +1,193 @@
+package state
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/redisclient"
+)
+
+// maxAddBatch bounds the ops merged into one group commit: large enough to
+// absorb a whole pulled frame's worth of concurrent increments, small enough
+// that a flush's pipeline stays a single write.
+const maxAddBatch = 256
+
+// laneDepth is the per-shard queue capacity. Senders block when the lane is
+// this far ahead of the flusher — natural backpressure onto the hot path.
+const laneDepth = 1024
+
+// addOp is one caller's increment waiting in a shard lane.
+type addOp struct {
+	hash  string
+	field string
+	delta int64
+	reply chan addReply
+}
+
+// addReply carries the caller's exact post-increment value.
+type addReply struct {
+	val int64
+	err error
+}
+
+// coalescer group-commits unfenced AddInt ops per shard: all increments
+// that arrive while a flush is in flight merge into the next one — one
+// pipelined round trip carrying one HINCRBY per distinct (hash, field)
+// instead of one round trip per call. This is the sessionize hot path's
+// batching: under a zipfian key distribution most of a frame's increments
+// hit a handful of hot keys, so the merge collapses them into single
+// server-side adds.
+//
+// The trick is that AddInt's contract returns the caller's exact
+// intermediate value, which a naive batch would destroy. The group commit
+// preserves it: a batch's merged delta lands atomically per field (one
+// HINCRBY under the server's dispatch lock), so the sequence of
+// intermediate values is fully determined by the batch's arrival order —
+// the flusher replays that order client-side from the final value and hands
+// each caller the value its own delta produced. The interleaving is one of
+// the serializations that could have happened unbatched; no caller can
+// observe a value that skips its own delta.
+type coalescer struct {
+	mu     sync.RWMutex
+	closed bool
+	lanes  map[int]chan addOp
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{lanes: map[int]chan addOp{}}
+}
+
+// addInt funnels one increment through the shard's lane and waits for its
+// exact value. After close (or before a lane exists mid-close) it degrades
+// to the direct single-op path.
+func (c *coalescer) addInt(shard int, cl *redisclient.Client, hash, field string, delta int64) (int64, error) {
+	op := addOp{hash: hash, field: field, delta: delta, reply: make(chan addReply, 1)}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return cl.HIncrBy(hash, field, delta)
+	}
+	ch := c.lanes[shard]
+	if ch == nil {
+		c.mu.RUnlock()
+		ch = c.lane(shard, cl)
+		if ch == nil {
+			return cl.HIncrBy(hash, field, delta)
+		}
+		c.mu.RLock()
+		if c.closed {
+			c.mu.RUnlock()
+			return cl.HIncrBy(hash, field, delta)
+		}
+	}
+	// Send under the read lock: close() takes the write lock before closing
+	// lanes, so a send can never race a close.
+	ch <- op
+	c.mu.RUnlock()
+	r := <-op.reply
+	return r.val, r.err
+}
+
+// lane returns the shard's lane, starting its flusher on first use; nil
+// when the coalescer is closed.
+func (c *coalescer) lane(shard int, cl *redisclient.Client) chan addOp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	ch := c.lanes[shard]
+	if ch == nil {
+		ch = make(chan addOp, laneDepth)
+		c.lanes[shard] = ch
+		go flushLane(cl, ch)
+	}
+	return ch
+}
+
+// close drains the lanes: flushers finish the ops already queued, then exit.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, ch := range c.lanes {
+		close(ch)
+	}
+}
+
+// flushLane is one shard's flusher: block for the first op, sweep whatever
+// else is already queued, commit the merged batch, repeat.
+func flushLane(cl *redisclient.Client, ch chan addOp) {
+	ops := make([]addOp, 0, maxAddBatch)
+	for {
+		op, ok := <-ch
+		if !ok {
+			return
+		}
+		ops = append(ops[:0], op)
+	sweep:
+		for len(ops) < maxAddBatch {
+			select {
+			case more, ok := <-ch:
+				if !ok {
+					break sweep
+				}
+				ops = append(ops, more)
+			default:
+				break sweep
+			}
+		}
+		flushAdds(cl, ops)
+	}
+}
+
+// fieldRef identifies one HINCRBY target within a batch.
+type fieldRef struct {
+	hash  string
+	field string
+}
+
+// flushAdds commits one merged batch — one HINCRBY per distinct field in a
+// single pipeline — and serves each caller its exact intermediate value,
+// reconstructed by replaying the batch's arrival order backwards from the
+// server's post-batch value.
+func flushAdds(cl *redisclient.Client, ops []addOp) {
+	totals := make(map[fieldRef]int64, len(ops))
+	order := make([]fieldRef, 0, len(ops))
+	for _, op := range ops {
+		ref := fieldRef{hash: op.hash, field: op.field}
+		if _, seen := totals[ref]; !seen {
+			order = append(order, ref)
+		}
+		totals[ref] += op.delta
+	}
+	cmds := make([][]string, len(order))
+	for i, ref := range order {
+		cmds[i] = []string{"HINCRBY", ref.hash, ref.field, strconv.FormatInt(totals[ref], 10)}
+	}
+	vals, err := cl.Pipeline(cmds)
+	if err == nil && len(vals) != len(cmds) {
+		err = fmt.Errorf("state: coalesced HINCRBY: %d replies for %d commands", len(vals), len(cmds))
+	}
+	if err != nil {
+		for _, op := range ops {
+			op.reply <- addReply{err: err}
+		}
+		return
+	}
+	// running[ref] walks from the field's pre-batch value back up through
+	// each caller's delta in arrival order.
+	running := make(map[fieldRef]int64, len(order))
+	for i, ref := range order {
+		running[ref] = vals[i].Int - totals[ref]
+	}
+	for _, op := range ops {
+		ref := fieldRef{hash: op.hash, field: op.field}
+		running[ref] += op.delta
+		op.reply <- addReply{val: running[ref]}
+	}
+}

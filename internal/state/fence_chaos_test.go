@@ -2,6 +2,7 @@ package state_test
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -29,62 +30,75 @@ func armInj(t *testing.T, faults ...faultinject.Fault) *faultinject.Injector {
 // command is lost and the client retries against a server that already
 // executed it.
 func TestFencedMutationsSurviveConnDrops(t *testing.T) {
-	srv, err := miniredis.StartTestServer()
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	b := state.DialRedisBackend(srv.Addr(), "chaos")
-	defer b.Close()
-	st, err := b.Open("ns")
-	if err != nil {
-		t.Fatal(err)
-	}
-	fs := state.NewFencedStore(st)
-	scope := fs.NewScope()
-
-	// Drop the reply of every first FENCEAPPLY occurrence three times over
-	// the run: each fenced write crosses the lost-reply window at least once.
-	armInj(t,
-		faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 1, Kind: faultinject.ConnDrop},
-		faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 3, Kind: faultinject.ConnDrop},
-		faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 5, Kind: faultinject.ConnDrop},
-	)
-
-	for seq := uint64(1); seq <= 4; seq++ {
-		scope.SetToken(state.Token{Src: 1, Seq: seq})
-		if _, err := scope.AddInt("sum", 10); err != nil {
-			t.Fatal(err)
-		}
-		if err := scope.Put("last", strconv.FormatUint(seq, 10)); err != nil {
-			t.Fatal(err)
-		}
-		if err := scope.Update("sq", func(cur string, exists bool) (string, bool, error) {
-			n := int64(0)
-			if exists {
-				n, _ = strconv.ParseInt(cur, 10, 64)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dshard", shards), func(t *testing.T) {
+			addrs := make([]string, shards)
+			for i := range addrs {
+				srv, err := miniredis.StartTestServer()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
 			}
-			return strconv.FormatInt(n+int64(seq), 10), true, nil
-		}); err != nil {
-			t.Fatal(err)
-		}
-		scope.ClearToken()
-	}
+			b := state.DialRedisClusterBackend(addrs, "chaos")
+			defer b.Close()
 
-	if n, _ := scope.AddInt("sum", 0); n != 40 {
-		t.Fatalf("sum=%d want 40", n)
-	}
-	if v, _, _ := scope.Get("last"); v != "4" {
-		t.Fatalf("last=%q want 4", v)
-	}
-	if v, _, _ := scope.Get("sq"); v != "10" {
-		t.Fatalf("sq=%q want 10", v)
-	}
-	if err := scope.Delete("last"); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok, _ := scope.Get("last"); ok {
-		t.Fatal("delete lost")
+			// One namespace per shard count keeps a scope's gate, ledger and
+			// state fields on a single shard (the co-location invariant), so
+			// the lost-reply retry races one server, never two.
+			st, err := b.Open("ns")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := state.NewFencedStore(st)
+			scope := fs.NewScope()
+
+			// Drop the reply of every first FENCEAPPLY occurrence three times
+			// over the run: each fenced write crosses the lost-reply window at
+			// least once.
+			armInj(t,
+				faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 1, Kind: faultinject.ConnDrop},
+				faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 3, Kind: faultinject.ConnDrop},
+				faultinject.Fault{Probe: faultinject.ProbeConnRead, Cmd: "FENCEAPPLY", Hits: 5, Kind: faultinject.ConnDrop},
+			)
+
+			for seq := uint64(1); seq <= 4; seq++ {
+				scope.SetToken(state.Token{Src: 1, Seq: seq})
+				if _, err := scope.AddInt("sum", 10); err != nil {
+					t.Fatal(err)
+				}
+				if err := scope.Put("last", strconv.FormatUint(seq, 10)); err != nil {
+					t.Fatal(err)
+				}
+				if err := scope.Update("sq", func(cur string, exists bool) (string, bool, error) {
+					n := int64(0)
+					if exists {
+						n, _ = strconv.ParseInt(cur, 10, 64)
+					}
+					return strconv.FormatInt(n+int64(seq), 10), true, nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				scope.ClearToken()
+			}
+
+			if n, _ := scope.AddInt("sum", 0); n != 40 {
+				t.Fatalf("sum=%d want 40", n)
+			}
+			if v, _, _ := scope.Get("last"); v != "4" {
+				t.Fatalf("last=%q want 4", v)
+			}
+			if v, _, _ := scope.Get("sq"); v != "10" {
+				t.Fatalf("sq=%q want 10", v)
+			}
+			if err := scope.Delete("last"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := scope.Get("last"); ok {
+				t.Fatal("delete lost")
+			}
+		})
 	}
 }
 

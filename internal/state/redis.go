@@ -18,17 +18,26 @@ var (
 	lockNonce = time.Now().UnixNano()
 )
 
-// RedisBackend serves namespaces out of a Redis server: each namespace is
-// one hash (field = state key), checkpoints are single gob-encoded string
-// keys (so an empty checkpoint is representable and the save is one atomic
-// SET). It works against internal/miniredis or any RESP2 server and backs
-// the distributed mappings, where workers in different processes must see
-// the same state.
+// RedisBackend serves namespaces out of a sharded Redis data plane: each
+// namespace is one hash (field = state key), checkpoints are single
+// gob-encoded string keys (so an empty checkpoint is representable and the
+// save is one atomic SET). It works against internal/miniredis or any RESP2
+// server and backs the distributed mappings, where workers in different
+// processes must see the same state.
+//
+// Sharding is by namespace: every key the backend writes for a namespace —
+// live hash, checkpoint, update locks, and the fence-ledger fields living
+// inside the live hash — embeds the same "{namespace}" hash tag, so the
+// cluster's ring places them on one shard together. That co-location is
+// what keeps FENCEAPPLY (ledger + apply) and the transport's SINKAPPEND
+// (task gate + sink entries) single-shard transactions; see
+// redisclient.Cluster.
 type RedisBackend struct {
-	cl      *redisclient.Client
-	ownsCl  bool
-	prefix  string
-	counter metrics.StateCounter
+	cluster     *redisclient.Cluster
+	ownsCluster bool
+	prefix      string
+	counter     metrics.StateCounter
+	coal        *coalescer
 
 	// LockRetry is the sleep between attempts on a contended per-key update
 	// lock. Zero means 200µs.
@@ -43,18 +52,46 @@ type RedisBackend struct {
 	LockTTL time.Duration
 }
 
-// NewRedisBackend creates a backend on an existing client. The caller keeps
-// ownership of cl (Close does not close it). prefix namespaces every key the
-// backend writes, isolating concurrent runs on one server.
+// NewRedisBackend creates a single-shard backend on an existing client. The
+// caller keeps ownership of cl (Close does not close it). prefix namespaces
+// every key the backend writes, isolating concurrent runs on one server.
 func NewRedisBackend(cl *redisclient.Client, prefix string) *RedisBackend {
-	return &RedisBackend{cl: cl, prefix: prefix}
+	return &RedisBackend{cluster: redisclient.Single(cl), prefix: prefix}
+}
+
+// NewRedisClusterBackend creates a backend routing namespaces across the
+// cluster's shards. The caller keeps ownership of the cluster (Close does
+// not close it); the transport of the same run must share it so gates and
+// sinks co-locate.
+func NewRedisClusterBackend(cluster *redisclient.Cluster, prefix string) *RedisBackend {
+	return &RedisBackend{cluster: cluster, prefix: prefix}
 }
 
 // DialRedisBackend creates a backend with its own client connection pool to
 // addr; Close closes the pool.
 func DialRedisBackend(addr, prefix string) *RedisBackend {
-	return &RedisBackend{cl: redisclient.Dial(addr), ownsCl: true, prefix: prefix}
+	return DialRedisClusterBackend([]string{addr}, prefix)
 }
+
+// DialRedisClusterBackend creates a backend with its own cluster over the
+// shard addresses (in ring order); Close closes it. An external observer
+// dialing the same addresses computes the same placement as the run it
+// inspects.
+func DialRedisClusterBackend(addrs []string, prefix string) *RedisBackend {
+	cluster, err := redisclient.NewCluster(addrs)
+	if err != nil {
+		// Preserve DialRedisBackend's never-fails contract: surface the
+		// configuration error on first use instead.
+		cluster = redisclient.Single(redisclient.Dial(""))
+	}
+	return &RedisBackend{cluster: cluster, ownsCluster: true, prefix: prefix}
+}
+
+// EnableCoalescing turns on per-shard group commit for unfenced AddInt ops:
+// concurrent increments funnel into one pipelined HINCRBY flush per shard
+// instead of one round trip per call, while every caller still observes its
+// exact intermediate value. See coalescer.
+func (b *RedisBackend) EnableCoalescing() { b.coal = newCoalescer() }
 
 // Name implements Backend.
 func (b *RedisBackend) Name() string { return "redis" }
@@ -70,9 +107,12 @@ func (b *RedisBackend) lockKey(ns, key string) string {
 	return b.prefix + ":lk:{" + ns + "}:" + key
 }
 
-// Open implements Backend.
+// Open implements Backend. The namespace's shard is resolved once here —
+// every key of the namespace carries the same hash tag, so one lookup
+// covers them all.
 func (b *RedisBackend) Open(namespace string) (Store, error) {
-	return &redisStore{b: b, namespace: namespace}, nil
+	shard := b.cluster.ShardFor(b.liveKey(namespace))
+	return &redisStore{b: b, namespace: namespace, shard: shard, cl: b.cluster.Shard(shard)}, nil
 }
 
 // SaveCheckpoint implements Backend.
@@ -81,7 +121,7 @@ func (b *RedisBackend) SaveCheckpoint(namespace string, snap Snapshot) error {
 	if err != nil {
 		return err
 	}
-	if err := b.cl.Set(b.ckptKey(namespace), enc); err != nil {
+	if err := b.cluster.For(b.ckptKey(namespace)).Set(b.ckptKey(namespace), enc); err != nil {
 		return fmt.Errorf("state: save checkpoint %s: %w", namespace, err)
 	}
 	b.counter.IncCheckpoint()
@@ -90,7 +130,8 @@ func (b *RedisBackend) SaveCheckpoint(namespace string, snap Snapshot) error {
 
 // LoadCheckpoint implements Backend.
 func (b *RedisBackend) LoadCheckpoint(namespace string) (Snapshot, bool, error) {
-	s, ok, err := b.cl.Get(b.ckptKey(namespace))
+	key := b.ckptKey(namespace)
+	s, ok, err := b.cluster.For(key).Get(key)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -105,7 +146,8 @@ func (b *RedisBackend) LoadCheckpoint(namespace string) (Snapshot, bool, error) 
 // TTL (a KEYS/SCAN sweep would block or burden a shared production server);
 // the Update spin budget outlasts the TTL, so they delay, never deadlock.
 func (b *RedisBackend) DropNamespace(namespace string) error {
-	_, err := b.cl.Del(b.liveKey(namespace), b.ckptKey(namespace))
+	// liveKey and ckptKey share the namespace tag: one shard holds both.
+	_, err := b.cluster.For(b.liveKey(namespace)).Del(b.liveKey(namespace), b.ckptKey(namespace))
 	return err
 }
 
@@ -114,8 +156,11 @@ func (b *RedisBackend) Ops() metrics.StateOps { return b.counter.Snapshot() }
 
 // Close implements Backend.
 func (b *RedisBackend) Close() error {
-	if b.ownsCl {
-		return b.cl.Close()
+	if b.coal != nil {
+		b.coal.close()
+	}
+	if b.ownsCluster {
+		return b.cluster.Close()
 	}
 	return nil
 }
@@ -137,10 +182,13 @@ func (b *RedisBackend) lockParams() (retry time.Duration, attempts int, ttl time
 	return retry, attempts, ttl
 }
 
-// redisStore is one namespace on a RedisBackend.
+// redisStore is one namespace on a RedisBackend, pinned to the shard its
+// hash tag maps to.
 type redisStore struct {
 	b         *RedisBackend
 	namespace string
+	shard     int
+	cl        *redisclient.Client
 }
 
 // Namespace implements Store.
@@ -149,40 +197,45 @@ func (st *redisStore) Namespace() string { return st.namespace }
 // Get implements Store.
 func (st *redisStore) Get(key string) (string, bool, error) {
 	st.b.counter.IncGet()
-	return st.b.cl.HGet(st.b.liveKey(st.namespace), key)
+	return st.cl.HGet(st.b.liveKey(st.namespace), key)
 }
 
 // Put implements Store.
 func (st *redisStore) Put(key, value string) error {
 	st.b.counter.IncPut()
-	return st.b.cl.HSet(st.b.liveKey(st.namespace), key, value)
+	return st.cl.HSet(st.b.liveKey(st.namespace), key, value)
 }
 
 // Delete implements Store.
 func (st *redisStore) Delete(key string) error {
 	st.b.counter.IncDelete()
-	_, err := st.b.cl.HDel(st.b.liveKey(st.namespace), key)
+	_, err := st.cl.HDel(st.b.liveKey(st.namespace), key)
 	return err
 }
 
 // Keys implements Store.
 func (st *redisStore) Keys() ([]string, error) {
 	st.b.counter.IncList()
-	return st.b.cl.HKeys(st.b.liveKey(st.namespace))
+	return st.cl.HKeys(st.b.liveKey(st.namespace))
 }
 
 // Len implements Store.
 func (st *redisStore) Len() (int, error) {
 	st.b.counter.IncList()
-	n, err := st.b.cl.HLen(st.b.liveKey(st.namespace))
+	n, err := st.cl.HLen(st.b.liveKey(st.namespace))
 	return int(n), err
 }
 
 // AddInt implements Store. HINCRBY executes atomically on the server, so no
-// client-side lock is needed.
+// client-side lock is needed. With coalescing enabled, concurrent
+// increments across workers group-commit into one pipelined flush per
+// shard; each caller still gets the exact value its own delta produced.
 func (st *redisStore) AddInt(key string, delta int64) (int64, error) {
 	st.b.counter.IncAdd()
-	return st.b.cl.HIncrBy(st.b.liveKey(st.namespace), key, delta)
+	if st.b.coal != nil {
+		return st.b.coal.addInt(st.shard, st.cl, st.b.liveKey(st.namespace), key, delta)
+	}
+	return st.cl.HIncrBy(st.b.liveKey(st.namespace), key, delta)
 }
 
 // FencedAddInt implements the fence's atomic fast path: one FENCEAPPLY
@@ -195,21 +248,21 @@ func (st *redisStore) AddInt(key string, delta int64) (int64, error) {
 // lost reply without risk of double application.
 func (st *redisStore) FencedAddInt(ledgerField, key string, delta int64) (bool, int64, error) {
 	st.b.counter.IncAdd()
-	return st.b.cl.FenceApplyIncr(st.b.liveKey(st.namespace), ledgerField, key, delta)
+	return st.cl.FenceApplyIncr(st.b.liveKey(st.namespace), ledgerField, key, delta)
 }
 
 // FencedPut implements the atomic fenced set: ledger record + HSET in one
 // FENCEAPPLY round trip.
 func (st *redisStore) FencedPut(ledgerField, key, value string) (bool, error) {
 	st.b.counter.IncPut()
-	return st.b.cl.FenceApplySet(st.b.liveKey(st.namespace), ledgerField, key, value)
+	return st.cl.FenceApplySet(st.b.liveKey(st.namespace), ledgerField, key, value)
 }
 
 // FencedDelete implements the atomic fenced delete: ledger record + HDEL in
 // one FENCEAPPLY round trip.
 func (st *redisStore) FencedDelete(ledgerField, key string) (bool, error) {
 	st.b.counter.IncDelete()
-	return st.b.cl.FenceApplyDel(st.b.liveKey(st.namespace), ledgerField, key)
+	return st.cl.FenceApplyDel(st.b.liveKey(st.namespace), ledgerField, key)
 }
 
 // FencedUpdate implements the fenced read-modify-write. The per-key spin
@@ -224,10 +277,10 @@ func (st *redisStore) FencedUpdate(ledgerField, key string, fn func(string, bool
 	live := st.b.liveKey(st.namespace)
 	applied := false
 	err := st.withKeyLock(key, func() error {
-		if _, recorded, err := st.b.cl.HGet(live, ledgerField); err != nil || recorded {
+		if _, recorded, err := st.cl.HGet(live, ledgerField); err != nil || recorded {
 			return err
 		}
-		cur, exists, err := st.b.cl.HGet(live, key)
+		cur, exists, err := st.cl.HGet(live, key)
 		if err != nil {
 			return err
 		}
@@ -236,9 +289,9 @@ func (st *redisStore) FencedUpdate(ledgerField, key string, fn func(string, bool
 			return err
 		}
 		if keep {
-			applied, err = st.b.cl.FenceApplySet(live, ledgerField, key, next)
+			applied, err = st.cl.FenceApplySet(live, ledgerField, key, next)
 		} else {
-			applied, err = st.b.cl.FenceApplyDel(live, ledgerField, key)
+			applied, err = st.cl.FenceApplyDel(live, ledgerField, key)
 		}
 		return err
 	})
@@ -256,7 +309,7 @@ func (st *redisStore) Update(key string, fn func(string, bool) (string, bool, er
 	st.b.counter.IncUpdate()
 	live := st.b.liveKey(st.namespace)
 	return st.withKeyLock(key, func() error {
-		cur, exists, err := st.b.cl.HGet(live, key)
+		cur, exists, err := st.cl.HGet(live, key)
 		if err != nil {
 			return err
 		}
@@ -265,26 +318,28 @@ func (st *redisStore) Update(key string, fn func(string, bool) (string, bool, er
 			return err
 		}
 		if !keep {
-			_, err = st.b.cl.HDel(live, key)
+			_, err = st.cl.HDel(live, key)
 			return err
 		}
-		return st.b.cl.HSet(live, key, next)
+		return st.cl.HSet(live, key, next)
 	})
 }
 
 // withKeyLock runs body under the per-key SET NX PX spin lock. The lock
-// value is an ownership token: release only deletes the lock while it still
-// holds our token, so a holder that outlived the TTL cannot delete a
-// successor's lock and cascade the breach to a third writer. (GET+DEL is not
-// atomic without scripting, but it shrinks the misrelease window from
-// "always after TTL expiry" to one round trip.)
+// lives on the namespace's own shard (its key shares the namespace tag), so
+// lock and data cannot disagree about placement. The lock value is an
+// ownership token: release only deletes the lock while it still holds our
+// token, so a holder that outlived the TTL cannot delete a successor's lock
+// and cascade the breach to a third writer. (GET+DEL is not atomic without
+// scripting, but it shrinks the misrelease window from "always after TTL
+// expiry" to one round trip.)
 func (st *redisStore) withKeyLock(key string, body func() error) error {
 	lock := st.b.lockKey(st.namespace, key)
 	retry, attempts, ttl := st.b.lockParams()
 	token := fmt.Sprintf("%d-%d-%d", os.Getpid(), lockNonce, lockToken.Add(1))
 	acquired := false
 	for i := 0; i < attempts; i++ {
-		ok, err := st.b.cl.SetNX(lock, token, ttl)
+		ok, err := st.cl.SetNX(lock, token, ttl)
 		if err != nil {
 			return err
 		}
@@ -298,18 +353,21 @@ func (st *redisStore) withKeyLock(key string, body func() error) error {
 		return fmt.Errorf("state: update lock on %s/%s not acquired after %d attempts", st.namespace, key, attempts)
 	}
 	defer func() {
-		if v, ok, err := st.b.cl.Get(lock); err == nil && ok && v == token {
-			_, _ = st.b.cl.Del(lock)
+		if v, ok, err := st.cl.Get(lock); err == nil && ok && v == token {
+			_, _ = st.cl.Del(lock)
 		}
 	}()
 	return body()
 }
 
 // TaskGateRef implements TaskGater: it names the (hash key, ledger field)
-// address of a delivery's task gate so a transport on the same server can
-// record the gate inside its own atomic SINKAPPEND flush. Valid only when
-// the transport and this backend share one server — true for every mapping
-// in this repository that pairs a Redis transport with a Redis backend.
+// address of a delivery's task gate so a transport sharing this backend's
+// cluster can record the gate inside its own atomic SINKAPPEND flush. The
+// transport routes the flush by hashing the returned key through the shared
+// ring, landing it on this namespace's shard — gate, ledger and sink
+// entries co-locate by construction. Valid only when the transport and this
+// backend share one cluster — true for every mapping in this repository
+// that pairs a Redis transport with a Redis backend.
 func (st *redisStore) TaskGateRef(tok Token) (hashKey, field string, ok bool) {
 	if tok.IsZero() {
 		return "", "", false
@@ -320,7 +378,7 @@ func (st *redisStore) TaskGateRef(tok Token) (hashKey, field string, ok bool) {
 // Snapshot implements Store.
 func (st *redisStore) Snapshot() (Snapshot, error) {
 	st.b.counter.IncSnapshot()
-	m, err := st.b.cl.HGetAll(st.b.liveKey(st.namespace))
+	m, err := st.cl.HGetAll(st.b.liveKey(st.namespace))
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +389,7 @@ func (st *redisStore) Snapshot() (Snapshot, error) {
 func (st *redisStore) Restore(snap Snapshot) error {
 	st.b.counter.IncRestore()
 	live := st.b.liveKey(st.namespace)
-	if _, err := st.b.cl.Del(live); err != nil {
+	if _, err := st.cl.Del(live); err != nil {
 		return err
 	}
 	if len(snap) == 0 {
@@ -341,13 +399,13 @@ func (st *redisStore) Restore(snap Snapshot) error {
 	for k, v := range snap {
 		fv = append(fv, k, v)
 	}
-	return st.b.cl.HSet(live, fv...)
+	return st.cl.HSet(live, fv...)
 }
 
 // Clear implements Store.
 func (st *redisStore) Clear() error {
 	st.b.counter.IncDelete()
-	_, err := st.b.cl.Del(st.b.liveKey(st.namespace))
+	_, err := st.cl.Del(st.b.liveKey(st.namespace))
 	return err
 }
 
